@@ -1,0 +1,178 @@
+// Command dstore-bench regenerates the paper's evaluation tables and
+// figures on the simulated system.
+//
+// Usage:
+//
+//	dstore-bench -table1            # Table I: system configuration
+//	dstore-bench -table2            # Table II: benchmark inventory
+//	dstore-bench -fig4              # Fig. 4: speedup, small and big inputs
+//	dstore-bench -fig5              # Fig. 5: GPU L2 miss rate, small and big
+//	dstore-bench -prefetch          # §IV: direct store vs prefetching
+//	dstore-bench -standalone        # §III-H: stand-alone direct store
+//	dstore-bench -bench MM -input big   # one benchmark in detail
+//	dstore-bench -all               # everything
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dstore/internal/bench"
+	"dstore/internal/core"
+	"dstore/internal/stats"
+)
+
+// emitJSON dumps one figure's comparisons as a JSON document carrying
+// every measured field (ticks, accesses, misses, traffic, pushes).
+func emitJSON(name string, cs []bench.Comparison) {
+	type row struct {
+		bench.Comparison
+		Speedup       float64 `json:"speedup"`
+		MissRateDelta float64 `json:"miss_rate_delta"`
+	}
+	rows := make([]row, len(cs))
+	for i, c := range cs {
+		rows[i] = row{Comparison: c, Speedup: c.Speedup(), MissRateDelta: c.MissRateDelta()}
+	}
+	doc := map[string]any{"figure": name, "rows": rows, "geomean_speedup": bench.GeomeanSpeedup(cs)}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	fail(err)
+	fmt.Println(string(out))
+}
+
+func main() {
+	var (
+		table1     = flag.Bool("table1", false, "print the Table I system configuration")
+		table2     = flag.Bool("table2", false, "print the Table II benchmark inventory")
+		fig4       = flag.Bool("fig4", false, "regenerate Fig. 4 (speedup)")
+		fig5       = flag.Bool("fig5", false, "regenerate Fig. 5 (GPU L2 miss rate)")
+		prefetch   = flag.Bool("prefetch", false, "compare direct store against a prefetching baseline")
+		standalone = flag.Bool("standalone", false, "run direct store as a stand-alone replacement (§III-H)")
+		one        = flag.String("bench", "", "run a single benchmark (code from Table II)")
+		input      = flag.String("input", "both", "input size: small, big or both")
+		all        = flag.Bool("all", false, "run every experiment")
+		asJSON     = flag.Bool("json", false, "emit figure data as JSON instead of text tables")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *fig4, *fig5, *prefetch, *standalone = true, true, true, true, true, true
+	}
+	if !*table1 && !*table2 && !*fig4 && !*fig5 && !*prefetch && !*standalone && *one == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	inputs := parseInputs(*input)
+
+	if *table1 {
+		fmt.Println("TABLE I: SYSTEM CONFIGURATION")
+		fmt.Println(core.DefaultConfig(core.ModeCCSM).Table1())
+	}
+	if *table2 {
+		fmt.Println("TABLE II: BENCHMARKS")
+		fmt.Println(bench.Table2())
+	}
+	if *one != "" {
+		for _, in := range inputs {
+			c, err := bench.Compare(*one, in)
+			fail(err)
+			printComparison(c)
+		}
+	}
+
+	var byInput map[bench.Input][]bench.Comparison
+	if *fig4 || *fig5 {
+		byInput = map[bench.Input][]bench.Comparison{}
+		for _, in := range inputs {
+			cs, err := bench.RunAll(in)
+			fail(err)
+			byInput[in] = cs
+		}
+	}
+	if *fig4 {
+		for _, in := range inputs {
+			if *asJSON {
+				emitJSON(fmt.Sprintf("fig4-%s", in), byInput[in])
+				continue
+			}
+			fmt.Printf("FIG. 4 (%s inputs): direct store speedup over CCSM\n", in)
+			fmt.Println(bench.Fig4Table(in, byInput[in]))
+		}
+	}
+	if *fig5 {
+		for _, in := range inputs {
+			if *asJSON {
+				continue // the fig4 JSON already carries the miss-rate fields
+			}
+			fmt.Printf("FIG. 5 (%s inputs): GPU L2 miss rate\n", in)
+			fmt.Println(bench.Fig5Table(in, byInput[in]))
+		}
+	}
+	if *prefetch {
+		fmt.Println("DIRECT STORE vs PREFETCHING (CCSM + next-line L2 prefetcher)")
+		pf := core.DefaultConfig(core.ModeCCSM)
+		pf.PrefetchDepth = 4
+		t := stats.NewTable("Benchmark", "Input", "DS vs CCSM", "DS vs CCSM+prefetch")
+		for _, in := range inputs {
+			for _, code := range []string{"NN", "VA", "BL", "MM", "HT"} {
+				plain, err := bench.Compare(code, in)
+				fail(err)
+				vsPf, err := bench.CompareWithConfigs(code, in, pf, core.DefaultConfig(core.ModeDirectStore))
+				fail(err)
+				t.AddRow(code, in.String(), stats.Percent(plain.Speedup()), stats.Percent(vsPf.Speedup()))
+			}
+		}
+		fmt.Println(t)
+	}
+	if *standalone {
+		fmt.Println("STAND-ALONE DIRECT STORE (§III-H): CCSM removed between CPU and GPU")
+		t := stats.NewTable("Benchmark", "Input", "DS speedup", "Standalone speedup")
+		for _, in := range inputs {
+			for _, code := range []string{"NN", "VA", "BL", "BP", "NW"} {
+				ds, err := bench.Compare(code, in)
+				fail(err)
+				sa, err := bench.CompareWithConfigs(code, in,
+					core.DefaultConfig(core.ModeCCSM), core.DefaultConfig(core.ModeStandalone))
+				fail(err)
+				t.AddRow(code, in.String(), stats.Percent(ds.Speedup()), stats.Percent(sa.Speedup()))
+			}
+		}
+		fmt.Println(t)
+	}
+}
+
+func parseInputs(s string) []bench.Input {
+	switch s {
+	case "small":
+		return []bench.Input{bench.Small}
+	case "big":
+		return []bench.Input{bench.Big}
+	case "both":
+		return []bench.Input{bench.Small, bench.Big}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown input size %q (want small, big or both)\n", s)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func printComparison(c bench.Comparison) {
+	fmt.Printf("%s (%s inputs)\n", c.Code, c.In)
+	fmt.Printf("  CCSM: ticks=%d l2acc=%d l2miss=%d rate=%s xbar=%dB\n",
+		c.CCSM.Ticks, c.CCSM.L2Accesses, c.CCSM.L2Misses, stats.Percent(c.CCSM.MissRate), c.CCSM.XbarBytes)
+	fmt.Printf("  DS:   ticks=%d l2acc=%d l2miss=%d rate=%s xbar=%dB direct=%dB pushes=%d\n",
+		c.DS.Ticks, c.DS.L2Accesses, c.DS.L2Misses, stats.Percent(c.DS.MissRate),
+		c.DS.XbarBytes, c.DS.DirectBytes, c.DS.Pushes)
+	fmt.Printf("  speedup=%s  miss-rate delta=%+.1fpp\n\n",
+		stats.Percent(c.Speedup()), c.MissRateDelta()*100)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

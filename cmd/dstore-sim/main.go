@@ -1,0 +1,158 @@
+// Command dstore-sim runs a single Table II benchmark on the simulated
+// integrated CPU-GPU system under a chosen coherence mode and prints a
+// full statistics dump.
+//
+// Usage:
+//
+//	dstore-sim -bench NN -mode direct-store -input small
+//	dstore-sim -bench MM -mode ccsm -input big -v
+//	dstore-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dstore/internal/bench"
+	"dstore/internal/core"
+	"dstore/internal/script"
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+func main() {
+	var (
+		code    = flag.String("bench", "", "benchmark code from Table II (see -list)")
+		scriptF = flag.String("script", "", "run a workload script file instead of a benchmark")
+		modeStr = flag.String("mode", "direct-store", "coherence mode: ccsm, direct-store or standalone")
+		inStr   = flag.String("input", "small", "input size: small or big")
+		verbose = flag.Bool("v", false, "dump per-component counters")
+		list    = flag.Bool("list", false, "list available benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(bench.Table2())
+		return
+	}
+	if *code == "" && *scriptF == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var mode core.Mode
+	switch *modeStr {
+	case "ccsm":
+		mode = core.ModeCCSM
+	case "direct-store":
+		mode = core.ModeDirectStore
+	case "standalone":
+		mode = core.ModeStandalone
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+	in := bench.Small
+	switch *inStr {
+	case "small":
+	case "big":
+		in = bench.Big
+	default:
+		fmt.Fprintf(os.Stderr, "unknown input %q\n", *inStr)
+		os.Exit(2)
+	}
+
+	sys := core.NewSystem(core.DefaultConfig(mode))
+	var (
+		total  sim.Tick
+		phases []sim.Tick
+	)
+	if *scriptF != "" {
+		f, err := os.Open(*scriptF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sc, err := script.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		total, err = sc.Run(sys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("script %s under %s\n\n", *scriptF, mode)
+	} else {
+		w, err := bench.Build(sys, *code, in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		total, phases = w.RunPhases(sys)
+		fmt.Printf("benchmark %s (%s inputs) under %s\n\n", *code, in, mode)
+	}
+	t := stats.NewTable("Metric", "Value")
+	t.AddRow("total ticks", fmt.Sprintf("%d", total))
+	for i, p := range phases {
+		t.AddRow(fmt.Sprintf("phase %d ticks", i+1), fmt.Sprintf("%d", p))
+	}
+	t.AddRow("GPU L2 accesses", fmt.Sprintf("%d", sys.GPUL2Accesses()))
+	t.AddRow("GPU L2 misses", fmt.Sprintf("%d", sys.GPUL2Misses()))
+	t.AddRow("GPU L2 miss rate", stats.Percent(sys.GPUL2MissRate()))
+	t.AddRow("pushes received", fmt.Sprintf("%d", sys.PushesReceived()))
+	t.AddRow("crossbar bytes", fmt.Sprintf("%d", sys.CoherenceTrafficBytes()))
+	t.AddRow("direct-network bytes", fmt.Sprintf("%d", sys.DirectTrafficBytes()))
+	t.AddRow("DRAM avg latency", fmt.Sprintf("%.1f ticks", sys.DRAM.AvgLatency()))
+	t.AddRow("DRAM row-hit rate", stats.Percent(sys.DRAM.RowHitRate()))
+	fmt.Println(t)
+
+	if *verbose {
+		fmt.Println("cpu controller:")
+		fmt.Print(indent(sys.CPUCtrl.Counters().Dump()))
+		fmt.Println("cpu L2 array:")
+		fmt.Print(indent(sys.CPUCtrl.L2Cache().Counters().Dump()))
+		for i, sl := range sys.Slices {
+			fmt.Printf("gpu L2 slice %d controller:\n", i)
+			fmt.Print(indent(sl.Counters().Dump()))
+			fmt.Printf("gpu L2 slice %d array:\n", i)
+			fmt.Print(indent(sl.L2Cache().Counters().Dump()))
+		}
+		fmt.Println("gpu:")
+		fmt.Print(indent(sys.GPU.Counters().Dump()))
+		fmt.Println("memory controller:")
+		fmt.Print(indent(sys.Mem.Counters().Dump()))
+		fmt.Println("dram:")
+		fmt.Print(indent(sys.DRAM.Counters().Dump()))
+		fmt.Println("core:")
+		fmt.Print(indent(sys.Core.Counters().Dump()))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, ln := range splitLines(s) {
+		if ln != "" {
+			out += "  " + ln + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Command dstore-translate runs the paper's automatic code translation
+// (§III-C) over mini-CUDA source files: kernel-referenced variables'
+// malloc/cudaMalloc calls are rewritten to fixed-address mmap in the
+// reserved direct-store range.
+//
+// Usage:
+//
+//	dstore-translate [-o outdir] [-D NAME=value ...] file.cu ...
+//	dstore-translate -dry file.cu            # report only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dstore/internal/translator"
+)
+
+// defineFlags collects repeated -D NAME=value flags.
+type defineFlags map[string]uint64
+
+func (d defineFlags) String() string { return fmt.Sprint(map[string]uint64(d)) }
+
+func (d defineFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("-D wants NAME=value, got %q", s)
+	}
+	v, err := strconv.ParseUint(val, 0, 64)
+	if err != nil {
+		return fmt.Errorf("-D %s: %w", s, err)
+	}
+	d[name] = v
+	return nil
+}
+
+func main() {
+	defines := defineFlags{}
+	var (
+		outDir = flag.String("o", "", "write rewritten sources into this directory (default: alongside inputs with .ds suffix)")
+		dry    = flag.Bool("dry", false, "report the translation without writing files")
+		base   = flag.Uint64("base", 0, "override the fixed-mapping base address (default: the reserved arena base)")
+		min    = flag.Uint64("min", 0, "only re-home variables at least this many bytes (§III-H co-existence; 0 = all)")
+	)
+	flag.Var(defines, "D", "compile-time constant NAME=value (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	files := make(map[string]string)
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		files[path] = string(src)
+	}
+
+	tr, err := translator.Translate(files, translator.Options{
+		BaseAddr: *base,
+		Defines:  defines,
+		MinBytes: *min,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Print(tr.Report())
+	if *dry {
+		return
+	}
+
+	for path, content := range tr.Files {
+		out := path + ".ds"
+		if *outDir != "" {
+			out = filepath.Join(*outDir, filepath.Base(path))
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if err := os.WriteFile(out, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}

@@ -1,0 +1,3 @@
+module dstore
+
+go 1.22

@@ -1,0 +1,165 @@
+package dstore
+
+import (
+	"testing"
+
+	"dstore/internal/memalloc"
+)
+
+// TestEndToEndPaperPipeline drives the paper's full §III flow on one
+// program: automatic source translation, fixed-address allocation in
+// the reserved range, TLB-detected pushes during the CPU produce
+// phase, GPU consumption hitting the L2, and CPU readback via
+// uncacheable remote loads.
+func TestEndToEndPaperPipeline(t *testing.T) {
+	const program = `
+#define N 4096
+
+__global__ void scale(float *in, float *out, int n);
+
+int main() {
+    float *in = (float *)malloc(N * sizeof(float));
+    float *out;
+    cudaMalloc(&out, N * sizeof(float));
+    scale<<<16, 256>>>(in, out, N);
+    return 0;
+}
+`
+	// Step 1 (§III-C): automatic code translation.
+	tr, err := Translate(map[string]string{"scale.cu": program}, TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Allocs) != 2 {
+		t.Fatalf("translator rewrote %d allocations, want 2 (in, out)", len(tr.Allocs))
+	}
+
+	// Step 2 (§III-D): the translated program's mmap calls reserve the
+	// exact fixed addresses in the process address space.
+	sys := NewSystem(DefaultConfig(DirectStore))
+	var inBase, outBase Addr
+	for _, al := range tr.Allocs {
+		a, err := sys.Space.MmapFixed(Addr(al.Addr), al.Size, al.Var)
+		if err != nil {
+			t.Fatalf("mapping translated variable %s: %v", al.Var, err)
+		}
+		if !memalloc.InDirectRegion(a) {
+			t.Fatalf("translated variable %s at %#x outside the reserved range", al.Var, al.Addr)
+		}
+		switch al.Var {
+		case "in":
+			inBase = a
+		case "out":
+			outBase = a
+		}
+	}
+	if inBase == 0 || outBase == 0 {
+		t.Fatal("translated variables not found")
+	}
+	size := tr.Allocs[0].Size
+
+	// Step 3 (§III-E/F/G): the CPU produce loop. Every store's virtual
+	// address is detected by the TLB and pushed over the dedicated
+	// network into the GPU L2.
+	var produce []CPUOp
+	for off := uint64(0); off < size; off += 128 {
+		produce = append(produce, CPUOp{Type: StoreOp, Addr: inBase + Addr(off)})
+	}
+	sys.RunCPU(produce)
+	lines := uint64(len(produce))
+	if got := sys.PushesReceived(); got != lines {
+		t.Fatalf("pushes = %d, want %d (every produce store pushed)", got, lines)
+	}
+	if got := sys.Core.Counters().Get("stores"); got != 0 {
+		t.Fatalf("%d stores took the cacheable path", got)
+	}
+
+	// Step 4: the kernel consumes `in` and writes `out`. First touches
+	// must hit the pushed lines.
+	const warps = 32
+	per := int(lines) / warps
+	var ws []Warp
+	for w := 0; w < warps; w++ {
+		var ops []WarpOp
+		for i := 0; i < per; i++ {
+			off := Addr((w*per + i) * 128)
+			ops = append(ops,
+				WarpOp{Kind: OpGlobalLoad, Addr: inBase + off, Lines: 1},
+				WarpOp{Kind: OpCompute, Gap: 10},
+				WarpOp{Kind: OpGlobalStore, Addr: outBase + off, Lines: 1})
+		}
+		ws = append(ws, Warp{Ops: ops})
+	}
+	sys.RunKernel(Kernel{Name: "scale", Warps: ws})
+	// The `in` loads must all hit (pushed); only the `out` stores are
+	// compulsory misses.
+	if got := sys.GPUL2Misses(); got > lines {
+		t.Errorf("GPU L2 misses = %d, want <= %d (only the out-store compulsories)", got, lines)
+	}
+	if acc := sys.GPUL2Accesses(); acc != 2*lines {
+		t.Errorf("GPU L2 accesses = %d, want %d (in loads + out stores)", acc, 2*lines)
+	}
+
+	// Step 5: CPU reads the result back — uncacheable remote loads.
+	var rb []CPUOp
+	for off := uint64(0); off < size; off += 128 {
+		rb = append(rb, CPUOp{Type: LoadOp, Addr: outBase + Addr(off)})
+	}
+	sys.RunCPU(rb)
+	if got := sys.Core.Counters().Get("remote_loads"); got != lines {
+		t.Errorf("remote loads = %d, want %d", got, lines)
+	}
+	if sys.CPUCtrl.L2Cache().ValidLines() != 0 {
+		t.Error("direct-region data leaked into the CPU cache")
+	}
+}
+
+// TestEndToEndVersionOracle checks functional correctness through the
+// whole stack: the GPU observes exactly the versions the CPU pushed,
+// and the CPU readback observes exactly what the GPU wrote.
+func TestEndToEndVersionOracle(t *testing.T) {
+	sys := NewSystem(DefaultConfig(DirectStore))
+	base, err := sys.AllocShared(8*1024, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var produce []CPUOp
+	for a := base; a < base+8*1024; a += 128 {
+		produce = append(produce, CPUOp{Type: StoreOp, Addr: a})
+	}
+	sys.RunCPU(produce)
+	maxPush := uint64(len(produce))
+
+	// Kernel reads all lines, then overwrites them with newer versions.
+	var ops []WarpOp
+	for a := base; a < base+8*1024; a += 128 {
+		ops = append(ops, WarpOp{Kind: OpGlobalLoad, Addr: a, Lines: 1})
+	}
+	for a := base; a < base+8*1024; a += 128 {
+		ops = append(ops, WarpOp{Kind: OpGlobalStore, Addr: a, Lines: 1})
+	}
+	sys.RunKernel(Kernel{Name: "rw", Warps: []Warp{{Ops: ops}}})
+
+	// Every line must now hold a version strictly newer than any push:
+	// the GPU's writes must not be lost to a push/fill/eviction race.
+	for a := base; a < base+8*1024; a += 128 {
+		pa, ok := sys.PT.Lookup(a)
+		if !ok {
+			t.Fatalf("va %#x unmapped", uint64(a))
+		}
+		found := false
+		for _, sl := range sys.Slices {
+			if sl.L2Cache().Contains(pa) {
+				if v := sl.Ver(pa); v <= maxPush {
+					t.Fatalf("line %#x version %d not newer than last push %d (GPU write lost)",
+						uint64(pa), v, maxPush)
+				}
+				found = true
+			}
+		}
+		if !found && sys.Mem.MemVer(pa) <= maxPush {
+			t.Fatalf("line %#x in memory with version %d <= last push %d",
+				uint64(pa), sys.Mem.MemVer(pa), maxPush)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"dstore/internal/core"
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// Result captures one benchmark run.
+type Result struct {
+	Code string
+	Mode core.Mode
+	In   Input
+	// Ticks is total execution time (produce + kernels + readback).
+	Ticks sim.Tick
+	// GPU L2 aggregate demand behaviour (Fig. 5's metric).
+	L2Accesses uint64
+	L2Misses   uint64
+	MissRate   float64
+	// Pushes received by the GPU L2 (direct-store installs).
+	Pushes uint64
+	// Network traffic split.
+	XbarBytes   uint64
+	DirectBytes uint64
+	// PhaseTicks breaks Ticks down: produce, each kernel, readback.
+	PhaseTicks []sim.Tick
+}
+
+// Run executes one benchmark under the default Table I configuration
+// for the given mode.
+func Run(code string, mode core.Mode, in Input) (Result, error) {
+	return RunWithConfig(code, core.DefaultConfig(mode), in)
+}
+
+// RunWithConfig executes one benchmark under an explicit configuration.
+func RunWithConfig(code string, cfg core.Config, in Input) (Result, error) {
+	sys := core.NewSystem(cfg)
+	w, err := Build(sys, code, in)
+	if err != nil {
+		return Result{}, err
+	}
+	ticks, phases := w.RunPhases(sys)
+	if err := sys.CheckCoherence(); err != nil {
+		return Result{}, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
+	}
+	return Result{
+		Code: code, Mode: cfg.Mode, In: in,
+		Ticks:       ticks,
+		PhaseTicks:  phases,
+		L2Accesses:  sys.GPUL2Accesses(),
+		L2Misses:    sys.GPUL2Misses(),
+		MissRate:    sys.GPUL2MissRate(),
+		Pushes:      sys.PushesReceived(),
+		XbarBytes:   sys.CoherenceTrafficBytes(),
+		DirectBytes: sys.DirectTrafficBytes(),
+	}, nil
+}
+
+// Comparison holds a CCSM-vs-direct-store pair for one benchmark and
+// input.
+type Comparison struct {
+	Code string
+	In   Input
+	CCSM Result
+	DS   Result
+}
+
+// Speedup returns direct store's speedup over CCSM: the paper
+// normalises direct store's total ticks to CCSM's (Fig. 4), so 0.05
+// means 5% faster.
+func (c Comparison) Speedup() float64 {
+	if c.DS.Ticks == 0 {
+		return 0
+	}
+	return float64(c.CCSM.Ticks)/float64(c.DS.Ticks) - 1
+}
+
+// MissRateDelta returns CCSM miss rate minus DS miss rate (positive =
+// reduction under direct store).
+func (c Comparison) MissRateDelta() float64 {
+	return c.CCSM.MissRate - c.DS.MissRate
+}
+
+// Compare runs one benchmark under both modes.
+func Compare(code string, in Input) (Comparison, error) {
+	return CompareWithConfigs(code, in, core.DefaultConfig(core.ModeCCSM), core.DefaultConfig(core.ModeDirectStore))
+}
+
+// CompareWithConfigs runs one benchmark under two explicit
+// configurations (baseline first).
+func CompareWithConfigs(code string, in Input, base, ds core.Config) (Comparison, error) {
+	c := Comparison{Code: code, In: in}
+	var err error
+	if c.CCSM, err = RunWithConfig(code, base, in); err != nil {
+		return c, err
+	}
+	if c.DS, err = RunWithConfig(code, ds, in); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// RunAll compares every Table II benchmark for one input size.
+func RunAll(in Input) ([]Comparison, error) {
+	var out []Comparison
+	for _, code := range Codes() {
+		c, err := Compare(code, in)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", code, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// speedupThreshold is the rounding floor below which the paper plots a
+// benchmark as "zero percent speedup".
+const speedupThreshold = 0.005
+
+// GeomeanSpeedup returns the geometric mean of the non-zero speedups
+// (the rightmost bar of Fig. 4): benchmarks whose speedup rounds to
+// zero are excluded, matching the paper's method.
+func GeomeanSpeedup(cs []Comparison) float64 {
+	var ratios []float64
+	for _, c := range cs {
+		if s := c.Speedup(); s >= speedupThreshold {
+			ratios = append(ratios, 1+s)
+		}
+	}
+	m, ok := stats.GeoMeanNonZero(ratios)
+	if !ok {
+		return 0
+	}
+	return m - 1
+}
+
+// GeomeanMissRates returns the geometric means of the non-zero GPU L2
+// miss rates under CCSM and direct store (the rightmost bars of
+// Fig. 5).
+func GeomeanMissRates(cs []Comparison) (ccsm, ds float64) {
+	var a, b []float64
+	for _, c := range cs {
+		a = append(a, c.CCSM.MissRate)
+		b = append(b, c.DS.MissRate)
+	}
+	ccsm, _ = stats.GeoMeanNonZero(a)
+	ds, _ = stats.GeoMeanNonZero(b)
+	return ccsm, ds
+}
+
+// Fig4Table renders the Fig. 4 speedup series for one input size.
+func Fig4Table(in Input, cs []Comparison) *stats.Table {
+	t := stats.NewTable("Benchmark", "CCSM ticks", "DS ticks", "Speedup")
+	for _, c := range cs {
+		t.AddRow(c.Code,
+			fmt.Sprintf("%d", c.CCSM.Ticks),
+			fmt.Sprintf("%d", c.DS.Ticks),
+			stats.Percent(c.Speedup()))
+	}
+	t.AddRow("GEOMEAN(nonzero)", "", "", stats.Percent(GeomeanSpeedup(cs)))
+	return t
+}
+
+// Fig5Table renders the Fig. 5 GPU L2 miss-rate series for one input
+// size.
+func Fig5Table(in Input, cs []Comparison) *stats.Table {
+	t := stats.NewTable("Benchmark", "CCSM accesses", "CCSM miss rate", "DS accesses", "DS miss rate")
+	for _, c := range cs {
+		t.AddRow(c.Code,
+			fmt.Sprintf("%d", c.CCSM.L2Accesses),
+			stats.Percent(c.CCSM.MissRate),
+			fmt.Sprintf("%d", c.DS.L2Accesses),
+			stats.Percent(c.DS.MissRate))
+	}
+	gm1, gm2 := GeomeanMissRates(cs)
+	t.AddRow("GEOMEAN", "", stats.Percent(gm1), "", stats.Percent(gm2))
+	return t
+}
+
+// Table2 renders the paper's benchmark table.
+func Table2() *stats.Table {
+	t := stats.NewTable("Name", "Small input", "Big input", "Suite", "Shared")
+	for _, p := range profiles {
+		sh := "No"
+		if p.shared {
+			sh = "Yes"
+		}
+		t.AddRow(p.code, p.small, p.big, p.suite, sh)
+	}
+	return t
+}

@@ -1,0 +1,357 @@
+// Package cache implements the set-associative cache arrays used by
+// every level of the simulated hierarchy, together with the supporting
+// structures a timing-accurate controller needs: replacement policies
+// (LRU, tree pseudo-LRU, random), miss-status holding registers (MSHRs),
+// and a coalescing write buffer.
+//
+// The cache array is purely a tag/state store: coherence protocol state
+// is an opaque uint8 owned by the controller (0 always means invalid),
+// and data values are not simulated — the experiments measure where
+// lines live and how long accesses take, not their contents.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dstore/internal/memsys"
+	"dstore/internal/stats"
+)
+
+// PolicyKind selects a replacement policy.
+type PolicyKind string
+
+// Supported replacement policies.
+const (
+	PolicyLRU      PolicyKind = "lru"
+	PolicyTreePLRU PolicyKind = "plru"
+	PolicyRandom   PolicyKind = "random"
+	PolicySRRIP    PolicyKind = "srrip"
+)
+
+// Config describes a cache array.
+type Config struct {
+	// Name appears in statistics output.
+	Name string
+	// SizeBytes is the total capacity; must be a multiple of
+	// Ways*LineSize and yield a power-of-two set count.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// Policy selects replacement; empty means LRU.
+	Policy PolicyKind
+	// Seed feeds the random policy.
+	Seed uint64
+	// IndexShift drops that many low line-number bits before set
+	// indexing. An address-interleaved cache slice must strip its
+	// slice-selection bits, otherwise only 1/2^shift of its sets are
+	// ever addressed.
+	IndexShift uint
+}
+
+// Line is one cache-array entry. Tag stores the full line number, which
+// wastes a few simulated-set bits but keeps victim-address
+// reconstruction trivial.
+type Line struct {
+	Tag   uint64
+	State uint8
+	Dirty bool
+}
+
+// Valid reports whether the entry holds a line (state non-zero).
+func (l *Line) Valid() bool { return l.State != 0 }
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	Addr  memsys.Addr
+	State uint8
+	Dirty bool
+}
+
+// Cache is a set-associative tag/state array. It is not safe for
+// concurrent use; the event engine serialises all accesses.
+type Cache struct {
+	cfg     Config
+	numSets int
+	setMask uint64
+	lines   []Line // numSets * Ways, flattened
+	policy  replacementPolicy
+
+	counters *stats.Set
+	accesses *stats.Counter
+	hits     *stats.Counter
+	misses   *stats.Counter
+	evicts   *stats.Counter
+	wbacks   *stats.Counter
+}
+
+// New builds a cache from cfg. It panics on malformed geometry: cache
+// shapes are static experiment configuration, not runtime input.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: non-positive ways %d", cfg.Name, cfg.Ways))
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%(cfg.Ways*memsys.LineSize) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by ways*line", cfg.Name, cfg.SizeBytes))
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * memsys.LineSize)
+	if bits.OnesCount(uint(numSets)) != 1 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, numSets))
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyLRU
+	}
+	c := &Cache{
+		cfg:      cfg,
+		numSets:  numSets,
+		setMask:  uint64(numSets - 1),
+		lines:    make([]Line, numSets*cfg.Ways),
+		counters: stats.NewSet(),
+	}
+	switch cfg.Policy {
+	case PolicyLRU:
+		c.policy = newLRU(numSets, cfg.Ways)
+	case PolicyTreePLRU:
+		c.policy = newTreePLRU(numSets, cfg.Ways)
+	case PolicyRandom:
+		c.policy = newRandomPolicy(cfg.Ways, cfg.Seed)
+	case PolicySRRIP:
+		c.policy = newSRRIP(numSets, cfg.Ways)
+	default:
+		panic(fmt.Sprintf("cache %s: unknown policy %q", cfg.Name, cfg.Policy))
+	}
+	c.accesses = c.counters.Counter("accesses")
+	c.hits = c.counters.Counter("hits")
+	c.misses = c.counters.Counter("misses")
+	c.evicts = c.counters.Counter("evictions")
+	c.wbacks = c.counters.Counter("writebacks")
+	return c
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// CapacityLines returns the total number of lines the array can hold.
+func (c *Cache) CapacityLines() int { return c.numSets * c.cfg.Ways }
+
+// Counters exposes the statistics set (accesses, hits, misses,
+// evictions, writebacks).
+func (c *Cache) Counters() *stats.Set { return c.counters }
+
+func (c *Cache) setOf(a memsys.Addr) int {
+	return int((memsys.LineNum(a) >> c.cfg.IndexShift) & c.setMask)
+}
+
+func (c *Cache) line(set, way int) *Line {
+	return &c.lines[set*c.cfg.Ways+way]
+}
+
+func (c *Cache) find(a memsys.Addr) (set, way int, ok bool) {
+	set = c.setOf(a)
+	tag := memsys.LineNum(a)
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := c.line(set, w)
+		if l.Valid() && l.Tag == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Lookup performs a demand access: it counts an access plus a hit or a
+// miss, updates replacement state on a hit, and returns the line's
+// protocol state.
+func (c *Cache) Lookup(a memsys.Addr) (state uint8, hit bool) {
+	c.accesses.Inc()
+	set, way, ok := c.find(a)
+	if !ok {
+		c.misses.Inc()
+		return 0, false
+	}
+	c.hits.Inc()
+	c.policy.touch(set, way)
+	return c.line(set, way).State, true
+}
+
+// Touch behaves like Lookup for replacement state (a hit refreshes
+// recency) but records no statistics. Controllers use it to re-examine
+// a request that was already counted at its first lookup and then
+// stalled — a retry is not a new demand access.
+func (c *Cache) Touch(a memsys.Addr) (state uint8, hit bool) {
+	set, way, ok := c.find(a)
+	if !ok {
+		return 0, false
+	}
+	c.policy.touch(set, way)
+	return c.line(set, way).State, true
+}
+
+// Probe inspects the array without touching statistics or replacement
+// state. Coherence probes from other controllers use this so they do not
+// perturb demand-access metrics.
+func (c *Cache) Probe(a memsys.Addr) (state uint8, dirty, ok bool) {
+	_, way, found := c.find(a)
+	if !found {
+		return 0, false, false
+	}
+	set := c.setOf(a)
+	l := c.line(set, way)
+	return l.State, l.Dirty, true
+}
+
+// SetState changes the protocol state of a resident line. Setting state
+// 0 is an invalidation and clears the entry. It panics if the line is
+// absent: controllers must only downgrade lines they hold.
+func (c *Cache) SetState(a memsys.Addr, state uint8) {
+	set, way, ok := c.find(a)
+	if !ok {
+		panic(fmt.Sprintf("cache %s: SetState on absent line %#x", c.cfg.Name, uint64(a)))
+	}
+	l := c.line(set, way)
+	if state == 0 {
+		*l = Line{}
+		return
+	}
+	l.State = state
+}
+
+// SetDirty marks a resident line clean or dirty; it panics if absent.
+func (c *Cache) SetDirty(a memsys.Addr, dirty bool) {
+	set, way, ok := c.find(a)
+	if !ok {
+		panic(fmt.Sprintf("cache %s: SetDirty on absent line %#x", c.cfg.Name, uint64(a)))
+	}
+	c.line(set, way).Dirty = dirty
+}
+
+// Contains reports whether the line holding a is resident.
+func (c *Cache) Contains(a memsys.Addr) bool {
+	_, _, ok := c.find(a)
+	return ok
+}
+
+// PeekVictim returns what Insert of the line holding a would evict,
+// without changing any state. ok is false when the insert would not
+// evict (line resident or an invalid way exists).
+func (c *Cache) PeekVictim(a memsys.Addr) (Victim, bool) {
+	set, _, found := c.find(a)
+	if found {
+		return Victim{}, false
+	}
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.line(set, w).Valid() {
+			return Victim{}, false
+		}
+	}
+	way := c.policy.victim(set)
+	l := c.line(set, way)
+	return Victim{
+		Addr:  memsys.Addr(l.Tag << memsys.LineShift),
+		State: l.State,
+		Dirty: l.Dirty,
+	}, true
+}
+
+// SetFull reports whether installing the line holding a would require
+// evicting a valid line (a is absent and its set has no invalid way).
+func (c *Cache) SetFull(a memsys.Addr) bool {
+	set, _, ok := c.find(a)
+	if ok {
+		return false
+	}
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.line(set, w).Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert allocates the line holding a with the given state and dirtiness
+// and returns any displaced victim. Inserting a line that is already
+// resident updates its state in place and reports no victim. A dirty
+// victim increments the writeback counter; every victim increments the
+// eviction counter.
+func (c *Cache) Insert(a memsys.Addr, state uint8, dirty bool) (v Victim, evicted bool) {
+	if state == 0 {
+		panic(fmt.Sprintf("cache %s: Insert with invalid state", c.cfg.Name))
+	}
+	set, way, ok := c.find(a)
+	if ok {
+		l := c.line(set, way)
+		l.State = state
+		l.Dirty = l.Dirty || dirty
+		c.policy.touch(set, way)
+		return Victim{}, false
+	}
+	// Prefer an invalid way.
+	way = -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.line(set, w).Valid() {
+			way = w
+			break
+		}
+	}
+	if way == -1 {
+		way = c.policy.victim(set)
+		old := c.line(set, way)
+		v = Victim{
+			Addr:  memsys.Addr(old.Tag << memsys.LineShift),
+			State: old.State,
+			Dirty: old.Dirty,
+		}
+		evicted = true
+		c.evicts.Inc()
+		if old.Dirty {
+			c.wbacks.Inc()
+		}
+	}
+	*c.line(set, way) = Line{Tag: memsys.LineNum(a), State: state, Dirty: dirty}
+	c.policy.insert(set, way)
+	return v, evicted
+}
+
+// Invalidate removes the line holding a if resident, reporting whether
+// it was present and whether it was dirty (the caller owns any required
+// writeback).
+func (c *Cache) Invalidate(a memsys.Addr) (wasDirty, wasPresent bool) {
+	set, way, ok := c.find(a)
+	if !ok {
+		return false, false
+	}
+	l := c.line(set, way)
+	wasDirty = l.Dirty
+	*l = Line{}
+	return wasDirty, true
+}
+
+// InvalidateAll clears the whole array (the GPU L1 flash invalidate at
+// kernel launch, paper §III-A) and returns how many valid lines were
+// dropped.
+func (c *Cache) InvalidateAll() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
+			c.lines[i] = Line{}
+		}
+	}
+	return n
+}
+
+// ValidLines returns how many lines are currently resident.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
+		}
+	}
+	return n
+}

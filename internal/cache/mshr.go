@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"fmt"
+
+	"dstore/internal/memsys"
+)
+
+// MSHR is a miss-status holding register file. It tracks outstanding
+// line fills so that concurrent misses to the same line merge into one
+// downstream request, and bounds the number of distinct outstanding
+// misses a controller may have in flight. A full MSHR file stalls new
+// misses — the key latency-hiding limiter for the GPU when big inputs
+// defeat warp parallelism (paper §IV-C).
+type MSHR struct {
+	capacity int
+	entries  map[memsys.Addr]*MSHREntry
+}
+
+// MSHREntry tracks one outstanding line fill and the requests waiting on
+// it.
+type MSHREntry struct {
+	// Addr is the line-aligned address being filled.
+	Addr memsys.Addr
+	// Waiters are the demand requests merged onto this fill.
+	Waiters []*memsys.Request
+	// WantExclusive records whether any merged request needs write
+	// permission, so the downstream request can be upgraded.
+	WantExclusive bool
+	// Superseded marks a fill whose line was overwritten by a newer
+	// direct-store push while the fill was in flight; the arriving data
+	// must be discarded in favour of the pushed copy.
+	Superseded bool
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHR{capacity: capacity, entries: make(map[memsys.Addr]*MSHREntry)}
+}
+
+// Lookup returns the entry for the line containing a, if one is
+// outstanding.
+func (m *MSHR) Lookup(a memsys.Addr) (*MSHREntry, bool) {
+	e, ok := m.entries[memsys.LineAlign(a)]
+	return e, ok
+}
+
+// Allocate creates an entry for the line containing a. It returns false
+// if the file is full or the line already has an entry (use Lookup+merge
+// for the latter).
+func (m *MSHR) Allocate(a memsys.Addr) (*MSHREntry, bool) {
+	la := memsys.LineAlign(a)
+	if _, exists := m.entries[la]; exists {
+		return nil, false
+	}
+	if len(m.entries) >= m.capacity {
+		return nil, false
+	}
+	e := &MSHREntry{Addr: la}
+	m.entries[la] = e
+	return e, true
+}
+
+// Free removes the entry for the line containing a and returns its
+// waiters for completion. It panics if no entry exists: a fill response
+// without an outstanding miss is a protocol bug.
+func (m *MSHR) Free(a memsys.Addr) []*memsys.Request {
+	la := memsys.LineAlign(a)
+	e, ok := m.entries[la]
+	if !ok {
+		panic(fmt.Sprintf("cache: MSHR free of absent line %#x", uint64(la)))
+	}
+	delete(m.entries, la)
+	return e.Waiters
+}
+
+// Full reports whether no further distinct misses can be tracked.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Len returns the number of outstanding misses.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Capacity returns the configured entry count.
+func (m *MSHR) Capacity() int { return m.capacity }

@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/memsys"
+)
+
+func TestMSHRAllocateLookupFree(t *testing.T) {
+	m := NewMSHR(4)
+	e, ok := m.Allocate(0x1005) // unaligned on purpose
+	if !ok {
+		t.Fatal("allocate failed on empty MSHR")
+	}
+	if e.Addr != memsys.LineAlign(0x1005) {
+		t.Errorf("entry addr %#x not line-aligned", uint64(e.Addr))
+	}
+	got, ok := m.Lookup(0x1000 + 3)
+	if !ok || got != e {
+		t.Error("lookup by same-line address failed")
+	}
+	r := &memsys.Request{ID: 1}
+	e.Waiters = append(e.Waiters, r)
+	waiters := m.Free(0x1000)
+	if len(waiters) != 1 || waiters[0] != r {
+		t.Error("free did not return waiters")
+	}
+	if m.Len() != 0 {
+		t.Error("entry survives free")
+	}
+}
+
+func TestMSHRDoubleAllocateSameLineFails(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(0x1000)
+	if _, ok := m.Allocate(0x1000 + 64); ok {
+		t.Error("second allocate of the same line succeeded")
+	}
+}
+
+func TestMSHRCapacityStalls(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(lineAddr(1))
+	m.Allocate(lineAddr(2))
+	if !m.Full() {
+		t.Error("MSHR not full at capacity")
+	}
+	if _, ok := m.Allocate(lineAddr(3)); ok {
+		t.Error("allocate succeeded beyond capacity")
+	}
+	m.Free(lineAddr(1))
+	if m.Full() {
+		t.Error("MSHR still full after free")
+	}
+	if _, ok := m.Allocate(lineAddr(3)); !ok {
+		t.Error("allocate failed after freeing a slot")
+	}
+}
+
+func TestMSHRFreeAbsentPanics(t *testing.T) {
+	m := NewMSHR(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("free of absent entry did not panic")
+		}
+	}()
+	m.Free(0x2000)
+}
+
+func TestMSHRZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMSHR(0) did not panic")
+		}
+	}()
+	NewMSHR(0)
+}
+
+func TestMSHRWantExclusiveMerging(t *testing.T) {
+	m := NewMSHR(4)
+	e, _ := m.Allocate(0x1000)
+	e.Waiters = append(e.Waiters, &memsys.Request{Type: memsys.Load})
+	if e.WantExclusive {
+		t.Error("load set WantExclusive")
+	}
+	e.WantExclusive = true // merged store upgrades the fill
+	got, _ := m.Lookup(0x1000)
+	if !got.WantExclusive {
+		t.Error("upgrade lost")
+	}
+}
+
+// Property: Len never exceeds capacity and allocate-then-free always
+// round-trips.
+func TestPropertyMSHRBounds(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		m := NewMSHR(capacity)
+		for _, op := range ops {
+			a := lineAddr(int(op % 16))
+			if _, ok := m.Lookup(a); ok {
+				m.Free(a)
+			} else {
+				m.Allocate(a)
+			}
+			if m.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBufferFIFOOrder(t *testing.T) {
+	w := NewWriteBuffer(4)
+	for i := 1; i <= 3; i++ {
+		if !w.Push(lineAddr(i)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		a, ok := w.Pop()
+		if !ok || a != lineAddr(i) {
+			t.Fatalf("pop %d got %#x ok=%v", i, uint64(a), ok)
+		}
+	}
+	if _, ok := w.Pop(); ok {
+		t.Error("pop from empty buffer succeeded")
+	}
+}
+
+func TestWriteBufferCoalescesSameLine(t *testing.T) {
+	w := NewWriteBuffer(2)
+	w.Push(0x1000)
+	if !w.Push(0x1000 + 8) {
+		t.Error("same-line push did not coalesce")
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len=%d after coalesce, want 1", w.Len())
+	}
+}
+
+func TestWriteBufferFullStallsNewLines(t *testing.T) {
+	w := NewWriteBuffer(2)
+	w.Push(lineAddr(1))
+	w.Push(lineAddr(2))
+	if !w.Full() {
+		t.Error("buffer not full")
+	}
+	if w.Push(lineAddr(3)) {
+		t.Error("push of new line succeeded when full")
+	}
+	if !w.Push(lineAddr(1)) {
+		t.Error("coalescing push failed when full")
+	}
+}
+
+func TestWriteBufferPeekAndContains(t *testing.T) {
+	w := NewWriteBuffer(4)
+	if _, ok := w.Peek(); ok {
+		t.Error("peek on empty succeeded")
+	}
+	w.Push(lineAddr(5))
+	a, ok := w.Peek()
+	if !ok || a != lineAddr(5) {
+		t.Error("peek wrong")
+	}
+	if w.Len() != 1 {
+		t.Error("peek consumed the entry")
+	}
+	if !w.Contains(lineAddr(5) + 17) {
+		t.Error("Contains missed same-line address")
+	}
+	if w.Contains(lineAddr(6)) {
+		t.Error("Contains matched absent line")
+	}
+}
+
+func TestWriteBufferZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWriteBuffer(0) did not panic")
+		}
+	}()
+	NewWriteBuffer(0)
+}
+
+// Property: pops come out in push order (for non-coalesced pushes) and
+// Len is consistent.
+func TestPropertyWriteBufferFIFO(t *testing.T) {
+	f := func(linesRaw []uint8) bool {
+		w := NewWriteBuffer(256)
+		var pushed []memsys.Addr
+		seen := map[memsys.Addr]bool{}
+		for _, ln := range linesRaw {
+			a := lineAddr(int(ln))
+			if !seen[a] {
+				pushed = append(pushed, a)
+				seen[a] = true
+			}
+			if !w.Push(a) {
+				return false
+			}
+		}
+		if w.Len() != len(pushed) {
+			return false
+		}
+		for _, want := range pushed {
+			got, ok := w.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return w.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package cache
+
+import "dstore/internal/memsys"
+
+// WriteBuffer is a coalescing FIFO of outbound line writes. The CPU
+// store path drains through one of these, which is what makes direct
+// store's increased store latency cheap: the core retires the store as
+// soon as it lands in the buffer, and the buffer pays the CPU→GPU-L2
+// transfer off the critical path (paper §III-B: "the protocol is
+// designed to decrease GPU load latency ... in exchange for increased
+// CPU store latency, to which most programs are less sensitive").
+type WriteBuffer struct {
+	capacity int
+	order    []memsys.Addr
+	present  map[memsys.Addr]bool
+	coalesce *int // hit counter for coalesced writes, optional
+}
+
+// NewWriteBuffer returns a buffer holding up to capacity distinct lines.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	if capacity <= 0 {
+		panic("cache: write buffer capacity must be positive")
+	}
+	return &WriteBuffer{capacity: capacity, present: make(map[memsys.Addr]bool)}
+}
+
+// Push enqueues the line containing a. A write to a line already
+// buffered coalesces (no new slot) and returns true. Push returns false
+// only when the buffer is full and the line is not already present — the
+// store must stall.
+func (w *WriteBuffer) Push(a memsys.Addr) bool {
+	la := memsys.LineAlign(a)
+	if w.present[la] {
+		if w.coalesce != nil {
+			*w.coalesce++
+		}
+		return true
+	}
+	if len(w.order) >= w.capacity {
+		return false
+	}
+	w.order = append(w.order, la)
+	w.present[la] = true
+	return true
+}
+
+// Pop dequeues the oldest buffered line.
+func (w *WriteBuffer) Pop() (memsys.Addr, bool) {
+	if len(w.order) == 0 {
+		return 0, false
+	}
+	a := w.order[0]
+	w.order = w.order[1:]
+	delete(w.present, a)
+	return a, true
+}
+
+// Peek returns the oldest buffered line without removing it.
+func (w *WriteBuffer) Peek() (memsys.Addr, bool) {
+	if len(w.order) == 0 {
+		return 0, false
+	}
+	return w.order[0], true
+}
+
+// Contains reports whether the line containing a is buffered.
+func (w *WriteBuffer) Contains(a memsys.Addr) bool {
+	return w.present[memsys.LineAlign(a)]
+}
+
+// Len returns the number of buffered lines.
+func (w *WriteBuffer) Len() int { return len(w.order) }
+
+// Full reports whether a push of a new line would fail.
+func (w *WriteBuffer) Full() bool { return len(w.order) >= w.capacity }
+
+// Empty reports whether the buffer holds nothing.
+func (w *WriteBuffer) Empty() bool { return len(w.order) == 0 }

@@ -1,0 +1,672 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dstore/internal/cache"
+	"dstore/internal/interconnect"
+	"dstore/internal/memsys"
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// CtrlConfig describes a coherent cache controller. The CPU cache
+// complex uses both levels (an L1D shadow over the protocol-level L2);
+// each GPU L2 slice uses only the L2 array (GPU L1s are non-coherent
+// and live in the gpu package).
+type CtrlConfig struct {
+	Name string
+	// L2 is the protocol-level array.
+	L2 cache.Config
+	// L1 optionally shadows the L2 (CPU L1D). L1 is write-through to
+	// the L2 with silent clean evictions; protocol state lives only at
+	// the L2.
+	L1 *cache.Config
+	// L1HitLat and L2HitLat are lookup latencies in ticks.
+	L1HitLat sim.Tick
+	L2HitLat sim.Tick
+	// MSHRs bounds outstanding distinct misses.
+	MSHRs int
+	// DirectGetx, when set, models the paper's §III-F sequence
+	// literally: each direct-store push is preceded by a GETX control
+	// message on the dedicated network before the PUTX data message.
+	DirectGetx bool
+	// OnDemandMiss, when set, fires for every demand miss that
+	// allocates an MSHR (not for merges). The prefetcher used by the
+	// paper's prefetching comparison hangs off this hook.
+	OnDemandMiss func(line memsys.Addr)
+	// BypassDirtyVictim makes demand fills that would evict a dirty
+	// line bypass the cache instead (no-allocate): loads complete from
+	// the fill data and stores write through. The GPU L2 slices use
+	// this so a streaming miss burst cannot churn pushed (dirty) lines
+	// out one writeback at a time.
+	BypassDirtyVictim bool
+	// DirectOverXbar routes pushes over the shared crossbar instead of
+	// the dedicated network — the ablation for §III-G's added link.
+	DirectOverXbar bool
+	// PushWriteThrough makes pushes also update memory, installing the
+	// line exclusive-clean (M) instead of MM — the ablation for the
+	// paper's choice of MM as the install state (§III-F).
+	PushWriteThrough bool
+}
+
+// Ctrl is a coherent cache controller speaking the Hammer protocol with
+// the memory controller, extended with the direct-store operations:
+// sending pushes (CPU side) and receiving PUTX installs (GPU L2 slice
+// side).
+type Ctrl struct {
+	engine *sim.Engine
+	cfg    CtrlConfig
+	name   string
+	xbar   interconnect.Network
+	mem    *MemCtrl
+
+	l1   *cache.Cache
+	l2   *cache.Cache
+	mshr *cache.MSHR
+	// ver tracks the data version of every resident L2 line (the
+	// functional oracle standing in for data values).
+	ver map[memsys.Addr]uint64
+	// wbBuf holds dirty evicted lines until the memory controller
+	// acknowledges their writeback; probes hitting it supply data from
+	// here, closing the eviction race.
+	wbBuf map[memsys.Addr]uint64
+	// remotePending holds uncacheable direct-region loads awaiting
+	// data.
+	remotePending map[memsys.Addr][]*memsys.Request
+	stalled       []*memsys.Request
+	portFree      sim.Tick
+
+	// Direct-store send side (CPU controller only).
+	directLink *interconnect.Link
+	pushTarget func(memsys.Addr) *Ctrl
+
+	counters     *stats.Set
+	probesRecv   *stats.Counter
+	wbSent       *stats.Counter
+	pushesRecv   *stats.Counter
+	directStores *stats.Counter
+	remoteLoads  *stats.Counter
+	mshrStalls   *stats.Counter
+	upgrades     *stats.Counter
+	pushOverflow *stats.Counter
+	bypasses     *stats.Counter
+}
+
+// NewCtrl builds a controller, creating its cache arrays, and registers
+// it with the memory controller.
+func NewCtrl(engine *sim.Engine, cfg CtrlConfig, xbar interconnect.Network, mem *MemCtrl) *Ctrl {
+	if cfg.MSHRs <= 0 {
+		panic(fmt.Sprintf("coherence %s: non-positive MSHR count", cfg.Name))
+	}
+	c := &Ctrl{
+		engine:        engine,
+		cfg:           cfg,
+		name:          cfg.Name,
+		xbar:          xbar,
+		mem:           mem,
+		l2:            cache.New(cfg.L2),
+		mshr:          cache.NewMSHR(cfg.MSHRs),
+		ver:           make(map[memsys.Addr]uint64),
+		wbBuf:         make(map[memsys.Addr]uint64),
+		remotePending: make(map[memsys.Addr][]*memsys.Request),
+		counters:      stats.NewSet(),
+	}
+	if cfg.L1 != nil {
+		c.l1 = cache.New(*cfg.L1)
+	}
+	c.probesRecv = c.counters.Counter("probes_received")
+	c.wbSent = c.counters.Counter("writebacks_sent")
+	c.pushesRecv = c.counters.Counter("pushes_received")
+	c.directStores = c.counters.Counter("direct_stores")
+	c.remoteLoads = c.counters.Counter("remote_loads")
+	c.mshrStalls = c.counters.Counter("mshr_stalls")
+	c.upgrades = c.counters.Counter("upgrades")
+	c.pushOverflow = c.counters.Counter("pushes_overflowed")
+	c.bypasses = c.counters.Counter("fill_bypasses")
+	mem.AddPeer(c)
+	return c
+}
+
+// Name returns the controller's network port name.
+func (c *Ctrl) Name() string { return c.name }
+
+// Counters exposes the controller's statistics.
+func (c *Ctrl) Counters() *stats.Set { return c.counters }
+
+// L2Cache exposes the protocol-level array (for statistics: accesses,
+// hits, misses, evictions).
+func (c *Ctrl) L2Cache() *cache.Cache { return c.l2 }
+
+// L1Cache exposes the optional shadow array; nil when absent.
+func (c *Ctrl) L1Cache() *cache.Cache { return c.l1 }
+
+// State returns the protocol state of a line (test hook).
+func (c *Ctrl) State(a memsys.Addr) State {
+	st, _, ok := c.l2.Probe(a)
+	if !ok {
+		return I
+	}
+	return st
+}
+
+// Ver returns the resident version of a line, or 0 (test hook).
+func (c *Ctrl) Ver(a memsys.Addr) uint64 { return c.ver[memsys.LineAlign(a)] }
+
+// AttachDirectStore wires the CPU-side push path: the dedicated link
+// and the slice-routing function (paper §III-G).
+func (c *Ctrl) AttachDirectStore(link *interconnect.Link, target func(memsys.Addr) *Ctrl) {
+	c.directLink = link
+	c.pushTarget = target
+}
+
+// Access submits a demand load or store. The controller's single port
+// accepts one request per tick; overlapping submissions queue.
+func (c *Ctrl) Access(req *memsys.Request) {
+	now := c.engine.Now()
+	start := now
+	if c.portFree > start {
+		start = c.portFree
+	}
+	c.portFree = start + 1
+	c.engine.ScheduleAt(start, func() { c.process(req) })
+}
+
+// process runs a newly submitted access against the arrays, counting
+// one demand access (hit or miss).
+func (c *Ctrl) process(req *memsys.Request) { c.processReq(req, false) }
+
+// processQuiet re-runs a request that was already counted and then
+// stalled or replayed: the arrays are consulted without statistics so
+// retries stay invisible to the access/miss counters (Ruby-style
+// accounting).
+func (c *Ctrl) processQuiet(req *memsys.Request) { c.processReq(req, true) }
+
+func (c *Ctrl) processReq(req *memsys.Request, quiet bool) {
+	lookupL2 := c.l2.Lookup
+	if quiet {
+		lookupL2 = c.l2.Touch
+	}
+	line := memsys.LineAlign(req.Addr)
+	switch req.Type {
+	case memsys.Load, memsys.IFetch:
+		if c.l1 != nil {
+			hit := false
+			if quiet {
+				_, hit = c.l1.Touch(line)
+			} else {
+				_, hit = c.l1.Lookup(line)
+			}
+			if hit {
+				req.Ver = c.ver[line]
+				c.complete(req, c.cfg.L1HitLat)
+				return
+			}
+		}
+		if st, hit := lookupL2(line); hit && CanRead(st) {
+			c.fillL1(line)
+			req.Ver = c.ver[line]
+			c.complete(req, c.cfg.L1HitLat+c.cfg.L2HitLat)
+			return
+		}
+		c.missPath(req, line, false)
+	case memsys.Store:
+		st, hit := lookupL2(line)
+		switch {
+		case hit && st == MM:
+			c.localWrite(line, req)
+		case hit && st == M:
+			// Paper: stores are not allowed in M; but no other node
+			// holds a copy, so the M→MM upgrade is silent.
+			c.l2.SetState(line, MM)
+			c.localWrite(line, req)
+		case hit: // S or O: must invalidate other copies first
+			c.upgrades.Inc()
+			c.missPath(req, line, true)
+		default:
+			c.missPath(req, line, true)
+		}
+	case memsys.RemoteStore:
+		c.processDirectStore(req, line)
+	default:
+		panic(fmt.Sprintf("coherence %s: unknown access type %v", c.name, req.Type))
+	}
+}
+
+// localWrite commits a store that already has MM permission.
+func (c *Ctrl) localWrite(line memsys.Addr, req *memsys.Request) {
+	c.l2.SetDirty(line, true)
+	c.ver[line] = req.Ver
+	if c.l1 != nil && c.l1.Contains(line) {
+		c.l1.SetDirty(line, true)
+	}
+	c.complete(req, c.cfg.L1HitLat+c.cfg.L2HitLat)
+}
+
+// fillL1 mirrors a line into the L1 shadow. L1 victims are silent: the
+// L1 is write-through, so the L2 always has the data and the dirty bit.
+func (c *Ctrl) fillL1(line memsys.Addr) {
+	if c.l1 == nil {
+		return
+	}
+	c.l1.Insert(line, 1, false)
+}
+
+func (c *Ctrl) complete(req *memsys.Request, lat sim.Tick) {
+	c.engine.Schedule(lat, func() { req.Complete(c.engine.Now()) })
+}
+
+// missPath sends the demand miss into the protocol.
+func (c *Ctrl) missPath(req *memsys.Request, line memsys.Addr, wantX bool) {
+	if ver, ok := c.wbBuf[line]; ok {
+		// The line is in our own writeback buffer (dirty eviction or
+		// overflowed push still in flight to memory): serve it locally
+		// — we are still the data's owner until memory acknowledges.
+		if wantX {
+			c.installLine(line, MM, true, ver)
+			c.ver[line] = req.Ver
+			c.l2.SetDirty(line, true)
+			c.complete(req, c.cfg.L2HitLat)
+			return
+		}
+		req.Ver = ver
+		c.complete(req, c.cfg.L2HitLat)
+		return
+	}
+	if e, ok := c.mshr.Lookup(line); ok {
+		e.Waiters = append(e.Waiters, req)
+		if wantX {
+			e.WantExclusive = true
+		}
+		return
+	}
+	if c.mshr.Full() {
+		c.mshrStalls.Inc()
+		c.stalled = append(c.stalled, req)
+		return
+	}
+	e, _ := c.mshr.Allocate(line)
+	e.Waiters = append(e.Waiters, req)
+	e.WantExclusive = wantX
+	rtype := GETS
+	if wantX {
+		rtype = GETX
+	}
+	msg := ReqMsg{Type: rtype, Addr: line, From: c.name}
+	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
+		c.mem.ReceiveRequest(msg)
+	})
+	if c.cfg.OnDemandMiss != nil && req.Done != nil {
+		c.cfg.OnDemandMiss(line)
+	}
+}
+
+// Prefetch injects a read fill for a line without a demand requester:
+// no access/hit/miss is counted and no waiter completes — the line just
+// arrives. Already-resident and already-pending lines are skipped, as
+// is a full MSHR file (prefetches never stall demand traffic).
+func (c *Ctrl) Prefetch(line memsys.Addr) {
+	line = memsys.LineAlign(line)
+	if c.l2.Contains(line) {
+		return
+	}
+	if _, pending := c.mshr.Lookup(line); pending {
+		return
+	}
+	if c.mshr.Full() {
+		return
+	}
+	e, _ := c.mshr.Allocate(line)
+	_ = e
+	msg := ReqMsg{Type: GETS, Addr: line, From: c.name}
+	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
+		c.mem.ReceiveRequest(msg)
+	})
+}
+
+// RemoteLoad submits an uncacheable load to the direct-store region
+// (the CPU reading GPU-homed data back, e.g. kernel results). Data is
+// fetched from wherever it lives but never installed locally.
+func (c *Ctrl) RemoteLoad(req *memsys.Request) {
+	now := c.engine.Now()
+	start := now
+	if c.portFree > start {
+		start = c.portFree
+	}
+	c.portFree = start + 1
+	c.engine.ScheduleAt(start, func() {
+		line := memsys.LineAlign(req.Addr)
+		c.remoteLoads.Inc()
+		waiting := c.remotePending[line]
+		c.remotePending[line] = append(waiting, req)
+		if len(waiting) > 0 {
+			return // request already in flight
+		}
+		msg := ReqMsg{Type: RemoteLoad, Addr: line, From: c.name}
+		c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
+			c.mem.ReceiveRequest(msg)
+		})
+	})
+}
+
+// processDirectStore performs the remote-store transition of Fig. 3:
+// whatever state the line held locally goes to I, and the data travels
+// over the dedicated network to the owning GPU L2 slice as a PUTX.
+//
+// Precondition (enforced by the TLB in a real system, and by the cpu
+// package here): a line in the direct-store region is *only* ever
+// written via this path. Pushes bypass the ordering point, which is
+// sound precisely because the reserved region "can never be cached on
+// the CPU side" (§III-E) — concurrently issuing cacheable GETX stores
+// to the same line would race the push and is outside the protocol.
+func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
+	if c.directLink == nil || c.pushTarget == nil {
+		panic(fmt.Sprintf("coherence %s: direct store issued but no direct network attached", c.name))
+	}
+	c.directStores.Inc()
+	// Remote store from I/S/M/MM always ends in I locally (bold
+	// transitions in Fig. 3). The direct region is never CPU-cached in
+	// translated programs, so this is normally a no-op.
+	if c.l1 != nil {
+		c.l1.Invalidate(line)
+	}
+	if c.l2.Contains(line) {
+		c.l2.Invalidate(line)
+		delete(c.ver, line)
+	}
+	target := c.pushTarget(line)
+	if target == nil {
+		panic(fmt.Sprintf("coherence %s: no push target for %#x", c.name, uint64(line)))
+	}
+	p := PutxMsg{Addr: line, Ver: req.Ver, From: c.name}
+	if c.cfg.DirectOverXbar {
+		// Ablation: no dedicated network — the push rides the shared
+		// coherence crossbar and contends with everything else.
+		if c.cfg.DirectGetx {
+			c.xbar.Send(c.name, target.name, interconnect.CtrlMsgBytes, nil)
+		}
+		c.xbar.Send(c.name, target.name, interconnect.DataMsgBytes, func(sim.Tick) {
+			target.ReceivePutx(p, req)
+		})
+		return
+	}
+	if c.cfg.DirectGetx {
+		// The paper's CPU "will issue GETX command" before the data
+		// travels; on the dedicated network this is a control flit
+		// ahead of the PUTX.
+		c.directLink.Send(interconnect.CtrlMsgBytes, nil)
+	}
+	c.directLink.Send(interconnect.DataMsgBytes, func(sim.Tick) {
+		target.ReceivePutx(p, req)
+	})
+}
+
+// ReceivePutx installs a pushed line (GPU L2 slice side): the blue
+// dashed I→MM transition of Fig. 3. A push supersedes any fill in
+// flight for the same line. When the target set is full of valid
+// lines, the push overflows to DRAM instead of evicting — the paper's
+// "if the GPU L2 cache is full, the system then writes data to DRAM" —
+// so a working set larger than the L2 keeps its oldest pushed prefix
+// resident rather than churning every line through the cache.
+func (c *Ctrl) ReceivePutx(p PutxMsg, req *memsys.Request) {
+	c.pushesRecv.Inc()
+	line := p.Addr
+	_, pending := c.mshr.Lookup(line)
+	if !pending && c.l2.SetFull(line) {
+		c.pushOverflow.Inc()
+		c.wbBuf[line] = p.Ver
+		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
+		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
+			c.mem.ReceiveRequest(msg)
+		})
+		c.complete(req, c.cfg.L2HitLat)
+		return
+	}
+	if pending {
+		e, _ := c.mshr.Lookup(line)
+		e.Superseded = true
+	}
+	if c.cfg.PushWriteThrough {
+		// Ablation: pushes write through to memory and install
+		// exclusive-clean, so evictions are silent.
+		c.installLine(line, M, false, p.Ver)
+		c.wbBuf[line] = p.Ver
+		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
+		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
+			c.mem.ReceiveRequest(msg)
+		})
+		c.complete(req, c.cfg.L2HitLat)
+		return
+	}
+	c.installLine(line, MM, true, p.Ver)
+	c.complete(req, c.cfg.L2HitLat)
+}
+
+// installLine allocates a line, handling victim writeback.
+func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
+	v, evicted := c.l2.Insert(line, st, dirty)
+	c.ver[line] = ver
+	if !evicted {
+		return
+	}
+	if c.l1 != nil {
+		c.l1.Invalidate(v.Addr)
+	}
+	vv := c.ver[v.Addr]
+	delete(c.ver, v.Addr)
+	if v.Dirty {
+		c.wbBuf[v.Addr] = vv
+		c.wbSent.Inc()
+		msg := ReqMsg{Type: WB, Addr: v.Addr, From: c.name, Ver: vv}
+		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
+			c.mem.ReceiveRequest(msg)
+		})
+	}
+}
+
+// writebackDone clears the writeback buffer entry once memory has
+// committed it.
+func (c *Ctrl) writebackDone(line memsys.Addr) {
+	delete(c.wbBuf, line)
+}
+
+// receiveProbe answers the memory controller's probe after the array
+// lookup delay.
+func (c *Ctrl) receiveProbe(p ProbeMsg) {
+	c.probesRecv.Inc()
+	c.engine.Schedule(c.cfg.L2HitLat, func() { c.answerProbe(p) })
+}
+
+func (c *Ctrl) answerProbe(p ProbeMsg) {
+	line := p.Addr
+	ack := AckMsg{Addr: line, From: c.name}
+
+	if ver, ok := c.wbBuf[line]; ok {
+		// Dirty eviction still in flight: we remain the data source.
+		ack.HadData = true
+		ack.Dirty = true
+		ack.Ver = ver
+		c.supplyToRequester(p, ver, true)
+		c.sendAck(ack)
+		return
+	}
+
+	st, dirty, ok := c.l2.Probe(line)
+	if !ok {
+		c.sendAck(ack)
+		return
+	}
+	switch p.Kind {
+	case PrbShare:
+		switch st {
+		case MM:
+			ack.HadData, ack.Dirty, ack.Ver = true, true, c.ver[line]
+			c.l2.SetState(line, O)
+		case O:
+			ack.HadData, ack.Dirty, ack.Ver = true, dirty, c.ver[line]
+		case M:
+			// Exclusive-clean surrenders to shared; memory already
+			// holds the same version.
+			ack.HadData, ack.Dirty, ack.Ver = true, false, c.ver[line]
+			c.l2.SetState(line, S)
+		case S:
+			ack.Present = true
+		}
+	case PrbInv:
+		switch st {
+		case MM, O, M:
+			ack.HadData, ack.Dirty, ack.Ver = true, dirty || st == MM, c.ver[line]
+		case S:
+			ack.Present = true
+		}
+		if c.l1 != nil {
+			c.l1.Invalidate(line)
+		}
+		c.l2.Invalidate(line)
+		delete(c.ver, line)
+	case PrbSnoop:
+		switch st {
+		case MM, O, M:
+			ack.HadData, ack.Dirty, ack.Ver = true, dirty || st == MM, c.ver[line]
+		case S:
+			ack.Present = true
+		}
+	}
+	if ack.HadData {
+		// 3-hop transfer: the owner sends the line straight to the
+		// requester; the memory controller only gets a control ack.
+		c.supplyToRequester(p, ack.Ver, ack.Dirty)
+	}
+	c.sendAck(ack)
+}
+
+// supplyToRequester performs the owner-to-requester data transfer with
+// the grant implied by the probe kind.
+func (c *Ctrl) supplyToRequester(p ProbeMsg, ver uint64, dirty bool) {
+	var grant State
+	var owned bool
+	switch p.Kind {
+	case PrbShare:
+		grant = S // previous owner keeps writeback responsibility in O
+	case PrbInv:
+		grant = MM
+		owned = dirty // dirty-data responsibility transfers
+	case PrbSnoop:
+		grant = I // uncacheable read: nothing installs
+	}
+	d := DataMsg{Addr: p.Addr, Ver: ver, Grant: grant, Owned: owned}
+	requester := p.Requester
+	c.xbar.Send(c.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
+		c.mem.peers[requester].receiveData(d)
+	})
+}
+
+func (c *Ctrl) sendAck(ack AckMsg) {
+	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
+		c.mem.ReceiveAck(ack)
+	})
+}
+
+// receiveData completes an outstanding miss (or remote load).
+func (c *Ctrl) receiveData(d DataMsg) {
+	grant := d.Grant
+	line := d.Addr
+	if grant == I {
+		// Uncacheable remote-load data: complete waiters, no install.
+		waiters := c.remotePending[line]
+		delete(c.remotePending, line)
+		for _, w := range waiters {
+			w.Ver = d.Ver
+			w.Complete(c.engine.Now())
+		}
+		c.unblock(line)
+		return
+	}
+	e, ok := c.mshr.Lookup(line)
+	if !ok {
+		panic(fmt.Sprintf("coherence %s: data for line %#x with no MSHR", c.name, uint64(line)))
+	}
+	superseded := e.Superseded
+	waiters := c.mshr.Free(line)
+	bypassed := false
+	if !superseded {
+		if c.cfg.BypassDirtyVictim {
+			if v, wouldEvict := c.l2.PeekVictim(line); wouldEvict && v.Dirty {
+				bypassed = true
+				c.bypasses.Inc()
+			}
+		}
+		if !bypassed {
+			c.installLine(line, grant, d.Owned, d.Ver)
+		}
+	}
+	c.unblock(line)
+	// Complete waiters straight from the fill (no second array lookup —
+	// MSHR-merged requests are one L2 access, matching Ruby's
+	// accounting). Stores that did not get write permission retry as
+	// upgrades; stores on a bypassed fill write through to memory.
+	fillVer := d.Ver
+	for _, w := range waiters {
+		w := w
+		st, _, ok := c.l2.Probe(line)
+		switch {
+		case w.Type == memsys.Load || w.Type == memsys.IFetch:
+			if ok {
+				w.Ver = c.ver[line]
+				c.fillL1(line)
+			} else {
+				w.Ver = fillVer
+			}
+			c.engine.Schedule(0, func() { w.Complete(c.engine.Now()) })
+		case ok && (st == MM || st == M):
+			if st == M {
+				c.l2.SetState(line, MM)
+			}
+			c.l2.SetDirty(line, true)
+			c.ver[line] = w.Ver
+			if c.l1 != nil && c.l1.Contains(line) {
+				c.l1.SetDirty(line, true)
+			}
+			c.engine.Schedule(0, func() { w.Complete(c.engine.Now()) })
+		case bypassed && grant == MM:
+			// Exclusive permission held but no copy installed: the
+			// store writes through to memory (nobody else caches the
+			// line — the GETX invalidated all copies).
+			fillVer = w.Ver
+			msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: w.Ver}
+			c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
+				c.mem.ReceiveRequest(msg)
+			})
+			c.engine.Schedule(0, func() { w.Complete(c.engine.Now()) })
+		default:
+			// Vanished line or insufficient grant: replay.
+			c.engine.Schedule(0, func() { c.processQuiet(w) })
+		}
+	}
+	c.drainStalled()
+}
+
+func (c *Ctrl) unblock(line memsys.Addr) {
+	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
+		c.mem.ReceiveUnblock(line)
+	})
+}
+
+// drainStalled releases stalled requests only while they can make
+// progress: the line is now resident, has an in-flight fill to merge
+// onto, or a free MSHR exists. Dumping the whole queue on every fill
+// would reprocess (and re-stall) most of it — quadratic work and
+// inflated statistics.
+func (c *Ctrl) drainStalled() {
+	for len(c.stalled) > 0 {
+		req := c.stalled[0]
+		line := memsys.LineAlign(req.Addr)
+		_, pending := c.mshr.Lookup(line)
+		if !pending && !c.l2.Contains(line) && c.mshr.Full() {
+			return
+		}
+		c.stalled = c.stalled[1:]
+		r := req
+		c.engine.Schedule(0, func() { c.processQuiet(r) })
+	}
+}

@@ -1,0 +1,51 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dstore/internal/memsys"
+)
+
+// CheckInvariants validates the MOESI single-writer/multi-reader
+// invariants for the given lines across every registered peer cache:
+//
+//   - at most one owner (MM, M or O) per line;
+//   - an exclusive holder (MM or M) implies every other cache is I;
+//   - no in-flight transactions remain (the system must be drained).
+//
+// It is a debugging/verification aid for tests and for users embedding
+// the simulator; a non-nil error means a protocol bug.
+func (m *MemCtrl) CheckInvariants(lines []memsys.Addr) error {
+	if !m.Idle() {
+		return fmt.Errorf("coherence: %d transactions still in flight", len(m.busy))
+	}
+	for _, a := range lines {
+		line := memsys.LineAlign(a)
+		owners := 0
+		exclusive := false
+		holders := 0
+		var desc string
+		for name, p := range m.peers {
+			st := p.State(line)
+			if st == I {
+				continue
+			}
+			holders++
+			desc += fmt.Sprintf(" %s=%s", name, StateName(st))
+			switch st {
+			case MM, M:
+				owners++
+				exclusive = true
+			case O:
+				owners++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("coherence: line %#x has %d owners:%s", uint64(line), owners, desc)
+		}
+		if exclusive && holders > 1 {
+			return fmt.Errorf("coherence: line %#x exclusive with %d holders:%s", uint64(line), holders, desc)
+		}
+	}
+	return nil
+}

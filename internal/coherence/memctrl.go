@@ -1,0 +1,289 @@
+package coherence
+
+import (
+	"fmt"
+
+	"dstore/internal/dram"
+	"dstore/internal/interconnect"
+	"dstore/internal/memsys"
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// MemCtrl is the memory controller and coherence ordering point. It
+// serialises transactions per line, broadcasts probes to the peer
+// caches that could hold a copy (Hammer has no directory), collects
+// acknowledgements, sources data from the owning cache or DRAM, and
+// applies writebacks.
+type MemCtrl struct {
+	engine *sim.Engine
+	name   string
+	xbar   interconnect.Network
+	dram   *dram.DRAM
+
+	peers map[string]*Ctrl
+	// probeTargets returns the peer names that must be probed for a
+	// line, excluding the requester. The paper's topology has two
+	// coherent agents per line: the CPU cache complex and the GPU L2
+	// slice owning the address.
+	probeTargets func(addr memsys.Addr, requester string) []string
+
+	busy    map[memsys.Addr]*txn
+	queued  map[memsys.Addr][]ReqMsg
+	dramVer map[memsys.Addr]uint64
+
+	// regions, when non-nil, filters probes HSC-style (see
+	// RegionDirectory).
+	regions *RegionDirectory
+
+	counters *stats.Set
+	requests *stats.Counter
+	probes   *stats.Counter
+	wbs      *stats.Counter
+	fromPeer *stats.Counter
+	fromDRAM *stats.Counter
+}
+
+type txn struct {
+	req        ReqMsg
+	acksWanted int
+	acks       []AckMsg
+	// Speculative-fetch bookkeeping: Hammer launches the DRAM read in
+	// parallel with the probes and discards it if an owner responds.
+	probesClean bool // all acks in, no owner
+	dramDone    bool
+	dataSent    bool
+}
+
+// NewMemCtrl builds the controller. probeTargets defines the broadcast
+// set per line.
+func NewMemCtrl(engine *sim.Engine, name string, xbar interconnect.Network, d *dram.DRAM,
+	probeTargets func(addr memsys.Addr, requester string) []string) *MemCtrl {
+	m := &MemCtrl{
+		engine:       engine,
+		name:         name,
+		xbar:         xbar,
+		dram:         d,
+		peers:        make(map[string]*Ctrl),
+		probeTargets: probeTargets,
+		busy:         make(map[memsys.Addr]*txn),
+		queued:       make(map[memsys.Addr][]ReqMsg),
+		dramVer:      make(map[memsys.Addr]uint64),
+		counters:     stats.NewSet(),
+	}
+	m.requests = m.counters.Counter("requests")
+	m.probes = m.counters.Counter("probes_sent")
+	m.wbs = m.counters.Counter("writebacks")
+	m.fromPeer = m.counters.Counter("data_from_peer")
+	m.fromDRAM = m.counters.Counter("data_from_dram")
+	return m
+}
+
+// Name returns the controller's crossbar port name.
+func (m *MemCtrl) Name() string { return m.name }
+
+// Counters exposes the controller's statistics.
+func (m *MemCtrl) Counters() *stats.Set { return m.counters }
+
+// AddPeer registers a cache controller so probes and data can be
+// delivered to it.
+func (m *MemCtrl) AddPeer(c *Ctrl) { m.peers[c.name] = c }
+
+// AttachRegionDirectory enables HSC-style probe filtering.
+func (m *MemCtrl) AttachRegionDirectory(r *RegionDirectory) { m.regions = r }
+
+// MemVer returns the version memory holds for a line (the oracle's view
+// of DRAM contents).
+func (m *MemCtrl) MemVer(a memsys.Addr) uint64 { return m.dramVer[memsys.LineAlign(a)] }
+
+// ReceiveRequest is invoked when a request message arrives (the caller
+// has already paid the network delay).
+func (m *MemCtrl) ReceiveRequest(req ReqMsg) {
+	m.requests.Inc()
+	line := memsys.LineAlign(req.Addr)
+	req.Addr = line
+	if m.busy[line] != nil {
+		m.queued[line] = append(m.queued[line], req)
+		return
+	}
+	m.start(req)
+}
+
+func (m *MemCtrl) start(req ReqMsg) {
+	line := req.Addr
+	t := &txn{req: req}
+	m.busy[line] = t
+
+	if req.Type == WB {
+		m.wbs.Inc()
+		m.dramVer[line] = req.Ver
+		m.dram.Access(line, true, func(now sim.Tick) {
+			// Tell the writer its writeback committed so it can clear
+			// its writeback buffer, then move on.
+			m.xbar.Send(m.name, req.From, interconnect.CtrlMsgBytes, func(sim.Tick) {
+				if p := m.peers[req.From]; p != nil {
+					p.writebackDone(line)
+				}
+			})
+			m.finish(line)
+		})
+		return
+	}
+
+	targets := m.probeTargets(line, req.From)
+	if m.regions != nil && len(targets) > 0 && m.regions.Filter(line, req.From, req.Type) {
+		targets = nil
+	}
+	if len(targets) == 0 {
+		t.probesClean = true
+		if req.Type == GETX {
+			m.sendGrant(t, m.dramVer[line])
+			return
+		}
+		m.dram.Access(line, false, func(sim.Tick) {
+			t.dramDone = true
+			m.maybeSendFromMemory(t)
+		})
+		return
+	}
+	t.acksWanted = len(targets)
+	kind := PrbShare
+	switch req.Type {
+	case GETX:
+		kind = PrbInv
+	case RemoteLoad:
+		kind = PrbSnoop
+	}
+	if req.Type != GETX {
+		// Speculative memory fetch (the Opteron/Hammer hallmark): the
+		// DRAM read races the probes; an owner response wins and the
+		// memory data is dropped — bandwidth spent either way.
+		m.dram.Access(line, false, func(sim.Tick) {
+			t.dramDone = true
+			m.maybeSendFromMemory(t)
+		})
+	}
+	for _, tgt := range targets {
+		tgt := tgt
+		m.probes.Inc()
+		m.xbar.Send(m.name, tgt, interconnect.CtrlMsgBytes, func(sim.Tick) {
+			m.peers[tgt].receiveProbe(ProbeMsg{Kind: kind, Addr: line, Requester: req.From})
+		})
+	}
+}
+
+// maybeSendFromMemory forwards DRAM data once both the probes have come
+// back clean and the speculative read has completed.
+func (m *MemCtrl) maybeSendFromMemory(t *txn) {
+	if t.dataSent || !t.probesClean || !t.dramDone {
+		return
+	}
+	t.dataSent = true
+	m.fromDRAM.Inc()
+	m.sendData(t, m.dramVer[t.req.Addr])
+}
+
+// ReceiveAck collects a probe acknowledgement. Hammer is 3-hop: an
+// owner has already sent the data straight to the requester, so the
+// controller only sources DRAM when nobody owned the line.
+func (m *MemCtrl) ReceiveAck(a AckMsg) {
+	line := memsys.LineAlign(a.Addr)
+	t := m.busy[line]
+	if t == nil {
+		panic(fmt.Sprintf("coherence: ack for idle line %#x", uint64(line)))
+	}
+	t.acks = append(t.acks, a)
+	if len(t.acks) < t.acksWanted {
+		return
+	}
+	for i := range t.acks {
+		if t.acks[i].HadData {
+			// Owner-to-requester transfer already in flight; the
+			// speculative DRAM read (if any) is discarded.
+			m.fromPeer.Inc()
+			return
+		}
+	}
+	t.probesClean = true
+	if t.req.Type == GETX {
+		// No owner: the simulator's stores are line-granular, so the
+		// write fully overwrites the line and a fetch-on-write would
+		// be wasted bandwidth (write-combining / WriteInvalidate
+		// semantics); the grant travels as a control message.
+		m.sendGrant(t, m.dramVer[t.req.Addr])
+		return
+	}
+	m.maybeSendFromMemory(t)
+}
+
+// sendGrant delivers write permission without data (full-line write).
+func (m *MemCtrl) sendGrant(t *txn, ver uint64) {
+	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: MM}
+	requester := t.req.From
+	m.xbar.Send(m.name, requester, interconnect.CtrlMsgBytes, func(sim.Tick) {
+		m.peers[requester].receiveData(d)
+	})
+}
+
+// anySharer reports whether a probe ack showed a surviving shared copy
+// (possible only for GETS; GETX probes invalidate).
+func (m *MemCtrl) anySharer(t *txn) bool {
+	if t.req.Type != GETS {
+		return false
+	}
+	for _, a := range t.acks {
+		if a.Present || a.HadData {
+			return true
+		}
+	}
+	return false
+}
+
+// sendData delivers memory-sourced data to the requester with the
+// right grant.
+func (m *MemCtrl) sendData(t *txn, ver uint64) {
+	var grant State
+	switch t.req.Type {
+	case GETX:
+		grant = MM
+	case GETS:
+		if m.anySharer(t) {
+			grant = S
+		} else {
+			grant = M // Hammer grants exclusive-clean when no other copy exists
+		}
+	case RemoteLoad:
+		grant = I // uncacheable: no install
+	}
+	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: grant}
+	requester := t.req.From
+	m.xbar.Send(m.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
+		m.peers[requester].receiveData(d)
+	})
+}
+
+// ReceiveUnblock closes the transaction for a line and starts the next
+// queued request, if any.
+func (m *MemCtrl) ReceiveUnblock(a memsys.Addr) {
+	m.finish(memsys.LineAlign(a))
+}
+
+func (m *MemCtrl) finish(line memsys.Addr) {
+	if m.busy[line] == nil {
+		panic(fmt.Sprintf("coherence: finish on idle line %#x", uint64(line)))
+	}
+	delete(m.busy, line)
+	if q := m.queued[line]; len(q) > 0 {
+		next := q[0]
+		if len(q) == 1 {
+			delete(m.queued, line)
+		} else {
+			m.queued[line] = q[1:]
+		}
+		// Start in a fresh event so completion cascades settle first.
+		m.engine.Schedule(0, func() { m.start(next) })
+	}
+}
+
+// Idle reports whether no transaction is in flight (test hook).
+func (m *MemCtrl) Idle() bool { return len(m.busy) == 0 }

@@ -1,0 +1,141 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/memsys"
+)
+
+func TestRegionDirectoryClaimAndFilter(t *testing.T) {
+	r := NewRegionDirectory(12, nil)
+	a := memsys.Addr(0x4000)
+	if !r.Filter(a, "cpu", GETX) {
+		t.Error("first access did not claim and filter")
+	}
+	if !r.Filter(a+128, "cpu", GETS) {
+		t.Error("owner's later access not filtered")
+	}
+	if owner, ok := r.Owner(a); !ok || owner != "cpu" {
+		t.Errorf("owner = %q/%v", owner, ok)
+	}
+	if r.Counters().Get("probes_filtered") != 2 {
+		t.Error("filter count wrong")
+	}
+}
+
+func TestRegionDirectoryDowngradeOnCrossAccess(t *testing.T) {
+	r := NewRegionDirectory(12, nil)
+	a := memsys.Addr(0x4000)
+	r.Filter(a, "cpu", GETX)
+	if r.Filter(a+256, "gpu.l2.s0", GETS) {
+		t.Error("cross-agent access was filtered (stale data risk)")
+	}
+	if _, ok := r.Owner(a); ok {
+		t.Error("region still private after cross access")
+	}
+	// Even the old owner broadcasts now.
+	if r.Filter(a, "cpu", GETS) {
+		t.Error("shared region filtered")
+	}
+	if r.SharedRegions() != 1 {
+		t.Errorf("shared regions = %d", r.SharedRegions())
+	}
+}
+
+func TestRegionDirectoryRemoteLoadNeverFiltered(t *testing.T) {
+	r := NewRegionDirectory(12, nil)
+	a := memsys.Addr(0x8000)
+	r.Filter(a, "cpu", GETX)
+	if r.Filter(a, "cpu", RemoteLoad) {
+		t.Error("RemoteLoad filtered — would miss a pushed copy in the GPU L2")
+	}
+}
+
+func TestRegionDirectoryGroupsSlices(t *testing.T) {
+	group := func(n string) string {
+		if len(n) >= 3 && n[:3] == "gpu" {
+			return "gpu"
+		}
+		return n
+	}
+	r := NewRegionDirectory(12, group)
+	a := memsys.Addr(0x4000)
+	if !r.Filter(a, "gpu.l2.s0", GETS) {
+		t.Error("slice 0 claim failed")
+	}
+	// A sibling slice is the same domain: still filtered, not demoted.
+	if !r.Filter(a+128, "gpu.l2.s1", GETS) {
+		t.Error("sibling slice demoted its own domain's region")
+	}
+	if r.SharedRegions() != 0 {
+		t.Error("region demoted despite single domain")
+	}
+}
+
+func TestRegionDirectoryDistinctRegionsIndependent(t *testing.T) {
+	r := NewRegionDirectory(12, nil)
+	r.Filter(0x0000, "cpu", GETX)
+	if !r.Filter(0x1000, "gpu.l2.s0", GETS) {
+		t.Error("different region not independently claimable")
+	}
+	if r.SharedRegions() != 0 {
+		t.Error("independent claims demoted something")
+	}
+}
+
+// Property: a region is filtered only for its owning domain; once two
+// domains touch it, never again.
+func TestPropertyRegionDirectorySoundness(t *testing.T) {
+	agents := []string{"cpu", "gpu.l2.s0", "gpu.l2.s1"}
+	group := func(n string) string {
+		if len(n) >= 3 && n[:3] == "gpu" {
+			return "gpu"
+		}
+		return n
+	}
+	f := func(ops []uint8) bool {
+		r := NewRegionDirectory(12, group)
+		touched := map[uint64]map[string]bool{}
+		for _, op := range ops {
+			agent := agents[int(op)%len(agents)]
+			a := memsys.Addr(op>>2) << 12
+			reg := uint64(a) >> 12
+			if touched[reg] == nil {
+				touched[reg] = map[string]bool{}
+			}
+			touched[reg][group(agent)] = true
+			skipped := r.Filter(a, agent, GETS)
+			if skipped && len(touched[reg]) > 1 {
+				// Skipping probes while another domain has touched the
+				// region is only sound right at the downgrade access,
+				// which returns false — so a skip here is a bug.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionDirectoryEndToEndCorrectness(t *testing.T) {
+	// Producer-consumer with the filter attached: the consumer must
+	// still observe the producer's data (the cross-access downgrade
+	// forces the probe that finds the owner's copy).
+	r := newRig(t, 8, 4096, 2)
+	r.mem.AttachRegionDirectory(NewRegionDirectory(12, nil))
+	r.do(r.cpu, memsys.Store, line0, 41)
+	req := r.do(r.gpu, memsys.Load, line0, 0)
+	if req.Ver != 41 {
+		t.Fatalf("consumer saw version %d, want 41 (filter hid the owner)", req.Ver)
+	}
+	// CPU-private traffic after the claim must skip probes.
+	probesBefore := r.mem.Counters().Get("probes_sent")
+	r.do(r.cpu, memsys.Store, line0+0x2000, 42) // a fresh region
+	r.do(r.cpu, memsys.Store, line0+0x2000+128, 43)
+	if got := r.mem.Counters().Get("probes_sent"); got != probesBefore {
+		t.Errorf("private-region stores sent %d probes", got-probesBefore)
+	}
+}

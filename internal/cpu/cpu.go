@@ -1,0 +1,243 @@
+// Package cpu models the CPU side of the integrated system: an in-order
+// timing core that executes a memory-operation stream through its TLB
+// and cache hierarchy. Loads block the core; stores retire into a store
+// buffer that drains in the background — which is what lets direct
+// store trade increased store latency for reduced GPU load latency
+// without hurting the CPU (paper §III-B).
+//
+// The TLB's direct-store detector routes accesses: stores whose virtual
+// address falls in the reserved region are issued as remote stores
+// (pushes over the dedicated network); loads from that region are
+// uncacheable remote loads.
+package cpu
+
+import (
+	"fmt"
+
+	"dstore/internal/coherence"
+	"dstore/internal/memsys"
+	"dstore/internal/mmu"
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// Op is one instruction's memory behaviour. Gap models the compute
+// cycles preceding the operation. A Fence op drains the store buffer
+// before the core proceeds (the ordering point a producer needs before
+// signalling a consumer).
+type Op struct {
+	Type  memsys.AccessType
+	Addr  memsys.Addr // virtual
+	Gap   sim.Tick
+	Fence bool
+}
+
+// OpStream supplies the core's operation sequence.
+type OpStream interface {
+	// Next returns the next operation; ok is false when the stream is
+	// exhausted.
+	Next() (op Op, ok bool)
+}
+
+// SliceStream adapts a slice of ops into an OpStream.
+type SliceStream struct {
+	ops []Op
+	i   int
+}
+
+// NewSliceStream wraps ops.
+func NewSliceStream(ops []Op) *SliceStream { return &SliceStream{ops: ops} }
+
+// Next implements OpStream.
+func (s *SliceStream) Next() (Op, bool) {
+	if s.i >= len(s.ops) {
+		return Op{}, false
+	}
+	op := s.ops[s.i]
+	s.i++
+	return op, true
+}
+
+// VersionSource hands out store version numbers; shared between CPU and
+// GPU so the oracle's "latest write" is globally ordered by issue.
+type VersionSource struct{ next uint64 }
+
+// Next returns a fresh version.
+func (v *VersionSource) Next() uint64 {
+	v.next++
+	return v.next
+}
+
+// Config describes the core.
+type Config struct {
+	Name string
+	// StoreBufferEntries bounds in-flight retired stores.
+	StoreBufferEntries int
+	// DirectStoreEnabled routes detected direct-region stores through
+	// the push path. Off in the CCSM baseline (where nothing is
+	// allocated in the region anyway, but the switch also supports the
+	// paper's §III-H co-existence discussion).
+	DirectStoreEnabled bool
+}
+
+// Core is the in-order CPU core.
+type Core struct {
+	engine *sim.Engine
+	cfg    Config
+	tlb    *mmu.TLB
+	ctrl   *coherence.Ctrl
+	vers   *VersionSource
+
+	sbInFlight int
+	sbWaiting  bool
+
+	stream OpStream
+	onDone func()
+
+	running bool
+
+	counters     *stats.Set
+	loads        *stats.Counter
+	storesC      *stats.Counter
+	remoteStores *stats.Counter
+	remoteLoadsC *stats.Counter
+	sbStallTicks *stats.Counter
+	fences       *stats.Counter
+	finishedAt   sim.Tick
+}
+
+// New builds a core over its TLB and cache controller.
+func New(engine *sim.Engine, cfg Config, tlb *mmu.TLB, ctrl *coherence.Ctrl, vers *VersionSource) *Core {
+	if cfg.StoreBufferEntries <= 0 {
+		panic(fmt.Sprintf("cpu %s: non-positive store buffer", cfg.Name))
+	}
+	c := &Core{
+		engine:   engine,
+		cfg:      cfg,
+		tlb:      tlb,
+		ctrl:     ctrl,
+		vers:     vers,
+		counters: stats.NewSet(),
+	}
+	c.loads = c.counters.Counter("loads")
+	c.storesC = c.counters.Counter("stores")
+	c.remoteStores = c.counters.Counter("remote_stores")
+	c.remoteLoadsC = c.counters.Counter("remote_loads")
+	c.sbStallTicks = c.counters.Counter("store_buffer_stall_ticks")
+	c.fences = c.counters.Counter("fence_stall_ticks")
+	return c
+}
+
+// Counters exposes the core's statistics.
+func (c *Core) Counters() *stats.Set { return c.counters }
+
+// FinishedAt returns the tick the last run completed.
+func (c *Core) FinishedAt() sim.Tick { return c.finishedAt }
+
+// Run executes the stream; done fires when every op has issued and all
+// stores have drained. A core runs one stream at a time.
+func (c *Core) Run(stream OpStream, done func()) {
+	if c.running {
+		panic(fmt.Sprintf("cpu %s: Run while already running", c.cfg.Name))
+	}
+	c.running = true
+	c.stream = stream
+	c.onDone = done
+	c.engine.Schedule(0, c.step)
+}
+
+// step fetches and executes the next operation.
+func (c *Core) step() {
+	op, ok := c.stream.Next()
+	if !ok {
+		c.finishWhenDrained()
+		return
+	}
+	if op.Fence {
+		c.engine.Schedule(op.Gap, func() { c.fence() })
+		return
+	}
+	c.engine.Schedule(op.Gap, func() { c.issue(op) })
+}
+
+// fence stalls until the store buffer drains, then proceeds.
+func (c *Core) fence() {
+	if c.sbInFlight > 0 {
+		c.fences.Inc()
+		c.engine.Schedule(1, c.fence)
+		return
+	}
+	c.step()
+}
+
+func (c *Core) issue(op Op) {
+	pa, lat, direct, err := c.tlb.Translate(op.Addr)
+	if err != nil {
+		panic(fmt.Sprintf("cpu %s: translation failed: %v", c.cfg.Name, err))
+	}
+	c.engine.Schedule(lat, func() { c.execute(op, pa, direct) })
+}
+
+// execute runs op against the hierarchy using the physical address pa;
+// the whole memory system below the TLBs operates on physical
+// addresses.
+func (c *Core) execute(op Op, pa memsys.Addr, direct bool) {
+	switch op.Type {
+	case memsys.Load:
+		if direct {
+			// Uncacheable read from the GPU-homed region.
+			c.remoteLoadsC.Inc()
+			req := &memsys.Request{Type: memsys.Load, Addr: pa, Issued: c.engine.Now(),
+				Done: func(sim.Tick) { c.step() }}
+			c.ctrl.RemoteLoad(req)
+			return
+		}
+		c.loads.Inc()
+		req := &memsys.Request{Type: memsys.Load, Addr: pa, Issued: c.engine.Now(),
+			Done: func(sim.Tick) { c.step() }}
+		c.ctrl.Access(req)
+	case memsys.Store:
+		if c.sbInFlight >= c.cfg.StoreBufferEntries {
+			// Store buffer full: retry each tick until a slot frees.
+			c.sbStallTicks.Inc()
+			c.engine.Schedule(1, func() { c.execute(op, pa, direct) })
+			return
+		}
+		c.sbInFlight++
+		ver := c.vers.Next()
+		ty := memsys.Store
+		if direct && c.cfg.DirectStoreEnabled {
+			ty = memsys.RemoteStore
+			c.remoteStores.Inc()
+		} else {
+			c.storesC.Inc()
+		}
+		req := &memsys.Request{Type: ty, Addr: pa, Ver: ver, Issued: c.engine.Now(),
+			Done: func(sim.Tick) {
+				c.sbInFlight--
+				if c.sbWaiting && c.sbInFlight == 0 {
+					c.sbWaiting = false
+					c.finishWhenDrained()
+				}
+			}}
+		c.ctrl.Access(req)
+		// Stores retire immediately; the next instruction proceeds.
+		c.engine.Schedule(1, c.step)
+	default:
+		panic(fmt.Sprintf("cpu %s: unsupported op type %v", c.cfg.Name, op.Type))
+	}
+}
+
+func (c *Core) finishWhenDrained() {
+	if c.sbInFlight > 0 {
+		c.sbWaiting = true
+		return
+	}
+	c.running = false
+	c.finishedAt = c.engine.Now()
+	if c.onDone != nil {
+		done := c.onDone
+		c.onDone = nil
+		c.engine.Schedule(0, done)
+	}
+}

@@ -1,0 +1,442 @@
+// Package gpu models the GPU side of the integrated system: an array of
+// streaming multiprocessors (SMs) executing warps, per-SM L1 caches
+// that are write-through and flash-invalidated at kernel launch (the
+// software coherence regime the paper describes for GPU L1s in §III-A),
+// per-SM scratchpad ("shared memory") accesses that bypass the cache
+// hierarchy, and coalesced global accesses feeding the shared,
+// address-interleaved GPU L2 slices through the coherence layer.
+//
+// Warp execution models latency hiding the way the experiments need it:
+// each SM keeps several warps resident, a blocked warp (waiting on
+// global loads) yields the issue slot, and the per-SM L1 MSHR file
+// bounds memory-level parallelism. Small working sets hide latency
+// behind warp parallelism; big inputs exhaust MSHRs and expose it —
+// reproducing the paper's observation that shared-memory benchmarks
+// only benefit from direct store once inputs grow (§IV-C).
+package gpu
+
+import (
+	"fmt"
+
+	"dstore/internal/cache"
+	"dstore/internal/coherence"
+	"dstore/internal/cpu"
+	"dstore/internal/memsys"
+	"dstore/internal/mmu"
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// OpKind classifies a warp instruction's memory behaviour.
+type OpKind uint8
+
+// Warp operation kinds.
+const (
+	// OpCompute spends Gap ticks of arithmetic.
+	OpCompute OpKind = iota
+	// OpShared is a scratchpad access: fixed low latency, no cache or
+	// coherence traffic.
+	OpShared
+	// OpGlobalLoad reads Lines consecutive cache lines starting at
+	// Addr; the warp blocks until all lines arrive. Lines==1 is a fully
+	// coalesced 32-lane access; larger values model uncoalesced or
+	// multi-line accesses.
+	OpGlobalLoad
+	// OpGlobalStore writes Lines consecutive cache lines; the warp does
+	// not block (write-through, no allocate).
+	OpGlobalStore
+	// OpBarrier synchronises every warp of the kernel: a warp reaching
+	// it suspends until all still-running warps arrive (or finish).
+	// Kernels using barriers must fit entirely within the GPU's
+	// resident-warp capacity (SMs × MaxWarpsPerSM), as on real
+	// hardware's cooperative launches; Launch panics otherwise.
+	OpBarrier
+)
+
+// WarpOp is one operation of a warp's instruction stream.
+type WarpOp struct {
+	Kind  OpKind
+	Addr  memsys.Addr // virtual; first line of the access
+	Lines int         // lines touched by global ops (min 1)
+	Gap   sim.Tick    // compute duration for OpCompute
+}
+
+// Warp is a sequence of operations executed in order by one warp.
+type Warp struct {
+	Ops []WarpOp
+}
+
+// Kernel is a named collection of warps dispatched together.
+type Kernel struct {
+	Name  string
+	Warps []Warp
+}
+
+// Config describes the GPU (Table I defaults live in the core package).
+type Config struct {
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// MaxWarpsPerSM bounds concurrently resident warps per SM.
+	MaxWarpsPerSM int
+	// L1 describes each SM's private L1 data cache.
+	L1 cache.Config
+	// L1HitLat is the L1 access latency in ticks (GPU clock domain
+	// folded in).
+	L1HitLat sim.Tick
+	// SharedLat is the scratchpad access latency.
+	SharedLat sim.Tick
+	// IssueInterval is the per-SM warp-op issue spacing in ticks.
+	IssueInterval sim.Tick
+	// MSHRsPerSM bounds outstanding L1 misses per SM.
+	MSHRsPerSM int
+	// MSHRRetry is the back-off before retrying a stalled miss.
+	MSHRRetry sim.Tick
+	// MaxStoresPerSM bounds outstanding write-through stores per SM; a
+	// warp issuing a store while the pipeline is full stalls until a
+	// slot frees (real SMs back-pressure the LSU the same way).
+	MaxStoresPerSM int
+}
+
+// GPU is the SM array plus its shared L2 slices (owned by the caller
+// and attached at construction).
+type GPU struct {
+	engine *sim.Engine
+	cfg    Config
+	sms    []*sm
+	// sliceFor routes a physical line address to its L2 slice
+	// controller.
+	sliceFor func(memsys.Addr) *coherence.Ctrl
+	tlb      *mmu.TLB
+	vers     *cpu.VersionSource
+
+	running           bool
+	warpsLeft         int
+	outstandingStores int
+	kernelDone        func()
+	barrierWaiters    []*warpCtx
+
+	counters     *stats.Set
+	kernels      *stats.Counter
+	globalLoads  *stats.Counter
+	globalStores *stats.Counter
+	sharedOps    *stats.Counter
+	flashed      *stats.Counter
+	mshrStalls   *stats.Counter
+	barriers     *stats.Counter
+}
+
+type sm struct {
+	g              *GPU
+	id             int
+	l1             *cache.Cache
+	mshr           *cache.MSHR
+	issueFree      sim.Tick
+	queue          []*warpCtx
+	active         int
+	storesInFlight int
+}
+
+type warpCtx struct {
+	s            *sm
+	ops          []WarpOp
+	pc           int
+	pendingLines int
+}
+
+// New builds a GPU. sliceFor must route any physical address to one of
+// the GPU L2 slice controllers.
+func New(engine *sim.Engine, cfg Config, tlb *mmu.TLB, vers *cpu.VersionSource,
+	sliceFor func(memsys.Addr) *coherence.Ctrl) *GPU {
+	if cfg.SMs <= 0 || cfg.MaxWarpsPerSM <= 0 || cfg.MSHRsPerSM <= 0 {
+		panic(fmt.Sprintf("gpu %s: non-positive geometry", cfg.Name))
+	}
+	if cfg.IssueInterval == 0 {
+		cfg.IssueInterval = 1
+	}
+	if cfg.MSHRRetry == 0 {
+		cfg.MSHRRetry = 4
+	}
+	if cfg.MaxStoresPerSM == 0 {
+		cfg.MaxStoresPerSM = 16
+	}
+	g := &GPU{
+		engine:   engine,
+		cfg:      cfg,
+		sliceFor: sliceFor,
+		tlb:      tlb,
+		vers:     vers,
+		counters: stats.NewSet(),
+	}
+	for i := 0; i < cfg.SMs; i++ {
+		l1cfg := cfg.L1
+		l1cfg.Name = fmt.Sprintf("%s.sm%d.l1", cfg.Name, i)
+		g.sms = append(g.sms, &sm{
+			g:    g,
+			id:   i,
+			l1:   cache.New(l1cfg),
+			mshr: cache.NewMSHR(cfg.MSHRsPerSM),
+		})
+	}
+	g.kernels = g.counters.Counter("kernel_launches")
+	g.globalLoads = g.counters.Counter("global_load_lines")
+	g.globalStores = g.counters.Counter("global_store_lines")
+	g.sharedOps = g.counters.Counter("shared_ops")
+	g.flashed = g.counters.Counter("l1_lines_flash_invalidated")
+	g.mshrStalls = g.counters.Counter("l1_mshr_stalls")
+	g.barriers = g.counters.Counter("barrier_arrivals")
+	return g
+}
+
+// Counters exposes the GPU's statistics.
+func (g *GPU) Counters() *stats.Set { return g.counters }
+
+// L1Caches returns the per-SM L1 arrays (for aggregate statistics).
+func (g *GPU) L1Caches() []*cache.Cache {
+	out := make([]*cache.Cache, len(g.sms))
+	for i, s := range g.sms {
+		out[i] = s.l1
+	}
+	return out
+}
+
+// Launch dispatches a kernel: flash-invalidates every L1 (the paper's
+// software L1-coherence regime), distributes warps round-robin over the
+// SMs, and fires done when every warp has finished and every store has
+// reached the L2.
+func (g *GPU) Launch(k Kernel, done func()) {
+	if g.running {
+		panic(fmt.Sprintf("gpu %s: Launch while a kernel is running", g.cfg.Name))
+	}
+	if len(k.Warps) == 0 {
+		if done != nil {
+			g.engine.Schedule(0, done)
+		}
+		return
+	}
+	if kernelUsesBarriers(k) && len(k.Warps) > g.cfg.SMs*g.cfg.MaxWarpsPerSM {
+		panic(fmt.Sprintf("gpu %s: kernel %q uses barriers with %d warps, above the resident capacity %d",
+			g.cfg.Name, k.Name, len(k.Warps), g.cfg.SMs*g.cfg.MaxWarpsPerSM))
+	}
+	g.running = true
+	g.kernels.Inc()
+	g.kernelDone = done
+	g.warpsLeft = len(k.Warps)
+	for _, s := range g.sms {
+		g.flashed.Add(uint64(s.l1.InvalidateAll()))
+	}
+	for i := range k.Warps {
+		s := g.sms[i%len(g.sms)]
+		w := &warpCtx{s: s, ops: k.Warps[i].Ops}
+		s.queue = append(s.queue, w)
+	}
+	for _, s := range g.sms {
+		s.fillActive()
+	}
+}
+
+// kernelUsesBarriers reports whether any warp contains an OpBarrier.
+func kernelUsesBarriers(k Kernel) bool {
+	for _, w := range k.Warps {
+		for _, op := range w.Ops {
+			if op.Kind == OpBarrier {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fillActive starts queued warps up to the residency bound.
+func (s *sm) fillActive() {
+	for s.active < s.g.cfg.MaxWarpsPerSM && len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.active++
+		s.g.engine.Schedule(0, w.step)
+	}
+}
+
+// step advances a warp to its next operation.
+func (w *warpCtx) step() {
+	if w.pc >= len(w.ops) {
+		w.done()
+		return
+	}
+	op := w.ops[w.pc]
+	w.pc++
+	s := w.s
+	now := s.g.engine.Now()
+	slot := now
+	if s.issueFree > slot {
+		slot = s.issueFree
+	}
+	s.issueFree = slot + s.g.cfg.IssueInterval
+	s.g.engine.ScheduleAt(slot, func() { w.exec(op) })
+}
+
+func (w *warpCtx) exec(op WarpOp) {
+	g := w.s.g
+	switch op.Kind {
+	case OpCompute:
+		g.engine.Schedule(op.Gap, w.step)
+	case OpShared:
+		g.sharedOps.Inc()
+		g.engine.Schedule(g.cfg.SharedLat, w.step)
+	case OpGlobalLoad:
+		lines := op.Lines
+		if lines < 1 {
+			lines = 1
+		}
+		g.globalLoads.Add(uint64(lines))
+		w.pendingLines = lines
+		for i := 0; i < lines; i++ {
+			w.s.serveLoad(w, op.Addr+memsys.Addr(i)*memsys.LineSize)
+		}
+	case OpBarrier:
+		g.barriers.Inc()
+		g.barrierWaiters = append(g.barrierWaiters, w)
+		g.checkBarrierRelease()
+	case OpGlobalStore:
+		if w.s.storesInFlight >= g.cfg.MaxStoresPerSM {
+			// Store pipeline full: the warp stalls until a slot frees.
+			g.engine.Schedule(g.cfg.MSHRRetry, func() { w.exec(op) })
+			return
+		}
+		lines := op.Lines
+		if lines < 1 {
+			lines = 1
+		}
+		g.globalStores.Add(uint64(lines))
+		for i := 0; i < lines; i++ {
+			w.s.issueStore(op.Addr + memsys.Addr(i)*memsys.LineSize)
+		}
+		// Write-through stores do not block the warp once accepted.
+		g.engine.Schedule(g.cfg.IssueInterval, w.step)
+	default:
+		panic(fmt.Sprintf("gpu: unknown warp op kind %d", op.Kind))
+	}
+}
+
+// lineDone retires one of a load's lines; the warp resumes when all
+// arrive.
+func (w *warpCtx) lineDone() {
+	w.pendingLines--
+	if w.pendingLines == 0 {
+		w.step()
+	}
+}
+
+func (w *warpCtx) done() {
+	s := w.s
+	g := s.g
+	s.active--
+	s.fillActive()
+	g.warpsLeft--
+	g.checkBarrierRelease()
+	g.checkKernelDone()
+}
+
+// checkBarrierRelease resumes the barrier waiters once every
+// still-running warp has arrived.
+func (g *GPU) checkBarrierRelease() {
+	if len(g.barrierWaiters) == 0 || len(g.barrierWaiters) < g.warpsLeft {
+		return
+	}
+	ws := g.barrierWaiters
+	g.barrierWaiters = nil
+	for _, w := range ws {
+		w := w
+		g.engine.Schedule(1, w.step)
+	}
+}
+
+func (g *GPU) checkKernelDone() {
+	if g.warpsLeft != 0 || g.outstandingStores != 0 || !g.running {
+		return
+	}
+	g.running = false
+	if g.kernelDone != nil {
+		done := g.kernelDone
+		g.kernelDone = nil
+		g.engine.Schedule(0, done)
+	}
+}
+
+// serveLoad runs one line of a global load through the SM's L1 and, on
+// a miss, the owning L2 slice.
+func (s *sm) serveLoad(w *warpCtx, va memsys.Addr) {
+	g := s.g
+	pa, tlbLat, _, err := g.tlb.Translate(va)
+	if err != nil {
+		panic(fmt.Sprintf("gpu %s: translation failed: %v", g.cfg.Name, err))
+	}
+	line := memsys.LineAlign(pa)
+	g.engine.Schedule(tlbLat, func() { s.lookupLoad(w, line, false) })
+}
+
+// lookupLoad runs one line through the L1. retry marks an access that
+// was already counted and then stalled on a full MSHR file — retries
+// refresh replacement state but stay invisible to the statistics.
+func (s *sm) lookupLoad(w *warpCtx, line memsys.Addr, retry bool) {
+	g := s.g
+	var hit bool
+	if retry {
+		_, hit = s.l1.Touch(line)
+	} else {
+		_, hit = s.l1.Lookup(line)
+	}
+	if hit {
+		g.engine.Schedule(g.cfg.L1HitLat, w.lineDone)
+		return
+	}
+	if e, ok := s.mshr.Lookup(line); ok {
+		e.Waiters = append(e.Waiters, &memsys.Request{Type: memsys.Load, Addr: line,
+			Done: func(sim.Tick) { w.lineDone() }})
+		return
+	}
+	if s.mshr.Full() {
+		g.mshrStalls.Inc()
+		g.engine.Schedule(g.cfg.MSHRRetry, func() { s.lookupLoad(w, line, true) })
+		return
+	}
+	e, _ := s.mshr.Allocate(line)
+	e.Waiters = append(e.Waiters, &memsys.Request{Type: memsys.Load, Addr: line,
+		Done: func(sim.Tick) { w.lineDone() }})
+	fill := &memsys.Request{Type: memsys.Load, Addr: line, Issued: g.engine.Now(),
+		Done: func(sim.Tick) {
+			s.l1.Insert(line, 1, false)
+			waiters := s.mshr.Free(line)
+			for _, wr := range waiters {
+				wr.Complete(g.engine.Now())
+			}
+		}}
+	g.sliceFor(line).Access(fill)
+}
+
+// issueStore sends one line of a global store through the write-through
+// path: the L1 is updated if present (never allocated) and the store
+// proceeds to the owning slice.
+func (s *sm) issueStore(va memsys.Addr) {
+	g := s.g
+	pa, tlbLat, _, err := g.tlb.Translate(va)
+	if err != nil {
+		panic(fmt.Sprintf("gpu %s: translation failed: %v", g.cfg.Name, err))
+	}
+	line := memsys.LineAlign(pa)
+	g.outstandingStores++
+	s.storesInFlight++
+	ver := g.vers.Next()
+	g.engine.Schedule(tlbLat, func() {
+		// Write-through, write-no-allocate L1: a resident copy is
+		// freshened in place (no state change — data is not modelled),
+		// an absent line is not allocated.
+		req := &memsys.Request{Type: memsys.Store, Addr: line, Ver: ver, Issued: g.engine.Now(),
+			Done: func(sim.Tick) {
+				g.outstandingStores--
+				s.storesInFlight--
+				g.checkKernelDone()
+			}}
+		g.sliceFor(line).Access(req)
+	})
+}

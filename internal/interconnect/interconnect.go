@@ -1,0 +1,163 @@
+// Package interconnect models the on-chip networks: point-to-point
+// links with latency and serialisation bandwidth, and a crossbar with
+// per-port arbitration. The direct-store proposal adds one dedicated
+// link from the CPU L1 controller to the GPU L2 (paper §III-G); the
+// baseline CCSM traffic rides the shared crossbar.
+//
+// Links carry closures rather than typed messages: the coherence layer
+// owns message semantics, the network owns timing. Every transfer is
+// counted (messages and bytes) so experiments can report coherence
+// traffic.
+package interconnect
+
+import (
+	"fmt"
+
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// Standard simulated message sizes in bytes: a control message is a
+// header; a data message is a header plus one cache line.
+const (
+	CtrlMsgBytes = 8
+	DataMsgBytes = 8 + 128
+)
+
+// Link is a unidirectional point-to-point channel with a fixed
+// propagation latency and a serialisation bandwidth. Sends that overlap
+// queue behind each other.
+type Link struct {
+	name         string
+	engine       *sim.Engine
+	latency      sim.Tick
+	bytesPerTick int
+	nextFree     sim.Tick
+
+	counters *stats.Set
+	messages *stats.Counter
+	bytes    *stats.Counter
+}
+
+// NewLink builds a link. bytesPerTick <= 0 means infinite bandwidth
+// (pure latency).
+func NewLink(engine *sim.Engine, name string, latency sim.Tick, bytesPerTick int) *Link {
+	l := &Link{
+		name:         name,
+		engine:       engine,
+		latency:      latency,
+		bytesPerTick: bytesPerTick,
+		counters:     stats.NewSet(),
+	}
+	l.messages = l.counters.Counter("messages")
+	l.bytes = l.counters.Counter("bytes")
+	return l
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Counters exposes messages/bytes counters.
+func (l *Link) Counters() *stats.Set { return l.counters }
+
+// serialisation returns the bus occupancy of a message of size bytes.
+func serialisation(size, bytesPerTick int) sim.Tick {
+	if bytesPerTick <= 0 {
+		return 0
+	}
+	return sim.Tick((size + bytesPerTick - 1) / bytesPerTick)
+}
+
+// Send transmits size bytes and invokes deliver at arrival. It returns
+// the arrival tick.
+func (l *Link) Send(size int, deliver func(now sim.Tick)) sim.Tick {
+	if size <= 0 {
+		panic(fmt.Sprintf("interconnect %s: non-positive message size %d", l.name, size))
+	}
+	now := l.engine.Now()
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	occ := serialisation(size, l.bytesPerTick)
+	l.nextFree = start + occ
+	arrival := start + occ + l.latency
+	l.messages.Inc()
+	l.bytes.Add(uint64(size))
+	if deliver != nil {
+		l.engine.ScheduleAt(arrival, func() { deliver(arrival) })
+	}
+	return arrival
+}
+
+// Crossbar connects named ports with per-input and per-output
+// arbitration: a message occupies its source's injection port and its
+// destination's ejection port for its serialisation time.
+type Crossbar struct {
+	name         string
+	engine       *sim.Engine
+	latency      sim.Tick
+	bytesPerTick int
+	inFree       map[string]sim.Tick
+	outFree      map[string]sim.Tick
+
+	counters *stats.Set
+	messages *stats.Counter
+	bytes    *stats.Counter
+}
+
+// NewCrossbar builds a crossbar with the given hop latency and per-port
+// bandwidth.
+func NewCrossbar(engine *sim.Engine, name string, latency sim.Tick, bytesPerTick int) *Crossbar {
+	x := &Crossbar{
+		name:         name,
+		engine:       engine,
+		latency:      latency,
+		bytesPerTick: bytesPerTick,
+		inFree:       make(map[string]sim.Tick),
+		outFree:      make(map[string]sim.Tick),
+		counters:     stats.NewSet(),
+	}
+	x.messages = x.counters.Counter("messages")
+	x.bytes = x.counters.Counter("bytes")
+	return x
+}
+
+// Name returns the crossbar's name.
+func (x *Crossbar) Name() string { return x.name }
+
+// Counters exposes messages/bytes counters.
+func (x *Crossbar) Counters() *stats.Set { return x.counters }
+
+// Send transmits size bytes from port src to port dst, invoking deliver
+// at arrival, and returns the arrival tick.
+func (x *Crossbar) Send(src, dst string, size int, deliver func(now sim.Tick)) sim.Tick {
+	if size <= 0 {
+		panic(fmt.Sprintf("interconnect %s: non-positive message size %d", x.name, size))
+	}
+	now := x.engine.Now()
+	start := now
+	if t := x.inFree[src]; t > start {
+		start = t
+	}
+	if t := x.outFree[dst]; t > start {
+		start = t
+	}
+	occ := serialisation(size, x.bytesPerTick)
+	busyUntil := start + occ
+	x.inFree[src] = busyUntil
+	x.outFree[dst] = busyUntil
+	arrival := busyUntil + x.latency
+	x.messages.Inc()
+	x.bytes.Add(uint64(size))
+	if deliver != nil {
+		x.engine.ScheduleAt(arrival, func() { deliver(arrival) })
+	}
+	return arrival
+}
+
+// TotalBytes returns all bytes ever sent through the crossbar.
+func (x *Crossbar) TotalBytes() uint64 { return x.bytes.Value() }
+
+// TotalMessages returns all messages ever sent through the crossbar.
+func (x *Crossbar) TotalMessages() uint64 { return x.messages.Value() }

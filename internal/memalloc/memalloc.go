@@ -1,0 +1,209 @@
+// Package memalloc models the process virtual address space and the
+// special memory allocation the paper's translated programs use
+// (§III-D): ordinary heap allocations via malloc-style bump allocation,
+// and direct-store allocations via mmap with MAP_FIXED semantics placed
+// in a reserved high-order address range. Data in that range is homed in
+// the GPU L2: the TLB recognises it by comparing high-order virtual
+// address bits.
+//
+// The allocator enforces the translator's non-overlap invariant: each
+// fixed mapping must be disjoint from every existing region, and
+// consecutive direct-store allocations advance a bump pointer so "there
+// is no overlapping starting virtual addresses for all variables"
+// (§III-C).
+package memalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"dstore/internal/memsys"
+)
+
+// PageSize is the virtual memory page size.
+const PageSize = 4096
+
+// Address-space layout. The direct-store arena sits at the top of the
+// canonical user range so a single high-order-bits comparison identifies
+// it (paper §III-E: "we reserve bits of the virtual address space").
+const (
+	// HeapBase is where malloc-style allocations start.
+	HeapBase memsys.Addr = 0x0000_0000_1000_0000
+	// DirectStoreBase is the bottom of the reserved direct-store range.
+	// Any VA at or above this is homed in the GPU L2.
+	DirectStoreBase memsys.Addr = 0x0000_7f00_0000_0000
+	// DirectStoreLimit is the exclusive top of the reserved range (1 TiB
+	// of VA, far beyond any workload's need).
+	DirectStoreLimit memsys.Addr = DirectStoreBase + (1 << 40)
+)
+
+// RegionKind classifies an allocation.
+type RegionKind uint8
+
+const (
+	// KindHeap is an ordinary malloc allocation.
+	KindHeap RegionKind = iota
+	// KindDirect is a direct-store (GPU-homed) allocation.
+	KindDirect
+)
+
+// String names the kind.
+func (k RegionKind) String() string {
+	switch k {
+	case KindHeap:
+		return "heap"
+	case KindDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", uint8(k))
+	}
+}
+
+// Region is one allocated range [Base, Base+Size).
+type Region struct {
+	Base memsys.Addr
+	Size uint64
+	Kind RegionKind
+	Name string
+}
+
+// End returns the exclusive end address.
+func (r Region) End() memsys.Addr { return r.Base + memsys.Addr(r.Size) }
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a memsys.Addr) bool { return a >= r.Base && a < r.End() }
+
+// Space is a process address space: a set of disjoint regions plus bump
+// pointers for the heap and the direct-store arena.
+type Space struct {
+	regions  []Region // sorted by Base
+	heapNext memsys.Addr
+	dsNext   memsys.Addr
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{heapNext: HeapBase, dsNext: DirectStoreBase}
+}
+
+func alignUp(a memsys.Addr, align uint64) memsys.Addr {
+	return memsys.Addr((uint64(a) + align - 1) &^ (align - 1))
+}
+
+// overlapsExisting reports whether [base, base+size) intersects any
+// region.
+func (s *Space) overlapsExisting(base memsys.Addr, size uint64) bool {
+	end := base + memsys.Addr(size)
+	for _, r := range s.regions {
+		if base < r.End() && r.Base < end {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Space) insert(r Region) {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Base >= r.Base })
+	s.regions = append(s.regions, Region{})
+	copy(s.regions[i+1:], s.regions[i:])
+	s.regions[i] = r
+}
+
+// Malloc allocates size bytes on the ordinary heap, line-aligned so a
+// variable never shares a cache line with a neighbour (matching how the
+// benchmarks' large arrays behave).
+func (s *Space) Malloc(size uint64, name string) (memsys.Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("memalloc: zero-size malloc for %q", name)
+	}
+	base := alignUp(s.heapNext, memsys.LineSize)
+	if s.overlapsExisting(base, size) {
+		return 0, fmt.Errorf("memalloc: heap bump collided at %#x for %q", uint64(base), name)
+	}
+	s.insert(Region{Base: base, Size: size, Kind: KindHeap, Name: name})
+	s.heapNext = base + memsys.Addr(size)
+	return base, nil
+}
+
+// MmapFixed maps size bytes at exactly addr (MAP_FIXED semantics minus
+// the silent-clobber footgun: overlap is an error, because the
+// translator guarantees disjoint starting addresses). Mappings inside
+// the reserved range become direct-store regions.
+func (s *Space) MmapFixed(addr memsys.Addr, size uint64, name string) (memsys.Addr, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("memalloc: zero-size mmap for %q", name)
+	}
+	if uint64(addr)%PageSize != 0 {
+		return 0, fmt.Errorf("memalloc: mmap address %#x not page-aligned for %q", uint64(addr), name)
+	}
+	kind := KindHeap
+	if addr >= DirectStoreBase {
+		if addr+memsys.Addr(size) > DirectStoreLimit {
+			return 0, fmt.Errorf("memalloc: mapping %q exceeds the direct-store arena", name)
+		}
+		kind = KindDirect
+	}
+	if s.overlapsExisting(addr, size) {
+		return 0, fmt.Errorf("memalloc: fixed mapping %q at %#x overlaps an existing region", name, uint64(addr))
+	}
+	s.insert(Region{Base: addr, Size: size, Kind: kind, Name: name})
+	if kind == KindDirect {
+		end := alignUp(addr+memsys.Addr(size), PageSize)
+		if end > s.dsNext {
+			s.dsNext = end
+		}
+	}
+	return addr, nil
+}
+
+// AllocDirect places size bytes at the next free page-aligned address in
+// the direct-store arena, exactly what the translator emits when it
+// rewrites malloc/cudaMalloc to mmap and "increments the starting
+// virtual address by the memory size needed by the variable" (§III-C).
+func (s *Space) AllocDirect(size uint64, name string) (memsys.Addr, error) {
+	base := alignUp(s.dsNext, PageSize)
+	return s.MmapFixed(base, size, name)
+}
+
+// InDirectRegion reports whether a falls in the reserved high-order
+// range — the exact comparison the modified TLB performs.
+func InDirectRegion(a memsys.Addr) bool {
+	return a >= DirectStoreBase && a < DirectStoreLimit
+}
+
+// RegionFor returns the region containing a.
+func (s *Space) RegionFor(a memsys.Addr) (Region, bool) {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].End() > a })
+	if i < len(s.regions) && s.regions[i].Contains(a) {
+		return s.regions[i], true
+	}
+	return Region{}, false
+}
+
+// RegionByName returns the first region allocated under name.
+func (s *Space) RegionByName(name string) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns a copy of all regions in address order.
+func (s *Space) Regions() []Region {
+	out := make([]Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
+
+// TotalMapped returns the number of mapped bytes of the given kind.
+func (s *Space) TotalMapped(kind RegionKind) uint64 {
+	var n uint64
+	for _, r := range s.regions {
+		if r.Kind == kind {
+			n += r.Size
+		}
+	}
+	return n
+}

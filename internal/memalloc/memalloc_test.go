@@ -1,0 +1,217 @@
+package memalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/memsys"
+)
+
+func TestMallocSequentialDisjoint(t *testing.T) {
+	s := NewSpace()
+	a, err := s.Malloc(1000, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Malloc(1000, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+1000 {
+		t.Errorf("allocations overlap: a=%#x b=%#x", uint64(a), uint64(b))
+	}
+	if uint64(a)%memsys.LineSize != 0 || uint64(b)%memsys.LineSize != 0 {
+		t.Error("heap allocations not line-aligned")
+	}
+}
+
+func TestMallocZeroSizeErrors(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Malloc(0, "z"); err == nil {
+		t.Error("zero-size malloc succeeded")
+	}
+}
+
+func TestAllocDirectLandsInReservedRange(t *testing.T) {
+	s := NewSpace()
+	a, err := s.AllocDirect(4096, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !InDirectRegion(a) {
+		t.Errorf("direct allocation at %#x outside reserved range", uint64(a))
+	}
+	r, ok := s.RegionFor(a)
+	if !ok || r.Kind != KindDirect {
+		t.Errorf("region kind %v, want direct", r.Kind)
+	}
+}
+
+func TestAllocDirectNeverOverlaps(t *testing.T) {
+	s := NewSpace()
+	var regions []Region
+	for i := 0; i < 20; i++ {
+		sz := uint64(1000*i + 1)
+		a, err := s.AllocDirect(sz, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, Region{Base: a, Size: sz})
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			ri, rj := regions[i], regions[j]
+			if ri.Base < rj.End() && rj.Base < ri.End() {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestMmapFixedRejectsOverlap(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.MmapFixed(DirectStoreBase, 2*PageSize, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MmapFixed(DirectStoreBase+PageSize, PageSize, "b"); err == nil {
+		t.Error("overlapping fixed mapping succeeded")
+	}
+	// Directly adjacent is fine.
+	if _, err := s.MmapFixed(DirectStoreBase+2*PageSize, PageSize, "c"); err != nil {
+		t.Errorf("adjacent mapping failed: %v", err)
+	}
+}
+
+func TestMmapFixedRejectsUnaligned(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.MmapFixed(DirectStoreBase+1, PageSize, "x"); err == nil {
+		t.Error("unaligned fixed mapping succeeded")
+	}
+}
+
+func TestMmapFixedRejectsBeyondArena(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.MmapFixed(DirectStoreLimit-PageSize, 2*PageSize, "x"); err == nil {
+		t.Error("mapping past the arena limit succeeded")
+	}
+}
+
+func TestMmapFixedOutsideArenaIsHeapKind(t *testing.T) {
+	s := NewSpace()
+	a, err := s.MmapFixed(0x2000_0000, PageSize, "low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.RegionFor(a)
+	if r.Kind != KindHeap {
+		t.Errorf("low fixed mapping kind %v, want heap", r.Kind)
+	}
+}
+
+func TestInDirectRegionBoundaries(t *testing.T) {
+	if InDirectRegion(DirectStoreBase - 1) {
+		t.Error("address below base classified direct")
+	}
+	if !InDirectRegion(DirectStoreBase) {
+		t.Error("base address not classified direct")
+	}
+	if !InDirectRegion(DirectStoreLimit - 1) {
+		t.Error("last arena address not classified direct")
+	}
+	if InDirectRegion(DirectStoreLimit) {
+		t.Error("limit address classified direct")
+	}
+}
+
+func TestRegionForAndByName(t *testing.T) {
+	s := NewSpace()
+	a, _ := s.Malloc(500, "alpha")
+	d, _ := s.AllocDirect(500, "delta")
+	if r, ok := s.RegionFor(a + 499); !ok || r.Name != "alpha" {
+		t.Error("RegionFor missed last byte of alpha")
+	}
+	if _, ok := s.RegionFor(a + 500); ok {
+		t.Error("RegionFor matched one past the end")
+	}
+	if r, ok := s.RegionByName("delta"); !ok || r.Base != d {
+		t.Error("RegionByName failed")
+	}
+	if _, ok := s.RegionByName("missing"); ok {
+		t.Error("RegionByName matched a missing name")
+	}
+}
+
+func TestTotalMapped(t *testing.T) {
+	s := NewSpace()
+	s.Malloc(100, "h1")
+	s.Malloc(200, "h2")
+	s.AllocDirect(1000, "d1")
+	if s.TotalMapped(KindHeap) != 300 {
+		t.Errorf("heap total %d, want 300", s.TotalMapped(KindHeap))
+	}
+	if s.TotalMapped(KindDirect) != 1000 {
+		t.Errorf("direct total %d, want 1000", s.TotalMapped(KindDirect))
+	}
+}
+
+func TestRegionsSortedCopy(t *testing.T) {
+	s := NewSpace()
+	s.AllocDirect(10, "d")
+	s.Malloc(10, "h")
+	rs := s.Regions()
+	if len(rs) != 2 {
+		t.Fatalf("got %d regions", len(rs))
+	}
+	if rs[0].Base > rs[1].Base {
+		t.Error("regions not sorted by base")
+	}
+	rs[0].Name = "mutated"
+	if r, _ := s.RegionByName("mutated"); r.Name == "mutated" {
+		t.Error("Regions returned a live reference")
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if KindHeap.String() != "heap" || KindDirect.String() != "direct" {
+		t.Error("kind strings wrong")
+	}
+	if RegionKind(9).String() == "" {
+		t.Error("unknown kind empty string")
+	}
+}
+
+// Property: any interleaving of mallocs and direct allocations keeps all
+// regions pairwise disjoint and each in its proper arena.
+func TestPropertyAllocationsDisjoint(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSpace()
+		for _, op := range ops {
+			size := uint64(op%8192) + 1
+			var err error
+			if op%2 == 0 {
+				_, err = s.Malloc(size, "h")
+			} else {
+				_, err = s.AllocDirect(size, "d")
+			}
+			if err != nil {
+				return false
+			}
+		}
+		rs := s.Regions()
+		for i := 1; i < len(rs); i++ {
+			if rs[i-1].End() > rs[i].Base {
+				return false
+			}
+		}
+		for _, r := range rs {
+			inDS := InDirectRegion(r.Base)
+			if (r.Kind == KindDirect) != inDS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

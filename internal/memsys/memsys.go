@@ -1,0 +1,130 @@
+// Package memsys defines the vocabulary shared by every memory-system
+// component in the simulator: physical/virtual addresses, cache-line
+// arithmetic, access types, and the demand-request structure that cores
+// and SMs hand to the hierarchy.
+//
+// The whole simulated system uses a 128-byte cache line, matching the
+// gem5-gpu configuration in Table I of the paper.
+package memsys
+
+import (
+	"fmt"
+
+	"dstore/internal/sim"
+)
+
+// Addr is a byte address. The same type is used for virtual and physical
+// addresses; the MMU package is the only place the distinction matters
+// and it names its fields accordingly.
+type Addr uint64
+
+// Cache-line geometry (Table I: "Cache line size is 128 bytes across the
+// whole system").
+const (
+	LineShift = 7
+	LineSize  = 1 << LineShift // 128 bytes
+)
+
+// LineAlign rounds a down to the start of its cache line.
+func LineAlign(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns a's offset within its cache line.
+func LineOffset(a Addr) uint64 { return uint64(a) & (LineSize - 1) }
+
+// LineNum returns the line index of a (address divided by line size).
+func LineNum(a Addr) uint64 { return uint64(a) >> LineShift }
+
+// LinesCovering returns how many cache lines the byte range [a, a+size)
+// touches. A zero-size range touches no lines.
+func LinesCovering(a Addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := LineNum(a)
+	last := LineNum(a + Addr(size) - 1)
+	return last - first + 1
+}
+
+// SliceFor returns which of n address-interleaved slices owns the line
+// containing a. The GPU L2 in Table I has 4 slices interleaved at line
+// granularity.
+func SliceFor(a Addr, n int) int {
+	if n <= 0 {
+		panic("memsys: SliceFor with non-positive slice count")
+	}
+	return int(LineNum(a) % uint64(n))
+}
+
+// AccessType classifies a demand access.
+type AccessType uint8
+
+const (
+	// Load is a demand read.
+	Load AccessType = iota
+	// Store is a demand write.
+	Store
+	// IFetch is an instruction fetch (CPU L1I path).
+	IFetch
+	// RemoteStore is a store to the direct-store region: the CPU-side
+	// hierarchy must not cache it and must forward it to the GPU L2
+	// (paper §III-E/F).
+	RemoteStore
+)
+
+// String returns the conventional short name for the access type.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "LD"
+	case Store:
+		return "ST"
+	case IFetch:
+		return "IF"
+	case RemoteStore:
+		return "RST"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(t))
+	}
+}
+
+// IsWrite reports whether the access modifies memory.
+func (t AccessType) IsWrite() bool { return t == Store || t == RemoteStore }
+
+// Request is a demand memory access issued by a core or an SM into the
+// hierarchy. Requests are line-granular by the time they reach a cache
+// controller; the issuing agent performs coalescing/splitting.
+type Request struct {
+	// ID is unique per issuing agent, for tracing.
+	ID uint64
+	// Type is the access class.
+	Type AccessType
+	// Addr is the (physical, post-TLB) address of the access.
+	Addr Addr
+	// Size in bytes; informational once line-aligned.
+	Size uint32
+	// Issued is the tick the agent issued the request.
+	Issued sim.Tick
+	// Ver is the data-version oracle. The simulator does not carry data
+	// values, but every store is tagged with a version by its issuer and
+	// every load reports the version of the line copy it observed, so
+	// tests can check that the protocol always returns the latest write.
+	// For writes the issuer sets Ver; for reads the completing
+	// controller fills it in before calling Done.
+	Ver uint64
+	// Done is called exactly once when the access completes. It may be
+	// nil for fire-and-forget writes.
+	Done func(now sim.Tick)
+}
+
+// Complete invokes Done if set. Controllers call this exactly once per
+// request.
+func (r *Request) Complete(now sim.Tick) {
+	if r.Done != nil {
+		r.Done(now)
+	}
+}
+
+// String formats the request for trace output.
+func (r *Request) String() string {
+	return fmt.Sprintf("%s#%d@%#x", r.Type, r.ID, uint64(r.Addr))
+}

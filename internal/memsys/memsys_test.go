@@ -1,0 +1,173 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/sim"
+)
+
+func TestLineAlign(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0},
+		{1, 0},
+		{127, 0},
+		{128, 128},
+		{129, 128},
+		{0x1000, 0x1000},
+		{0x10ff, 0x1080},
+	}
+	for _, c := range cases {
+		if got := LineAlign(c.in); got != c.want {
+			t.Errorf("LineAlign(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLineOffset(t *testing.T) {
+	if LineOffset(0x1000) != 0 {
+		t.Error("aligned address has non-zero offset")
+	}
+	if LineOffset(0x1005) != 5 {
+		t.Errorf("LineOffset(0x1005) = %d, want 5", LineOffset(0x1005))
+	}
+	if LineOffset(127) != 127 {
+		t.Errorf("LineOffset(127) = %d, want 127", LineOffset(127))
+	}
+}
+
+func TestLineNum(t *testing.T) {
+	if LineNum(0) != 0 || LineNum(127) != 0 {
+		t.Error("first line misnumbered")
+	}
+	if LineNum(128) != 1 {
+		t.Error("second line misnumbered")
+	}
+	if LineNum(128*1000+5) != 1000 {
+		t.Error("large line misnumbered")
+	}
+}
+
+func TestLinesCovering(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		size uint64
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 128, 1},
+		{0, 129, 2},
+		{127, 1, 1},
+		{127, 2, 2},
+		{100, 128, 2},
+		{0, 128 * 10, 10},
+		{64, 128 * 10, 11},
+	}
+	for _, c := range cases {
+		if got := LinesCovering(c.addr, c.size); got != c.want {
+			t.Errorf("LinesCovering(%#x, %d) = %d, want %d", c.addr, c.size, got, c.want)
+		}
+	}
+}
+
+// Property: LineAlign is idempotent and never increases the address, and
+// offset+aligned reconstructs the address.
+func TestPropertyLineArithmetic(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		al := LineAlign(addr)
+		if LineAlign(al) != al {
+			return false
+		}
+		if al > addr {
+			return false
+		}
+		return uint64(al)+LineOffset(addr) == uint64(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: consecutive lines map to consecutive slices modulo the slice
+// count, and every slice index is in range.
+func TestPropertySliceInterleave(t *testing.T) {
+	f := func(a uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		addr := LineAlign(Addr(a))
+		s0 := SliceFor(addr, n)
+		s1 := SliceFor(addr+LineSize, n)
+		if s0 < 0 || s0 >= n {
+			return false
+		}
+		return s1 == (s0+1)%n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceForPanicsOnZeroSlices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SliceFor with 0 slices did not panic")
+		}
+	}()
+	SliceFor(0, 0)
+}
+
+func TestSliceForSameLineSameSlice(t *testing.T) {
+	for off := Addr(0); off < LineSize; off += 13 {
+		if SliceFor(0x4000+off, 4) != SliceFor(0x4000, 4) {
+			t.Fatalf("offset %d within a line changed its slice", off)
+		}
+	}
+}
+
+func TestAccessTypeStrings(t *testing.T) {
+	cases := map[AccessType]string{
+		Load:        "LD",
+		Store:       "ST",
+		IFetch:      "IF",
+		RemoteStore: "RST",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(ty), ty.String(), want)
+		}
+	}
+	if AccessType(99).String() == "" {
+		t.Error("unknown access type produced empty string")
+	}
+}
+
+func TestAccessTypeIsWrite(t *testing.T) {
+	if Load.IsWrite() || IFetch.IsWrite() {
+		t.Error("read access classified as write")
+	}
+	if !Store.IsWrite() || !RemoteStore.IsWrite() {
+		t.Error("write access not classified as write")
+	}
+}
+
+func TestRequestCompleteInvokesDone(t *testing.T) {
+	var at sim.Tick
+	r := &Request{Type: Load, Addr: 0x80, Done: func(now sim.Tick) { at = now }}
+	r.Complete(17)
+	if at != 17 {
+		t.Errorf("Done saw tick %d, want 17", at)
+	}
+}
+
+func TestRequestCompleteNilDone(t *testing.T) {
+	r := &Request{Type: Store, Addr: 0x80}
+	r.Complete(5) // must not panic
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{ID: 3, Type: Store, Addr: 0x1f00}
+	if got := r.String(); got != "ST#3@0x1f00" {
+		t.Errorf("String() = %q", got)
+	}
+}

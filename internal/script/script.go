@@ -1,0 +1,355 @@
+// Package script parses and runs text workload scripts, so the
+// simulator can be driven without writing Go. A script accumulates CPU
+// ops and GPU warps, then executes them in phases:
+//
+//	# comments start with '#'
+//	alloc buf 65536          # shared allocation (direct region under DS)
+//	alloc-private tmp 4096   # CPU-private heap allocation
+//
+//	cpu st buf+0             # CPU store (becomes a push under DS)
+//	cpu st buf+128 gap=10    # with 10 ticks of compute first
+//	cpu ld buf+0
+//	cpu fence                # drain the store buffer
+//	run cpu                  # execute the accumulated CPU ops as a phase
+//
+//	warp                     # start a new warp
+//	gpu ld buf+0             # coalesced load (this warp)
+//	gpu ld buf+128 lines=2   # two-line (uncoalesced) access
+//	gpu st buf+256
+//	gpu shared               # scratchpad access
+//	gpu compute 50           # 50 ticks of arithmetic
+//	gpu barrier              # kernel-wide barrier
+//	run gpu mykernel         # launch the accumulated warps
+//
+// Addresses are `name+offset` against a prior alloc, or bare hex/dec
+// literals.
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dstore/internal/core"
+	"dstore/internal/cpu"
+	"dstore/internal/gpu"
+	"dstore/internal/memsys"
+	"dstore/internal/sim"
+)
+
+// Phase is one executable step of a parsed script.
+type Phase struct {
+	// CPU ops (when Kernel is nil).
+	Ops []cpu.Op
+	// Kernel (when non-nil).
+	Kernel *gpu.Kernel
+}
+
+// Script is a parsed workload: allocations then phases.
+type Script struct {
+	// Allocs are performed in order before any phase runs.
+	Allocs []Alloc
+	Phases []Phase
+	// syms is the symbolic-address name table (see symbolicAddr).
+	syms []string
+}
+
+// Alloc is one named allocation request.
+type Alloc struct {
+	Name    string
+	Size    uint64
+	Private bool
+}
+
+// Parse reads a script. Errors carry line numbers.
+func Parse(r io.Reader) (*Script, error) {
+	s := &Script{}
+	names := map[string]bool{}
+	var ops []cpu.Op
+	var warps []gpu.Warp
+	var cur []gpu.WarpOp
+	warpOpen := false
+
+	flushWarp := func() {
+		if warpOpen {
+			warps = append(warps, gpu.Warp{Ops: cur})
+			cur = nil
+			warpOpen = false
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		addr := func(tok string) memsys.Addr { return s.symbolicAddr(tok, names) }
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("script line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "alloc", "alloc-private":
+			if len(f) != 3 {
+				return nil, fail("%s wants: %s <name> <bytes>", f[0], f[0])
+			}
+			size, err := strconv.ParseUint(f[2], 0, 64)
+			if err != nil || size == 0 {
+				return nil, fail("bad size %q", f[2])
+			}
+			if names[f[1]] {
+				return nil, fail("duplicate allocation %q", f[1])
+			}
+			names[f[1]] = true
+			s.Allocs = append(s.Allocs, Alloc{Name: f[1], Size: size, Private: f[0] == "alloc-private"})
+		case "cpu":
+			if len(f) < 2 {
+				return nil, fail("cpu wants an op")
+			}
+			op, err := parseCPUOp(f[1:], addr)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			ops = append(ops, op)
+		case "warp":
+			flushWarp()
+			warpOpen = true
+		case "gpu":
+			if !warpOpen {
+				warpOpen = true // implicit first warp
+			}
+			if len(f) < 2 {
+				return nil, fail("gpu wants an op")
+			}
+			op, err := parseGPUOp(f[1:], addr)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur = append(cur, op)
+		case "run":
+			if len(f) < 2 {
+				return nil, fail("run wants cpu or gpu")
+			}
+			switch f[1] {
+			case "cpu":
+				if len(ops) == 0 {
+					return nil, fail("run cpu with no accumulated ops")
+				}
+				s.Phases = append(s.Phases, Phase{Ops: ops})
+				ops = nil
+			case "gpu":
+				flushWarp()
+				if len(warps) == 0 {
+					return nil, fail("run gpu with no accumulated warps")
+				}
+				name := "kernel"
+				if len(f) > 2 {
+					name = f[2]
+				}
+				k := gpu.Kernel{Name: name, Warps: warps}
+				s.Phases = append(s.Phases, Phase{Kernel: &k})
+				warps = nil
+			default:
+				return nil, fail("run wants cpu or gpu, got %q", f[1])
+			}
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ops) > 0 || warpOpen || len(warps) > 0 {
+		return nil, fmt.Errorf("script: accumulated ops never run (missing `run cpu` / `run gpu`?)")
+	}
+	return s, nil
+}
+
+// parseCPUOp handles: st <addr> [gap=N] | ld <addr> [gap=N] | fence.
+func parseCPUOp(f []string, addr func(string) memsys.Addr) (cpu.Op, error) {
+	switch f[0] {
+	case "fence":
+		return cpu.Op{Fence: true}, nil
+	case "st", "ld":
+		if len(f) < 2 {
+			return cpu.Op{}, fmt.Errorf("cpu %s wants an address", f[0])
+		}
+		ty := memsys.Store
+		if f[0] == "ld" {
+			ty = memsys.Load
+		}
+		op := cpu.Op{Type: ty, Addr: addr(f[1])}
+		for _, kv := range f[2:] {
+			v, ok := strings.CutPrefix(kv, "gap=")
+			if !ok {
+				return cpu.Op{}, fmt.Errorf("unknown option %q", kv)
+			}
+			g, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return cpu.Op{}, fmt.Errorf("bad gap %q", v)
+			}
+			op.Gap = sim.Tick(g)
+		}
+		return op, nil
+	default:
+		return cpu.Op{}, fmt.Errorf("unknown cpu op %q", f[0])
+	}
+}
+
+// parseGPUOp handles: ld/st <addr> [lines=N] | shared | compute <ticks> | barrier.
+func parseGPUOp(f []string, addr func(string) memsys.Addr) (gpu.WarpOp, error) {
+	switch f[0] {
+	case "shared":
+		return gpu.WarpOp{Kind: gpu.OpShared}, nil
+	case "barrier":
+		return gpu.WarpOp{Kind: gpu.OpBarrier}, nil
+	case "compute":
+		if len(f) < 2 {
+			return gpu.WarpOp{}, fmt.Errorf("gpu compute wants a tick count")
+		}
+		g, err := strconv.ParseUint(f[1], 0, 64)
+		if err != nil {
+			return gpu.WarpOp{}, fmt.Errorf("bad compute %q", f[1])
+		}
+		return gpu.WarpOp{Kind: gpu.OpCompute, Gap: sim.Tick(g)}, nil
+	case "ld", "st":
+		if len(f) < 2 {
+			return gpu.WarpOp{}, fmt.Errorf("gpu %s wants an address", f[0])
+		}
+		kind := gpu.OpGlobalLoad
+		if f[0] == "st" {
+			kind = gpu.OpGlobalStore
+		}
+		op := gpu.WarpOp{Kind: kind, Addr: addr(f[1]), Lines: 1}
+		for _, kv := range f[2:] {
+			v, ok := strings.CutPrefix(kv, "lines=")
+			if !ok {
+				return gpu.WarpOp{}, fmt.Errorf("unknown option %q", kv)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return gpu.WarpOp{}, fmt.Errorf("bad lines %q", v)
+			}
+			op.Lines = n
+		}
+		return op, nil
+	default:
+		return gpu.WarpOp{}, fmt.Errorf("unknown gpu op %q", f[0])
+	}
+}
+
+// symbolicAddr encodes `name+offset` references for later resolution.
+// To keep the op structs plain, the encoding packs them into an Addr:
+// the top bit marks "symbolic", the next 15 bits index the script's
+// name table, and the low 48 bits carry the offset. Bare hex/dec
+// literals pass through untouched.
+func (s *Script) symbolicAddr(tok string, names map[string]bool) memsys.Addr {
+	name, off := tok, uint64(0)
+	if i := strings.IndexByte(tok, '+'); i >= 0 {
+		name = tok[:i]
+		if v, err := strconv.ParseUint(tok[i+1:], 0, 48); err == nil {
+			off = v
+		}
+	}
+	if !names[name] {
+		// A bare literal address.
+		if v, err := strconv.ParseUint(tok, 0, 64); err == nil {
+			return memsys.Addr(v)
+		}
+		// Unknown name: Run reports it.
+		return symBit | memsys.Addr(unknownName)<<48
+	}
+	idx := -1
+	for i, n := range s.syms {
+		if n == name {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		s.syms = append(s.syms, name)
+		idx = len(s.syms) - 1
+	}
+	return symBit | memsys.Addr(idx&0x7fff)<<48 | memsys.Addr(off)
+}
+
+const (
+	symBit      = memsys.Addr(1) << 63
+	unknownName = 0x7fff
+)
+
+// resolve rebases a symbolic address against the allocation map.
+func (s *Script) resolve(a memsys.Addr, bases map[string]memsys.Addr) (memsys.Addr, error) {
+	if a&symBit == 0 {
+		return a, nil
+	}
+	idx := int(a>>48) & 0x7fff
+	if idx == unknownName || idx >= len(s.syms) {
+		return 0, fmt.Errorf("script: reference to undeclared allocation")
+	}
+	base, ok := bases[s.syms[idx]]
+	if !ok {
+		return 0, fmt.Errorf("script: allocation %q not materialised", s.syms[idx])
+	}
+	return base + (a &^ symBit & ((1 << 48) - 1)), nil
+}
+
+// Run materialises the script's allocations on sys and executes its
+// phases in order, returning total elapsed ticks.
+func (s *Script) Run(sys *core.System) (sim.Tick, error) {
+	bases := map[string]memsys.Addr{}
+	for _, al := range s.Allocs {
+		var (
+			base memsys.Addr
+			err  error
+		)
+		if al.Private {
+			base, err = sys.AllocPrivate(al.Size, al.Name)
+		} else {
+			base, err = sys.AllocShared(al.Size, al.Name)
+		}
+		if err != nil {
+			return 0, err
+		}
+		bases[al.Name] = base
+	}
+	start := sys.Now()
+	for _, ph := range s.Phases {
+		if ph.Kernel != nil {
+			k := gpu.Kernel{Name: ph.Kernel.Name}
+			for _, w := range ph.Kernel.Warps {
+				var ops []gpu.WarpOp
+				for _, op := range w.Ops {
+					a, err := s.resolve(op.Addr, bases)
+					if err != nil {
+						return 0, err
+					}
+					op.Addr = a
+					ops = append(ops, op)
+				}
+				k.Warps = append(k.Warps, gpu.Warp{Ops: ops})
+			}
+			sys.RunKernel(k)
+			continue
+		}
+		var ops []cpu.Op
+		for _, op := range ph.Ops {
+			a, err := s.resolve(op.Addr, bases)
+			if err != nil {
+				return 0, err
+			}
+			op.Addr = a
+			ops = append(ops, op)
+		}
+		sys.RunCPU(ops)
+	}
+	return sys.Now() - start, nil
+}

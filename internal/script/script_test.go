@@ -1,0 +1,178 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"dstore/internal/core"
+	"dstore/internal/memsys"
+)
+
+const demo = `
+# producer-consumer demo
+alloc buf 1024
+alloc-private scratch 256
+
+cpu st buf+0
+cpu st buf+128 gap=10
+cpu st buf+256
+cpu fence
+cpu ld buf+0
+run cpu
+
+warp
+gpu ld buf+0
+gpu compute 50
+gpu shared
+warp
+gpu ld buf+128
+gpu st buf+512
+run gpu consume
+`
+
+func parse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseStructure(t *testing.T) {
+	s := parse(t, demo)
+	if len(s.Allocs) != 2 {
+		t.Fatalf("allocs %+v", s.Allocs)
+	}
+	if s.Allocs[0].Name != "buf" || s.Allocs[0].Private {
+		t.Errorf("alloc 0 %+v", s.Allocs[0])
+	}
+	if !s.Allocs[1].Private {
+		t.Errorf("alloc 1 should be private")
+	}
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases %d", len(s.Phases))
+	}
+	if s.Phases[0].Kernel != nil || len(s.Phases[0].Ops) != 5 {
+		t.Errorf("phase 0: %+v", s.Phases[0])
+	}
+	if s.Phases[1].Kernel == nil || len(s.Phases[1].Kernel.Warps) != 2 {
+		t.Errorf("phase 1: %+v", s.Phases[1])
+	}
+	if s.Phases[1].Kernel.Name != "consume" {
+		t.Errorf("kernel name %q", s.Phases[1].Kernel.Name)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	s := parse(t, demo)
+	sys := core.NewSystem(core.DefaultConfig(core.ModeDirectStore))
+	ticks, err := s.Run(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks == 0 {
+		t.Error("script took no time")
+	}
+	if sys.PushesReceived() != 3 {
+		t.Errorf("pushes = %d, want 3 (three produce stores)", sys.PushesReceived())
+	}
+	if err := sys.CheckCoherence(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDirectVsCCSMFromSameScript(t *testing.T) {
+	src := `
+alloc buf 4096
+cpu st buf+0
+cpu st buf+128
+run cpu
+gpu ld buf+0
+gpu ld buf+128
+run gpu
+`
+	run := func(mode core.Mode) uint64 {
+		s := parse(t, src)
+		sys := core.NewSystem(core.DefaultConfig(mode))
+		if _, err := s.Run(sys); err != nil {
+			t.Fatal(err)
+		}
+		return sys.GPUL2Misses()
+	}
+	if ccsm, ds := run(core.ModeCCSM), run(core.ModeDirectStore); ds >= ccsm {
+		t.Errorf("DS misses %d not below CCSM %d", ds, ccsm)
+	}
+}
+
+func TestLiteralAddresses(t *testing.T) {
+	s := parse(t, `
+cpu st 0x20000
+run cpu
+`)
+	if s.Phases[0].Ops[0].Addr != memsys.Addr(0x20000) {
+		t.Errorf("literal addr %#x", uint64(s.Phases[0].Ops[0].Addr))
+	}
+}
+
+func TestBarrierAndOptions(t *testing.T) {
+	s := parse(t, `
+alloc b 1024
+gpu ld b+0 lines=3
+gpu barrier
+run gpu
+`)
+	ops := s.Phases[0].Kernel.Warps[0].Ops
+	if ops[0].Lines != 3 {
+		t.Errorf("lines option lost: %+v", ops[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frobnicate x",
+		"bad alloc":         "alloc x",
+		"zero size":         "alloc x 0",
+		"dup alloc":         "alloc x 10\nalloc x 10",
+		"bad cpu op":        "cpu jump 0x0",
+		"cpu missing addr":  "cpu st",
+		"bad gap":           "cpu st 0x0 gap=abc\nrun cpu",
+		"bad gpu op":        "gpu fly",
+		"bad lines":         "gpu ld 0x0 lines=0\nrun gpu",
+		"run nothing":       "run cpu",
+		"run what":          "cpu st 0x0\nrun sideways",
+		"dangling ops":      "cpu st 0x0",
+		"dangling warp":     "gpu ld 0x0",
+		"bad compute":       "gpu compute xyz\nrun gpu",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestUndeclaredReferenceFailsAtRun(t *testing.T) {
+	// "nosuch" parses as a literal-less unknown name.
+	s := parse(t, `
+cpu st nosuch+0
+run cpu
+`)
+	sys := core.NewSystem(core.DefaultConfig(core.ModeCCSM))
+	if _, err := s.Run(sys); err == nil {
+		t.Error("undeclared reference ran")
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	s := parse(t, `
+# header comment
+
+alloc a 128   # trailing comment
+cpu st a+0
+run cpu
+`)
+	if len(s.Allocs) != 1 || len(s.Phases) != 1 {
+		t.Error("comment handling broke parsing")
+	}
+}

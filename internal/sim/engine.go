@@ -1,0 +1,142 @@
+// Package sim provides the discrete-event simulation kernel that every
+// timed component in the simulator is built on: a tick clock, an event
+// queue with deterministic ordering, and a reproducible random number
+// source.
+//
+// The engine is deliberately minimal. Components schedule closures at
+// future ticks; the engine executes them in (tick, insertion-order)
+// order, so two events scheduled for the same tick always run in the
+// order they were scheduled. Determinism is a hard requirement: every
+// experiment in the paper reproduction must produce identical statistics
+// run-to-run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is the simulation time unit. One tick is one CPU-domain clock
+// cycle throughout the simulator; slower clock domains (GPU, DRAM) are
+// modelled by scaling their per-operation latencies into CPU ticks.
+type Tick uint64
+
+// event is a scheduled closure. seq breaks ties between events scheduled
+// for the same tick, preserving insertion order.
+type event struct {
+	when Tick
+	seq  uint64
+	fn   func()
+}
+
+// eventHeap is a min-heap ordered by (when, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulator. The zero value is not ready to
+// use; construct one with NewEngine.
+type Engine struct {
+	now      Tick
+	events   eventHeap
+	seq      uint64
+	executed uint64
+}
+
+// NewEngine returns an engine at tick zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation tick.
+func (e *Engine) Now() Tick { return e.now }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed returns the total number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule queues fn to run delay ticks from now. A delay of zero runs fn
+// later in the current tick, after all previously scheduled events for
+// this tick.
+func (e *Engine) Schedule(delay Tick, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at the absolute tick when. Scheduling in
+// the past panics: it would silently corrupt causality.
+func (e *Engine) ScheduleAt(when Tick, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at tick %d but now is %d", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+}
+
+// Step executes the single next event, advancing the clock to its tick.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final
+// tick. A simulation that schedules events unconditionally from within
+// events will never terminate; components must stop rescheduling when
+// idle.
+func (e *Engine) Run() Tick {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events up to and including tick limit and reports
+// whether the queue drained (true) or the limit cut the run short
+// (false). The clock is left at min(limit, last executed tick); events
+// beyond the limit remain queued.
+func (e *Engine) RunUntil(limit Tick) bool {
+	for len(e.events) > 0 {
+		if e.events[0].when > limit {
+			e.now = limit
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+// RunFor executes events for d ticks past the current time, with
+// RunUntil semantics.
+func (e *Engine) RunFor(d Tick) bool {
+	return e.RunUntil(e.now + d)
+}

@@ -1,0 +1,196 @@
+// Package trace generates line-granular memory access patterns: the
+// building blocks the benchmark models (internal/bench) compose into
+// CPU op streams and GPU kernels. Patterns are deterministic for a
+// given seed — experiment reproducibility end to end.
+package trace
+
+import (
+	"fmt"
+
+	"dstore/internal/memsys"
+	"dstore/internal/sim"
+)
+
+// SequentialLines returns every line address covering [base, base+bytes),
+// in ascending order — the streaming produce/consume pattern.
+func SequentialLines(base memsys.Addr, bytes uint64) []memsys.Addr {
+	n := memsys.LinesCovering(base, bytes)
+	out := make([]memsys.Addr, 0, n)
+	for a := memsys.LineAlign(base); n > 0; n-- {
+		out = append(out, a)
+		a += memsys.LineSize
+	}
+	return out
+}
+
+// StridedLines returns lines covering the region visited with a stride
+// of strideLines, wrapping through all residues so every line is
+// visited exactly once (a column-major sweep).
+func StridedLines(base memsys.Addr, bytes uint64, strideLines int) []memsys.Addr {
+	if strideLines <= 0 {
+		panic(fmt.Sprintf("trace: non-positive stride %d", strideLines))
+	}
+	n := int(memsys.LinesCovering(base, bytes))
+	start := memsys.LineAlign(base)
+	out := make([]memsys.Addr, 0, n)
+	for off := 0; off < strideLines; off++ {
+		for i := off; i < n; i += strideLines {
+			out = append(out, start+memsys.Addr(i)*memsys.LineSize)
+		}
+	}
+	return out
+}
+
+// TiledLines returns the line sequence of a tiled 2D walk over a
+// rows×cols matrix of elemSize-byte elements: tiles of tileRows×tileCols
+// elements are visited left-to-right, top-to-bottom, row-major inside
+// each tile — the matmul/LU blocking pattern.
+func TiledLines(base memsys.Addr, rows, cols, elemSize, tileRows, tileCols int) []memsys.Addr {
+	if rows <= 0 || cols <= 0 || elemSize <= 0 || tileRows <= 0 || tileCols <= 0 {
+		panic("trace: non-positive tiling geometry")
+	}
+	var out []memsys.Addr
+	var lastLine memsys.Addr
+	have := false
+	emit := func(r, c int) {
+		a := memsys.LineAlign(base + memsys.Addr((r*cols+c)*elemSize))
+		if have && a == lastLine {
+			return // coalesce consecutive same-line touches
+		}
+		out = append(out, a)
+		lastLine, have = a, true
+	}
+	for tr := 0; tr < rows; tr += tileRows {
+		for tc := 0; tc < cols; tc += tileCols {
+			for r := tr; r < tr+tileRows && r < rows; r++ {
+				for c := tc; c < tc+tileCols && c < cols; c++ {
+					emit(r, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RandomLines returns count uniform-random line addresses within the
+// region (with repetition) — the irregular pointer-chasing flavour.
+func RandomLines(base memsys.Addr, bytes uint64, count int, rng *sim.Rand) []memsys.Addr {
+	if count < 0 {
+		panic("trace: negative count")
+	}
+	n := memsys.LinesCovering(base, bytes)
+	if n == 0 {
+		panic("trace: empty region")
+	}
+	start := memsys.LineAlign(base)
+	out := make([]memsys.Addr, count)
+	for i := range out {
+		out[i] = start + memsys.Addr(rng.Uint64n(n))*memsys.LineSize
+	}
+	return out
+}
+
+// Graph is a synthetic CSR graph over a base region: node data lives at
+// NodeBase, edge/neighbour data at EdgeBase. Pannotia-style irregular
+// workloads traverse it.
+type Graph struct {
+	Nodes    int
+	NodeBase memsys.Addr
+	EdgeBase memsys.Addr
+	// Adj holds each node's neighbour indices.
+	Adj [][]int32
+	// edgeOffsets[i] is node i's first edge slot (prefix sums of
+	// degree).
+	edgeOffsets []int64
+}
+
+// NewGraph builds a power-law-flavoured random graph: node degrees are
+// skewed (a few hubs, many leaves), matching the Pannotia inputs'
+// irregularity. Deterministic per seed.
+func NewGraph(nodes, avgDegree int, nodeBase, edgeBase memsys.Addr, rng *sim.Rand) *Graph {
+	if nodes <= 0 || avgDegree <= 0 {
+		panic("trace: non-positive graph geometry")
+	}
+	g := &Graph{Nodes: nodes, NodeBase: nodeBase, EdgeBase: edgeBase}
+	g.Adj = make([][]int32, nodes)
+	g.edgeOffsets = make([]int64, nodes+1)
+	var total int64
+	for i := 0; i < nodes; i++ {
+		// Skewed degree: most nodes near avg/2, a few near 4*avg.
+		deg := 1 + rng.Intn(avgDegree)
+		if rng.Bool(0.05) {
+			deg += avgDegree * 3
+		}
+		adj := make([]int32, deg)
+		for j := range adj {
+			adj[j] = int32(rng.Intn(nodes))
+		}
+		g.Adj[i] = adj
+		g.edgeOffsets[i] = total
+		total += int64(deg)
+	}
+	g.edgeOffsets[nodes] = total
+	return g
+}
+
+// Edges returns the total edge count.
+func (g *Graph) Edges() int64 { return g.edgeOffsets[g.Nodes] }
+
+// NodeAddr returns the line address of node i's data (4 bytes/node).
+func (g *Graph) NodeAddr(i int) memsys.Addr {
+	return memsys.LineAlign(g.NodeBase + memsys.Addr(i*4))
+}
+
+// EdgeAddr returns the line address of edge slot e (4 bytes/edge).
+func (g *Graph) EdgeAddr(e int64) memsys.Addr {
+	return memsys.LineAlign(g.EdgeBase + memsys.Addr(e*4))
+}
+
+// TraverseLines returns the line sequence of one full traversal: for
+// each node, its CSR row followed by each neighbour's node data — the
+// scattered reads that make graph workloads cache-hostile.
+func (g *Graph) TraverseLines() []memsys.Addr {
+	var out []memsys.Addr
+	for i := 0; i < g.Nodes; i++ {
+		out = append(out, g.EdgeAddr(g.edgeOffsets[i]))
+		for _, nb := range g.Adj[i] {
+			out = append(out, g.NodeAddr(int(nb)))
+		}
+	}
+	return out
+}
+
+// Dedup returns lines with consecutive duplicates collapsed — models
+// intra-warp coalescing of a sorted access run.
+func Dedup(lines []memsys.Addr) []memsys.Addr {
+	var out []memsys.Addr
+	for i, a := range lines {
+		if i == 0 || a != lines[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Chunk splits lines into n nearly equal contiguous chunks (for
+// distributing work across warps). Chunks may be empty when n exceeds
+// the line count.
+func Chunk(lines []memsys.Addr, n int) [][]memsys.Addr {
+	if n <= 0 {
+		panic("trace: non-positive chunk count")
+	}
+	out := make([][]memsys.Addr, n)
+	per := (len(lines) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(lines) {
+			lo = len(lines)
+		}
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		out[i] = lines[lo:hi]
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/memsys"
+	"dstore/internal/sim"
+)
+
+func TestSequentialLinesCoverage(t *testing.T) {
+	lines := SequentialLines(0x1000, 1000) // 1000B from aligned base: 8 lines
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8", len(lines))
+	}
+	for i, a := range lines {
+		if a != memsys.Addr(0x1000)+memsys.Addr(i)*memsys.LineSize {
+			t.Fatalf("line %d = %#x", i, uint64(a))
+		}
+	}
+}
+
+func TestSequentialLinesUnalignedBase(t *testing.T) {
+	lines := SequentialLines(0x1010, memsys.LineSize) // straddles 2 lines
+	if len(lines) != 2 || lines[0] != 0x1000 {
+		t.Errorf("unaligned coverage wrong: %v", lines)
+	}
+}
+
+func TestStridedLinesVisitsAllOnce(t *testing.T) {
+	lines := StridedLines(0, 10*memsys.LineSize, 3)
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	seen := map[memsys.Addr]bool{}
+	for _, a := range lines {
+		if seen[a] {
+			t.Fatalf("line %#x visited twice", uint64(a))
+		}
+		seen[a] = true
+	}
+	// First pass strides by 3 lines.
+	if lines[1]-lines[0] != 3*memsys.LineSize {
+		t.Error("stride not honoured")
+	}
+}
+
+func TestStridedPanicsOnBadStride(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero stride did not panic")
+		}
+	}()
+	StridedLines(0, 1024, 0)
+}
+
+func TestTiledLinesCoalescesWithinLine(t *testing.T) {
+	// 4x4 matrix of 4B elements = 64B: single line, visited once.
+	lines := TiledLines(0, 4, 4, 4, 2, 2)
+	if len(lines) != 1 {
+		t.Errorf("tiny matrix produced %d line touches, want 1", len(lines))
+	}
+}
+
+func TestTiledLinesTouchesWholeMatrix(t *testing.T) {
+	// 64x64 of 4B = 16KB = 128 lines; every line must appear.
+	lines := TiledLines(0, 64, 64, 4, 16, 16)
+	seen := map[memsys.Addr]bool{}
+	for _, a := range lines {
+		seen[a] = true
+	}
+	if len(seen) != 128 {
+		t.Errorf("tiled walk covered %d distinct lines, want 128", len(seen))
+	}
+}
+
+func TestRandomLinesInRegion(t *testing.T) {
+	rng := sim.NewRand(1)
+	base := memsys.Addr(0x4000)
+	lines := RandomLines(base, 64*memsys.LineSize, 1000, rng)
+	if len(lines) != 1000 {
+		t.Fatal("count wrong")
+	}
+	for _, a := range lines {
+		if a < base || a >= base+64*memsys.LineSize {
+			t.Fatalf("line %#x outside region", uint64(a))
+		}
+		if memsys.LineOffset(a) != 0 {
+			t.Fatal("unaligned line")
+		}
+	}
+}
+
+func TestRandomLinesDeterministic(t *testing.T) {
+	a := RandomLines(0, 1<<20, 100, sim.NewRand(7))
+	b := RandomLines(0, 1<<20, 100, sim.NewRand(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := NewGraph(100, 8, 0x10000, 0x20000, sim.NewRand(3))
+	if g.Nodes != 100 {
+		t.Fatal("node count wrong")
+	}
+	if g.Edges() <= 0 {
+		t.Fatal("no edges")
+	}
+	var total int64
+	for _, adj := range g.Adj {
+		if len(adj) == 0 {
+			t.Fatal("zero-degree node")
+		}
+		total += int64(len(adj))
+		for _, nb := range adj {
+			if nb < 0 || int(nb) >= g.Nodes {
+				t.Fatalf("neighbour %d out of range", nb)
+			}
+		}
+	}
+	if total != g.Edges() {
+		t.Errorf("edge sum %d != Edges() %d", total, g.Edges())
+	}
+}
+
+func TestGraphDeterministic(t *testing.T) {
+	a := NewGraph(50, 4, 0, 0x10000, sim.NewRand(9))
+	b := NewGraph(50, 4, 0, 0x10000, sim.NewRand(9))
+	if a.Edges() != b.Edges() {
+		t.Fatal("same-seed graphs differ")
+	}
+}
+
+func TestGraphTraverseLines(t *testing.T) {
+	g := NewGraph(20, 3, 0x10000, 0x20000, sim.NewRand(5))
+	lines := g.TraverseLines()
+	// One CSR-row touch per node plus one per edge.
+	want := int64(g.Nodes) + g.Edges()
+	if int64(len(lines)) != want {
+		t.Errorf("traversal touched %d lines, want %d", len(lines), want)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	in := []memsys.Addr{0, 0, 128, 128, 128, 0, 256}
+	out := Dedup(in)
+	want := []memsys.Addr{0, 128, 0, 256}
+	if len(out) != len(want) {
+		t.Fatalf("dedup %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("dedup %v, want %v", out, want)
+		}
+	}
+	if Dedup(nil) != nil {
+		t.Error("dedup of nil not nil")
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	lines := SequentialLines(0, 10*memsys.LineSize)
+	chunks := Chunk(lines, 3)
+	if len(chunks) != 3 {
+		t.Fatal("chunk count wrong")
+	}
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 10 {
+		t.Errorf("chunks lost lines: %d", total)
+	}
+}
+
+func TestChunkMoreChunksThanLines(t *testing.T) {
+	chunks := Chunk(SequentialLines(0, 2*memsys.LineSize), 5)
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	if total != 2 {
+		t.Errorf("over-chunking lost lines: %d", total)
+	}
+}
+
+// Property: strided visits exactly the sequential set, in a different
+// order.
+func TestPropertyStridedIsPermutation(t *testing.T) {
+	f := func(nRaw, strideRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		stride := int(strideRaw%10) + 1
+		seq := SequentialLines(0, uint64(n)*memsys.LineSize)
+		str := StridedLines(0, uint64(n)*memsys.LineSize, stride)
+		if len(seq) != len(str) {
+			return false
+		}
+		seen := map[memsys.Addr]int{}
+		for _, a := range str {
+			seen[a]++
+		}
+		for _, a := range seq {
+			if seen[a] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chunking conserves order and content.
+func TestPropertyChunkConserves(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw % 200)
+		k := int(kRaw%8) + 1
+		lines := SequentialLines(0, uint64(n)*memsys.LineSize)
+		var flat []memsys.Addr
+		for _, c := range Chunk(lines, k) {
+			flat = append(flat, c...)
+		}
+		if len(flat) != len(lines) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != lines[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package translator
+
+import "fmt"
+
+// sizeofTable maps C type names to byte sizes for the size evaluator.
+var sizeofTable = map[string]uint64{
+	"char": 1, "signed": 4, "unsigned": 4, "short": 2,
+	"int": 4, "long": 8, "float": 4, "double": 8,
+	"size_t": 8, "int8_t": 1, "uint8_t": 1, "int16_t": 2, "uint16_t": 2,
+	"int32_t": 4, "uint32_t": 4, "int64_t": 8, "uint64_t": 8,
+}
+
+// evaluator computes compile-time constant size expressions: numeric
+// literals, sizeof(type), named constants, + - * / and parentheses —
+// enough for the allocation-size expressions the benchmarks use
+// (`n * sizeof(float)`, `(rows+2)*(cols+2)*sizeof(double)`, …).
+type evaluator struct {
+	toks    []Token
+	i       int
+	defines map[string]uint64
+}
+
+// EvalSize evaluates the constant expression formed by toks using the
+// given named constants. A top-level comma multiplies the operands —
+// calloc(n, size) allocates n*size bytes.
+func EvalSize(toks []Token, defines map[string]uint64) (uint64, error) {
+	e := &evaluator{toks: toks, defines: defines}
+	v, err := e.expr()
+	if err != nil {
+		return 0, err
+	}
+	for e.peek().Kind == TokPunct && e.peek().Text == "," {
+		e.next()
+		rhs, err := e.expr()
+		if err != nil {
+			return 0, err
+		}
+		v *= rhs
+	}
+	if e.peek().Kind != TokEOF && e.i < len(e.toks) {
+		return 0, fmt.Errorf("translator: trailing tokens after size expression (at %s)", tokenString(e.peek()))
+	}
+	return v, nil
+}
+
+func (e *evaluator) peek() Token {
+	if e.i >= len(e.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return e.toks[e.i]
+}
+
+func (e *evaluator) next() Token {
+	t := e.peek()
+	e.i++
+	return t
+}
+
+func (e *evaluator) expr() (uint64, error) {
+	v, err := e.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t := e.peek()
+		if t.Kind != TokPunct || (t.Text != "+" && t.Text != "-") {
+			return v, nil
+		}
+		e.next()
+		rhs, err := e.term()
+		if err != nil {
+			return 0, err
+		}
+		if t.Text == "+" {
+			v += rhs
+		} else {
+			if rhs > v {
+				return 0, fmt.Errorf("translator: negative intermediate in size expression")
+			}
+			v -= rhs
+		}
+	}
+}
+
+func (e *evaluator) term() (uint64, error) {
+	v, err := e.factor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		t := e.peek()
+		if t.Kind != TokPunct || (t.Text != "*" && t.Text != "/") {
+			return v, nil
+		}
+		e.next()
+		rhs, err := e.factor()
+		if err != nil {
+			return 0, err
+		}
+		if t.Text == "*" {
+			v *= rhs
+		} else {
+			if rhs == 0 {
+				return 0, fmt.Errorf("translator: division by zero in size expression")
+			}
+			v /= rhs
+		}
+	}
+}
+
+func (e *evaluator) factor() (uint64, error) {
+	t := e.next()
+	switch {
+	case t.Kind == TokNumber:
+		v, ok := parseUintLiteral(t.Text)
+		if !ok {
+			return 0, fmt.Errorf("translator: bad numeric literal %s", tokenString(t))
+		}
+		return v, nil
+	case t.Kind == TokIdent && t.Text == "sizeof":
+		if p := e.next(); p.Kind != TokPunct || p.Text != "(" {
+			return 0, fmt.Errorf("translator: expected '(' after sizeof, got %s", tokenString(p))
+		}
+		// Consume type tokens up to the matching ')': a pointer type
+		// (any '*' present) is 8 bytes; otherwise the innermost known
+		// base type wins ("unsigned long" resolves via its last word).
+		var size uint64
+		pointer := false
+		names := []string{}
+		for {
+			p := e.next()
+			if p.Kind == TokEOF {
+				return 0, fmt.Errorf("translator: unterminated sizeof")
+			}
+			if p.Kind == TokPunct && p.Text == ")" {
+				break
+			}
+			if p.Kind == TokPunct && p.Text == "*" {
+				pointer = true
+				continue
+			}
+			if p.Kind == TokIdent {
+				names = append(names, p.Text)
+			}
+		}
+		if pointer {
+			return 8, nil
+		}
+		for i := len(names) - 1; i >= 0; i-- {
+			if s, ok := sizeofTable[names[i]]; ok {
+				size = s
+				break
+			}
+		}
+		if size == 0 {
+			return 0, fmt.Errorf("translator: unknown type in sizeof(%v)", names)
+		}
+		return size, nil
+	case t.Kind == TokIdent:
+		if v, ok := e.defines[t.Text]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("translator: size depends on %q, which is not a known compile-time constant (add it to Options.Defines)", t.Text)
+	case t.Kind == TokPunct && t.Text == "(":
+		// Either a parenthesised sub-expression or a cast like
+		// (size_t); treat a lone type name followed by ')' as a cast
+		// and evaluate the rest.
+		v, err := e.expr()
+		if err != nil {
+			return 0, err
+		}
+		if p := e.next(); p.Kind != TokPunct || p.Text != ")" {
+			return 0, fmt.Errorf("translator: expected ')', got %s", tokenString(p))
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("translator: unexpected token %s in size expression", tokenString(t))
+	}
+}

@@ -1,0 +1,205 @@
+// Package translator implements the paper's automatic code translation
+// (§III-C) over a mini-CUDA dialect: it scans source files for kernel
+// invocations `name<<<Dg, Db, Ns, S>>>(x1, …, xn)`, captures the
+// variables the GPU will access, finds their malloc/cudaMalloc
+// declarations, and rewrites those to fixed-address mmap calls in the
+// reserved direct-store range — incrementing the starting virtual
+// address per variable so no two mappings overlap. "By using this
+// automatic code translator, there is no effort for the programmer to
+// modify the source code."
+package translator
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokIdent TokKind = iota
+	TokNumber
+	TokString
+	TokPunct       // single punctuation character
+	TokLaunchOpen  // <<<
+	TokLaunchClose // >>>
+	TokEOF
+)
+
+// Token is one lexeme with its byte span in the source.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset of the first character
+	End  int // byte offset one past the last character
+	Line int // 1-based line number
+}
+
+// Lex tokenises the source, skipping whitespace and comments. It never
+// fails: unknown bytes become single-character punctuation tokens, and
+// an unterminated comment or string simply ends at EOF (the scanner
+// only needs enough structure to find launches and allocations).
+func Lex(src string) []Token {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 < n {
+				i += 2
+			} else {
+				i = n
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			start := i
+			i++
+			for i < n && src[i] != quote {
+				if src[i] == '\\' && i+1 < n {
+					i++
+				}
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i < n {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: src[start:i], Pos: start, End: i, Line: line})
+		case c == '<' && i+2 < n && src[i+1] == '<' && src[i+2] == '<':
+			toks = append(toks, Token{Kind: TokLaunchOpen, Text: "<<<", Pos: i, End: i + 3, Line: line})
+			i += 3
+		case c == '>' && i+2 < n && src[i+1] == '>' && src[i+2] == '>':
+			toks = append(toks, Token{Kind: TokLaunchClose, Text: ">>>", Pos: i, End: i + 3, Line: line})
+			i += 3
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start, End: i, Line: line})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < n && (isIdentPart(rune(src[i])) || src[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Pos: start, End: i, Line: line})
+		default:
+			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: i, End: i + 1, Line: line})
+			i++
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n, End: n, Line: line})
+	return toks
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// tokenString formats a token for error messages.
+func tokenString(t Token) string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// scanDefines extracts `#define NAME <number>` and
+// `const int NAME = <number>;`-style compile-time constants the size
+// evaluator can use.
+func scanDefines(src string) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, ln := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(ln)
+		if strings.HasPrefix(s, "#define") {
+			fields := strings.Fields(s)
+			if len(fields) >= 3 {
+				if v, ok := parseUintLiteral(fields[2]); ok {
+					out[fields[1]] = v
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(s, "const ") {
+			// const <type...> NAME = <number>;
+			eq := strings.Index(s, "=")
+			if eq < 0 {
+				continue
+			}
+			lhs := strings.Fields(strings.TrimSpace(s[len("const "):eq]))
+			if len(lhs) == 0 {
+				continue
+			}
+			name := lhs[len(lhs)-1]
+			rhs := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s[eq+1:]), ";"))
+			if v, ok := parseUintLiteral(rhs); ok {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}
+
+// parseUintLiteral parses decimal or hex C integer literals (with
+// optional u/l suffixes).
+func parseUintLiteral(s string) (uint64, bool) {
+	s = strings.TrimRight(s, "uUlL")
+	if s == "" {
+		return 0, false
+	}
+	var v uint64
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		for _, r := range s[2:] {
+			var d uint64
+			switch {
+			case r >= '0' && r <= '9':
+				d = uint64(r - '0')
+			case r >= 'a' && r <= 'f':
+				d = uint64(r-'a') + 10
+			case r >= 'A' && r <= 'F':
+				d = uint64(r-'A') + 10
+			default:
+				return 0, false
+			}
+			v = v*16 + d
+		}
+		return v, true
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(r-'0')
+	}
+	return v, true
+}

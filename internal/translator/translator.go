@@ -1,0 +1,468 @@
+package translator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dstore/internal/memalloc"
+	"dstore/internal/memsys"
+)
+
+// Options configures a translation.
+type Options struct {
+	// BaseAddr is the first fixed mapping address; defaults to the
+	// reserved direct-store arena base.
+	BaseAddr uint64
+	// Defines supplies compile-time constants the sources don't define
+	// themselves (e.g. sizes passed via -DN=1024).
+	Defines map[string]uint64
+	// MinBytes implements the paper's §III-H co-existence policy: only
+	// kernel-referenced variables at least this large are re-homed to
+	// the GPU ("the programmer can set large variables to use this
+	// approach... the remaining small-sized data to use CCSM"). Zero
+	// re-homes everything.
+	MinBytes uint64
+}
+
+// KernelCall records one captured kernel invocation.
+type KernelCall struct {
+	File string
+	Line int
+	Name string
+	// Args are the top-level argument variable names, in order —
+	// exactly what the paper's translator stores "in the temporary
+	// memory".
+	Args []string
+}
+
+// VarAlloc records one rewritten allocation.
+type VarAlloc struct {
+	File string
+	Line int
+	Var  string
+	// Kind is "malloc" or "cudaMalloc".
+	Kind string
+	// Size is the evaluated byte size.
+	Size uint64
+	// Addr is the fixed virtual address assigned.
+	Addr uint64
+}
+
+// Translation is the result of translating a program.
+type Translation struct {
+	// Files holds the rewritten sources.
+	Files map[string]string
+	// Kernels are all captured invocations.
+	Kernels []KernelCall
+	// Allocs are the rewritten allocations, in address order.
+	Allocs []VarAlloc
+	// Unmatched lists kernel-argument variables for which no
+	// malloc/cudaMalloc declaration was found (typically by-value
+	// scalars; reported for transparency).
+	Unmatched []string
+	// SkippedSmall lists kernel-referenced variables left on the
+	// ordinary heap because they fall under Options.MinBytes (§III-H
+	// co-existence).
+	SkippedSmall []string
+}
+
+// Report renders a human-readable translation summary.
+func (t *Translation) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel invocations: %d\n", len(t.Kernels))
+	for _, k := range t.Kernels {
+		fmt.Fprintf(&b, "  %s:%d  %s<<<…>>>(%s)\n", k.File, k.Line, k.Name, strings.Join(k.Args, ", "))
+	}
+	fmt.Fprintf(&b, "rewritten allocations: %d\n", len(t.Allocs))
+	for _, a := range t.Allocs {
+		fmt.Fprintf(&b, "  %s:%d  %s (%s, %d bytes) -> mmap fixed @ %#x\n",
+			a.File, a.Line, a.Var, a.Kind, a.Size, a.Addr)
+	}
+	if len(t.SkippedSmall) > 0 {
+		fmt.Fprintf(&b, "left on the heap (below the size threshold, CCSM handles them): %s\n",
+			strings.Join(t.SkippedSmall, ", "))
+	}
+	if len(t.Unmatched) > 0 {
+		fmt.Fprintf(&b, "kernel arguments without allocations (scalars?): %s\n",
+			strings.Join(t.Unmatched, ", "))
+	}
+	return b.String()
+}
+
+// edit is a pending byte-range replacement in one source file.
+type edit struct {
+	pos, end int
+	text     string
+}
+
+// Translate runs the paper's two-pass translation over the sources:
+// pass one captures every kernel invocation's argument variables, pass
+// two finds those variables' malloc/cudaMalloc declarations and
+// rewrites them to fixed-address mmap calls in the reserved range. The
+// returned Translation holds the rewritten files and a full report.
+//
+// The input program must already be memory-copy free (§IV-B); a
+// cudaMemcpy anywhere is an error.
+func Translate(files map[string]string, opts Options) (*Translation, error) {
+	if opts.BaseAddr == 0 {
+		opts.BaseAddr = uint64(memalloc.DirectStoreBase)
+	}
+	if opts.BaseAddr%memalloc.PageSize != 0 {
+		return nil, fmt.Errorf("translator: base address %#x not page-aligned", opts.BaseAddr)
+	}
+
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	defines := make(map[string]uint64)
+	for k, v := range opts.Defines {
+		defines[k] = v
+	}
+	toksByFile := make(map[string][]Token)
+	for _, n := range names {
+		src := files[n]
+		if strings.Contains(src, "cudaMemcpy") {
+			return nil, fmt.Errorf("translator: %s uses cudaMemcpy; input programs must perform no CUDA memory copy", n)
+		}
+		toksByFile[n] = Lex(src)
+		for k, v := range scanDefines(src) {
+			defines[k] = v
+		}
+	}
+
+	out := &Translation{Files: make(map[string]string)}
+
+	// Pass 1: capture kernel invocations and their argument variables.
+	captured := map[string]bool{}
+	var capturedOrder []string
+	for _, n := range names {
+		for _, k := range scanKernelCalls(n, toksByFile[n]) {
+			out.Kernels = append(out.Kernels, k)
+			for _, a := range k.Args {
+				if !captured[a] {
+					captured[a] = true
+					capturedOrder = append(capturedOrder, a)
+				}
+			}
+		}
+	}
+
+	// Pass 2: find and rewrite the captured variables' allocations.
+	// The shared Space enforces the non-overlap invariant exactly the
+	// way the runtime allocator does.
+	space := memalloc.NewSpace()
+	next := memsys.Addr(opts.BaseAddr)
+	matched := map[string]bool{}
+	for _, n := range names {
+		var edits []edit
+		for _, al := range scanAllocations(n, toksByFile[n]) {
+			if !captured[al.varName] {
+				continue
+			}
+			size, err := EvalSize(al.sizeToks, defines)
+			if err != nil {
+				return nil, fmt.Errorf("translator: %s:%d: allocation of %q: %w", n, al.line, al.varName, err)
+			}
+			if size == 0 {
+				return nil, fmt.Errorf("translator: %s:%d: allocation of %q has zero size", n, al.line, al.varName)
+			}
+			if size < opts.MinBytes {
+				out.SkippedSmall = append(out.SkippedSmall, al.varName)
+				matched[al.varName] = true // known, deliberately left on the heap
+				continue
+			}
+			addr, err := space.MmapFixed(next, size, al.varName)
+			if err != nil {
+				return nil, fmt.Errorf("translator: %s:%d: %w", n, al.line, err)
+			}
+			next = pageAlignUp(addr + memsys.Addr(size))
+			mmapText := fmt.Sprintf(
+				"mmap((void *)0x%xULL, %dUL, PROT_READ|PROT_WRITE, MAP_PRIVATE|MAP_ANONYMOUS|MAP_FIXED, -1, 0)",
+				uint64(addr), size)
+			var text string
+			if al.kind == "cudaMalloc" {
+				text = fmt.Sprintf("%s = %s", al.varName, mmapText)
+			} else {
+				text = al.castText + mmapText
+			}
+			edits = append(edits, edit{pos: al.pos, end: al.end, text: text})
+			out.Allocs = append(out.Allocs, VarAlloc{
+				File: n, Line: al.line, Var: al.varName, Kind: al.kind,
+				Size: size, Addr: uint64(addr),
+			})
+			matched[al.varName] = true
+		}
+		out.Files[n] = applyEdits(files[n], edits)
+	}
+
+	for _, v := range capturedOrder {
+		if !matched[v] {
+			out.Unmatched = append(out.Unmatched, v)
+		}
+	}
+	return out, nil
+}
+
+func pageAlignUp(a memsys.Addr) memsys.Addr {
+	return memsys.Addr((uint64(a) + memalloc.PageSize - 1) &^ uint64(memalloc.PageSize-1))
+}
+
+// applyEdits replaces byte ranges (non-overlapping) right to left.
+func applyEdits(src string, edits []edit) string {
+	sort.Slice(edits, func(i, j int) bool { return edits[i].pos > edits[j].pos })
+	for _, e := range edits {
+		src = src[:e.pos] + e.text + src[e.end:]
+	}
+	return src
+}
+
+// scanKernelCalls finds `name<<<…>>>(args)` invocations.
+func scanKernelCalls(file string, toks []Token) []KernelCall {
+	var out []KernelCall
+	for i := 0; i+1 < len(toks); i++ {
+		if toks[i].Kind != TokIdent || toks[i+1].Kind != TokLaunchOpen {
+			continue
+		}
+		name := toks[i].Text
+		line := toks[i].Line
+		// Skip to the matching >>>.
+		j := i + 2
+		for j < len(toks) && toks[j].Kind != TokLaunchClose {
+			j++
+		}
+		if j >= len(toks) {
+			continue
+		}
+		j++
+		if j >= len(toks) || toks[j].Kind != TokPunct || toks[j].Text != "(" {
+			continue
+		}
+		args, end := scanArgs(toks, j)
+		out = append(out, KernelCall{File: file, Line: line, Name: name, Args: args})
+		i = end
+	}
+	return out
+}
+
+// scanArgs collects top-level identifier arguments of a call whose '('
+// is at index open; returns the argument names and the index of the
+// matching ')'.
+func scanArgs(toks []Token, open int) ([]string, int) {
+	depth := 0
+	var args []string
+	var cur []Token
+	flush := func() {
+		// Capture the lone identifier of a simple argument, or the
+		// identifier following a top-level '&'.
+		var idents []string
+		for _, t := range cur {
+			if t.Kind == TokIdent {
+				idents = append(idents, t.Text)
+			}
+		}
+		if len(idents) == 1 {
+			args = append(args, idents[0])
+		}
+		cur = cur[:0]
+	}
+	i := open
+	for ; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == TokPunct {
+			switch t.Text {
+			case "(", "[":
+				depth++
+				if depth == 1 {
+					continue
+				}
+			case ")", "]":
+				depth--
+				if depth == 0 {
+					flush()
+					return args, i
+				}
+			case ",":
+				if depth == 1 {
+					flush()
+					continue
+				}
+			}
+		}
+		if depth >= 1 {
+			cur = append(cur, t)
+		}
+	}
+	return args, i
+}
+
+// allocation is one malloc/cudaMalloc site found in a file.
+type allocation struct {
+	varName  string
+	kind     string
+	castText string // the original cast between '=' and malloc, verbatim
+	pos, end int    // byte span to replace
+	line     int
+	sizeToks []Token
+}
+
+// scanAllocations finds `x = (cast)malloc(expr)` and
+// `cudaMalloc(&x, expr)` / `cudaMalloc((void**)&x, expr)` sites.
+func scanAllocations(file string, toks []Token) []allocation {
+	var out []allocation
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != TokIdent {
+			continue
+		}
+		switch t.Text {
+		case "malloc", "calloc":
+			if al, ok := scanMalloc(toks, i); ok {
+				al.kind = t.Text
+				out = append(out, al)
+			}
+		case "cudaMalloc":
+			if al, ok := scanCudaMalloc(toks, i); ok {
+				out = append(out, al)
+			}
+		}
+	}
+	_ = file
+	return out
+}
+
+// scanMalloc handles `x = (cast)malloc(size)` and, since calloc's two
+// arguments multiply, `x = (cast)calloc(n, size)` — the size evaluator
+// treats the top-level comma as a multiplication.
+func scanMalloc(toks []Token, at int) (allocation, bool) {
+	// Forward: malloc '(' expr ')'.
+	if at+1 >= len(toks) || toks[at+1].Kind != TokPunct || toks[at+1].Text != "(" {
+		return allocation{}, false
+	}
+	depth := 0
+	var sizeToks []Token
+	end := -1
+	for j := at + 1; j < len(toks); j++ {
+		t := toks[j]
+		if t.Kind == TokPunct && t.Text == "(" {
+			depth++
+			if depth == 1 {
+				continue
+			}
+		}
+		if t.Kind == TokPunct && t.Text == ")" {
+			depth--
+			if depth == 0 {
+				end = j
+				break
+			}
+		}
+		sizeToks = append(sizeToks, t)
+	}
+	if end < 0 {
+		return allocation{}, false
+	}
+	// Backward: skip a possible cast `( type * * )` between '=' and
+	// malloc. Only cast-shaped tokens may intervene; anything else
+	// (a statement boundary, an operator) means this malloc is not a
+	// plain `x = (cast)malloc(size)` and is left alone.
+	eq := -1
+	for k := at - 1; k >= 0; k-- {
+		t := toks[k]
+		if t.Kind == TokPunct && (t.Text == "(" || t.Text == ")" || t.Text == "*") {
+			continue
+		}
+		if t.Kind == TokIdent && sizeofCastWord(t.Text) {
+			continue
+		}
+		if t.Kind == TokPunct && t.Text == "=" {
+			eq = k
+		}
+		break
+	}
+	if eq < 1 || toks[eq-1].Kind != TokIdent {
+		return allocation{}, false
+	}
+	varTok := toks[eq-1]
+	return allocation{
+		varName:  varTok.Text,
+		kind:     "malloc",
+		castText: "", // the cast inside [eq+1, at) is replaced wholesale
+		pos:      toks[eq+1].Pos,
+		end:      toks[end].End,
+		line:     toks[at].Line,
+		sizeToks: sizeToks,
+	}, true
+}
+
+// sizeofCastWord reports whether an identifier can appear inside a
+// pointer cast: a base type name or common typedef-ish words.
+func sizeofCastWord(s string) bool {
+	if _, ok := sizeofTable[s]; ok {
+		return true
+	}
+	switch s {
+	case "void", "const", "struct", "unsigned", "signed":
+		return true
+	}
+	// User typedefs ending in _t are common in the benchmarks.
+	return strings.HasSuffix(s, "_t")
+}
+
+func scanCudaMalloc(toks []Token, at int) (allocation, bool) {
+	// cudaMalloc '(' [cast] '&' x ',' expr ')'
+	if at+1 >= len(toks) || toks[at+1].Kind != TokPunct || toks[at+1].Text != "(" {
+		return allocation{}, false
+	}
+	depth := 0
+	varName := ""
+	var sizeToks []Token
+	seenComma := false
+	end := -1
+	for j := at + 1; j < len(toks); j++ {
+		t := toks[j]
+		if t.Kind == TokPunct {
+			switch t.Text {
+			case "(":
+				depth++
+				if depth == 1 {
+					continue
+				}
+			case ")":
+				depth--
+				if depth == 0 {
+					end = j
+				}
+			case ",":
+				if depth == 1 {
+					seenComma = true
+					continue
+				}
+			case "&":
+				if depth == 1 && !seenComma && j+1 < len(toks) && toks[j+1].Kind == TokIdent {
+					varName = toks[j+1].Text
+				}
+			}
+		}
+		if end >= 0 {
+			break
+		}
+		if seenComma {
+			sizeToks = append(sizeToks, t)
+		}
+	}
+	if end < 0 || varName == "" || len(sizeToks) == 0 {
+		return allocation{}, false
+	}
+	return allocation{
+		varName:  varName,
+		kind:     "cudaMalloc",
+		pos:      toks[at].Pos,
+		end:      toks[end].End,
+		line:     toks[at].Line,
+		sizeToks: sizeToks,
+	}, true
+}

@@ -1,0 +1,483 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dstore/internal/memalloc"
+)
+
+const simpleProgram = `
+#include <stdio.h>
+#define N 1024
+
+__global__ void vecadd(float *a, float *b, float *c, int n);
+
+int main() {
+    float *a = (float *)malloc(N * sizeof(float));
+    float *b = (float *)malloc(N * sizeof(float));
+    float *c;
+    cudaMalloc(&c, N * sizeof(float));
+    int n = N;
+    vecadd<<<4, 256>>>(a, b, c, n);
+    return 0;
+}
+`
+
+func translateOne(t *testing.T, src string, opts Options) *Translation {
+	t.Helper()
+	tr, err := Translate(map[string]string{"main.cu": src}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCapturesKernelInvocation(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{})
+	if len(tr.Kernels) != 1 {
+		t.Fatalf("captured %d kernels, want 1", len(tr.Kernels))
+	}
+	k := tr.Kernels[0]
+	if k.Name != "vecadd" {
+		t.Errorf("kernel name %q", k.Name)
+	}
+	want := []string{"a", "b", "c", "n"}
+	if len(k.Args) != len(want) {
+		t.Fatalf("args %v, want %v", k.Args, want)
+	}
+	for i := range want {
+		if k.Args[i] != want[i] {
+			t.Fatalf("args %v, want %v", k.Args, want)
+		}
+	}
+}
+
+func TestRewritesMallocAndCudaMalloc(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{})
+	if len(tr.Allocs) != 3 {
+		t.Fatalf("rewrote %d allocations, want 3: %+v", len(tr.Allocs), tr.Allocs)
+	}
+	out := tr.Files["main.cu"]
+	if strings.Contains(out, "malloc(N") {
+		t.Error("a malloc survived translation")
+	}
+	if strings.Contains(out, "cudaMalloc") {
+		t.Error("a cudaMalloc survived translation")
+	}
+	if got := strings.Count(out, "MAP_FIXED"); got != 3 {
+		t.Errorf("output has %d MAP_FIXED mmaps, want 3:\n%s", got, out)
+	}
+	// cudaMalloc rewrite assigns to the variable.
+	if !strings.Contains(out, "c = mmap(") {
+		t.Errorf("cudaMalloc rewrite missing assignment:\n%s", out)
+	}
+}
+
+func TestAssignedAddressesDisjointAndInArena(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{})
+	for i, a := range tr.Allocs {
+		if a.Size != 4096 {
+			t.Errorf("alloc %d size %d, want 4096", i, a.Size)
+		}
+		if a.Addr < uint64(memalloc.DirectStoreBase) {
+			t.Errorf("alloc %d at %#x below the arena", i, a.Addr)
+		}
+		if a.Addr%memalloc.PageSize != 0 {
+			t.Errorf("alloc %d at %#x not page-aligned", i, a.Addr)
+		}
+		for j := range tr.Allocs[:i] {
+			b := tr.Allocs[j]
+			if a.Addr < b.Addr+b.Size && b.Addr < a.Addr+a.Size {
+				t.Errorf("allocs %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestScalarArgsReportedUnmatched(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{})
+	found := false
+	for _, u := range tr.Unmatched {
+		if u == "n" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("scalar arg not reported unmatched: %v", tr.Unmatched)
+	}
+}
+
+func TestNonKernelMallocLeftAlone(t *testing.T) {
+	src := `
+int main() {
+    char *scratch = (char *)malloc(100);
+    float *a = (float *)malloc(400);
+    k<<<1, 1>>>(a);
+}
+`
+	tr := translateOne(t, src, Options{})
+	if len(tr.Allocs) != 1 || tr.Allocs[0].Var != "a" {
+		t.Fatalf("allocs %+v, want only a", tr.Allocs)
+	}
+	if !strings.Contains(tr.Files["main.cu"], "malloc(100)") {
+		t.Error("non-kernel malloc was rewritten")
+	}
+}
+
+func TestCudaMemcpyRejected(t *testing.T) {
+	src := `
+int main() {
+    float *a;
+    cudaMalloc(&a, 400);
+    cudaMemcpy(a, h, 400, cudaMemcpyHostToDevice);
+    k<<<1,1>>>(a);
+}
+`
+	if _, err := Translate(map[string]string{"m.cu": src}, Options{}); err == nil {
+		t.Error("program with cudaMemcpy accepted")
+	}
+}
+
+func TestDefinesFromConstAndOption(t *testing.T) {
+	src := `
+const int ROWS = 64;
+int main() {
+    float *a = (float *)malloc(ROWS * COLS * sizeof(float));
+    k<<<1,1>>>(a);
+}
+`
+	// COLS only via option.
+	tr, err := Translate(map[string]string{"m.cu": src}, Options{Defines: map[string]uint64{"COLS": 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Allocs[0].Size != 64*32*4 {
+		t.Errorf("size %d, want %d", tr.Allocs[0].Size, 64*32*4)
+	}
+}
+
+func TestUnknownSizeConstantErrors(t *testing.T) {
+	src := `
+int main() {
+    float *a = (float *)malloc(UNKNOWN * sizeof(float));
+    k<<<1,1>>>(a);
+}
+`
+	if _, err := Translate(map[string]string{"m.cu": src}, Options{}); err == nil {
+		t.Error("unevaluable size accepted")
+	}
+}
+
+func TestMultiFileTranslation(t *testing.T) {
+	host := `
+#define N 256
+int main() {
+    double *x = (double *)malloc(N * sizeof(double));
+    compute<<<8, 32>>>(x);
+}
+`
+	other := `
+void helper() {
+    int *y = (int *)malloc(N * sizeof(int));
+    aux<<<1, 32, 0, s>>>(y);
+}
+`
+	tr, err := Translate(map[string]string{"host.cu": host, "other.cu": other}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Allocs) != 2 {
+		t.Fatalf("allocs %+v", tr.Allocs)
+	}
+	if len(tr.Kernels) != 2 {
+		t.Fatalf("kernels %+v", tr.Kernels)
+	}
+	// Defines from one file apply to the program (single translation
+	// unit set), so other.cu's N resolves.
+	for _, a := range tr.Allocs {
+		if a.Size == 0 {
+			t.Error("zero size slipped through")
+		}
+	}
+}
+
+func TestFourArgLaunchSyntax(t *testing.T) {
+	src := `
+int main() {
+    float *a = (float *)malloc(512);
+    k<<<dimGrid, dimBlock, 1024, stream>>>(a);
+}
+`
+	tr := translateOne(t, src, Options{})
+	if len(tr.Kernels) != 1 || tr.Kernels[0].Args[0] != "a" {
+		t.Fatalf("kernels %+v", tr.Kernels)
+	}
+}
+
+func TestCudaMallocWithCast(t *testing.T) {
+	src := `
+int main() {
+    float *d;
+    cudaMalloc((void **)&d, 2048);
+    k<<<1,1>>>(d);
+}
+`
+	tr := translateOne(t, src, Options{})
+	if len(tr.Allocs) != 1 || tr.Allocs[0].Var != "d" || tr.Allocs[0].Size != 2048 {
+		t.Fatalf("allocs %+v", tr.Allocs)
+	}
+	if !strings.Contains(tr.Files["main.cu"], "d = mmap(") {
+		t.Error("cast cudaMalloc not rewritten")
+	}
+}
+
+func TestCommentsAndStringsIgnored(t *testing.T) {
+	src := `
+// fake<<<1,1>>>(z); in a comment
+/* float *q = (float*)malloc(4); k<<<1,1>>>(q); */
+const char *msg = "k<<<1,1>>>(fake)";
+int main() {
+    float *a = (float *)malloc(128);
+    real<<<1, 1>>>(a);
+}
+`
+	tr := translateOne(t, src, Options{})
+	if len(tr.Kernels) != 1 || tr.Kernels[0].Name != "real" {
+		t.Fatalf("kernels %+v", tr.Kernels)
+	}
+	if len(tr.Allocs) != 1 {
+		t.Fatalf("allocs %+v", tr.Allocs)
+	}
+}
+
+func TestBaseAddrOption(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{BaseAddr: uint64(memalloc.DirectStoreBase) + 1<<20})
+	if tr.Allocs[0].Addr != uint64(memalloc.DirectStoreBase)+1<<20 {
+		t.Errorf("first alloc at %#x", tr.Allocs[0].Addr)
+	}
+	if _, err := Translate(map[string]string{"m.cu": simpleProgram}, Options{BaseAddr: 12345}); err == nil {
+		t.Error("unaligned base accepted")
+	}
+}
+
+func TestReportMentionsEverything(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{})
+	rep := tr.Report()
+	for _, want := range []string{"vecadd", "mmap fixed", "malloc", "cudaMalloc"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestRewrittenProgramStillLexes(t *testing.T) {
+	tr := translateOne(t, simpleProgram, Options{})
+	toks := Lex(tr.Files["main.cu"])
+	if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+		t.Error("rewritten source does not lex")
+	}
+	// Translation is idempotent in effect: re-translating the output
+	// finds no mallocs left to rewrite.
+	tr2, err := Translate(map[string]string{"main.cu": tr.Files["main.cu"]}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Allocs) != 0 {
+		t.Errorf("second translation rewrote %d allocations", len(tr2.Allocs))
+	}
+}
+
+func TestEvalSizeExpressions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want uint64
+	}{
+		{"100", 100},
+		{"0x40", 64},
+		{"4 * 25", 100},
+		{"sizeof(float)", 4},
+		{"sizeof(double)", 8},
+		{"sizeof(unsigned long)", 8},
+		{"sizeof(float *)", 8},
+		{"N * sizeof(int)", 40},
+		{"(N + 2) * (N + 2)", 144},
+		{"N * N / 2", 50},
+		{"N - 2", 8},
+	}
+	defines := map[string]uint64{"N": 10}
+	for _, c := range cases {
+		toks := Lex(c.expr)
+		toks = toks[:len(toks)-1] // trim EOF
+		got, err := EvalSize(toks, defines)
+		if err != nil {
+			t.Errorf("EvalSize(%q): %v", c.expr, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalSize(%q) = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestEvalSizeErrors(t *testing.T) {
+	for _, expr := range []string{"", "FOO", "1 / 0", "sizeof(widget)", "2 - 5"} {
+		toks := Lex(expr)
+		toks = toks[:len(toks)-1]
+		if _, err := EvalSize(toks, nil); err == nil {
+			t.Errorf("EvalSize(%q) did not error", expr)
+		}
+	}
+}
+
+func TestScanDefines(t *testing.T) {
+	src := `
+#define N 100
+#define HEXY 0x20
+#define NOTNUM foo
+const int ROWS = 7;
+const unsigned long BIG = 12345;
+const char *s = "x";
+`
+	d := scanDefines(src)
+	if d["N"] != 100 || d["HEXY"] != 32 || d["ROWS"] != 7 || d["BIG"] != 12345 {
+		t.Errorf("defines %v", d)
+	}
+	if _, ok := d["NOTNUM"]; ok {
+		t.Error("non-numeric define captured")
+	}
+}
+
+func TestLexerTokenSpans(t *testing.T) {
+	src := "ab <<< 12 >>>"
+	toks := Lex(src)
+	if toks[0].Text != "ab" || toks[0].Pos != 0 || toks[0].End != 2 {
+		t.Errorf("ident span wrong: %+v", toks[0])
+	}
+	if toks[1].Kind != TokLaunchOpen || toks[3].Kind != TokLaunchClose {
+		t.Error("launch tokens not recognised")
+	}
+	for _, tok := range toks {
+		if tok.Kind != TokEOF && src[tok.Pos:tok.End] != tok.Text {
+			t.Errorf("token %+v span mismatch", tok)
+		}
+	}
+}
+
+// Property: for any set of sizes, assigned addresses are page-aligned,
+// ascending and pairwise disjoint.
+func TestPropertyAddressAssignment(t *testing.T) {
+	f := func(sizesRaw []uint16) bool {
+		if len(sizesRaw) == 0 || len(sizesRaw) > 20 {
+			return true
+		}
+		var b strings.Builder
+		b.WriteString("int main() {\n")
+		args := []string{}
+		for i, s := range sizesRaw {
+			size := int(s)%100000 + 1
+			name := "v" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+			b.WriteString("float *" + name + " = (float *)malloc(" + itoa(size) + ");\n")
+			args = append(args, name)
+		}
+		b.WriteString("k<<<1,1>>>(" + strings.Join(args, ", ") + ");\n}\n")
+		tr, err := Translate(map[string]string{"m.cu": b.String()}, Options{})
+		if err != nil {
+			return false
+		}
+		if len(tr.Allocs) != len(sizesRaw) {
+			return false
+		}
+		prevEnd := uint64(0)
+		for _, a := range tr.Allocs {
+			if a.Addr%memalloc.PageSize != 0 {
+				return false
+			}
+			if a.Addr < prevEnd {
+				return false
+			}
+			prevEnd = a.Addr + a.Size
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestCallocRewritten(t *testing.T) {
+	src := `
+#define N 100
+int main() {
+    int *hist = (int *)calloc(N, sizeof(int));
+    count<<<1, 32>>>(hist);
+}
+`
+	tr := translateOne(t, src, Options{})
+	if len(tr.Allocs) != 1 {
+		t.Fatalf("allocs %+v", tr.Allocs)
+	}
+	if tr.Allocs[0].Kind != "calloc" || tr.Allocs[0].Size != 400 {
+		t.Errorf("calloc alloc %+v, want kind=calloc size=400", tr.Allocs[0])
+	}
+	if strings.Contains(tr.Files["main.cu"], "calloc") {
+		t.Error("calloc survived translation")
+	}
+}
+
+func TestNonKernelCallocLeftAlone(t *testing.T) {
+	src := `
+int main() {
+    int *tmp = (int *)calloc(8, 4);
+    float *a = (float *)malloc(512);
+    k<<<1,1>>>(a);
+}
+`
+	tr := translateOne(t, src, Options{})
+	if len(tr.Allocs) != 1 || tr.Allocs[0].Var != "a" {
+		t.Fatalf("allocs %+v", tr.Allocs)
+	}
+	if !strings.Contains(tr.Files["main.cu"], "calloc(8, 4)") {
+		t.Error("non-kernel calloc rewritten")
+	}
+}
+
+func TestMinBytesCoexistencePolicy(t *testing.T) {
+	// §III-H: large variables go direct store, small stay on the heap.
+	src := `
+int main() {
+    float *big = (float *)malloc(1048576);
+    float *tiny = (float *)malloc(64);
+    k<<<32, 256>>>(big, tiny);
+}
+`
+	tr, err := Translate(map[string]string{"m.cu": src}, Options{MinBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Allocs) != 1 || tr.Allocs[0].Var != "big" {
+		t.Fatalf("allocs %+v, want only big", tr.Allocs)
+	}
+	if len(tr.SkippedSmall) != 1 || tr.SkippedSmall[0] != "tiny" {
+		t.Fatalf("skipped %v, want [tiny]", tr.SkippedSmall)
+	}
+	if !strings.Contains(tr.Files["m.cu"], "malloc(64)") {
+		t.Error("small variable was rewritten despite the threshold")
+	}
+	if !strings.Contains(tr.Report(), "below the size threshold") {
+		t.Error("report does not mention the skipped variable")
+	}
+}
