@@ -1,0 +1,34 @@
+GO ?= go
+
+# check is the gate every change must pass: static analysis, a full
+# build, the full test suite, and a race-detector pass over the two
+# packages that use (sweep runner) or feed (event kernel) concurrency.
+.PHONY: check
+check: vet build test race
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./internal/bench ./internal/sim
+
+# bench regenerates the event-kernel microbenchmarks. Compare against
+# the committed baseline in BENCH_sim_engine.txt before merging engine
+# changes.
+.PHONY: bench
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim
+
+.PHONY: baseline
+baseline:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/sim | tee BENCH_sim_engine.txt

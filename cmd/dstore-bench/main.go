@@ -11,6 +11,13 @@
 //	dstore-bench -standalone        # §III-H: stand-alone direct store
 //	dstore-bench -bench MM -input big   # one benchmark in detail
 //	dstore-bench -all               # everything
+//
+// Sweeps fan out across cores: -workers N bounds the number of
+// concurrent benchmark runs (default GOMAXPROCS; 1 recovers the strictly
+// sequential behaviour). The output is byte-identical for every worker
+// count. -timing reports per-experiment wall clock on stderr, and
+// -cpuprofile/-memprofile write pprof profiles for diagnosing
+// performance regressions.
 package main
 
 import (
@@ -18,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"dstore/internal/bench"
 	"dstore/internal/core"
@@ -42,6 +52,41 @@ func emitJSON(name string, cs []bench.Comparison) {
 	fmt.Println(string(out))
 }
 
+var timing bool
+
+// timed runs f and, under -timing, reports its wall clock on stderr so
+// it never contaminates the figure output.
+func timed(name string, f func()) {
+	start := time.Now()
+	f()
+	if timing {
+		fmt.Fprintf(os.Stderr, "timing: %-12s %8.2fs\n", name, time.Since(start).Seconds())
+	}
+}
+
+// sweep runs jobs through the worker pool and renders what succeeded.
+// A *bench.SweepError is reported per failure on stderr without
+// suppressing the surviving results; any other error is fatal.
+func sweep(jobs []bench.SweepJob, opt bench.SweepOptions) []bench.Comparison {
+	cs, err := bench.SweepWithConfigs(jobs, opt)
+	if err != nil {
+		se, ok := err.(*bench.SweepError)
+		if !ok {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, se)
+		failed := se.FailedIndices()
+		ok2 := cs[:0]
+		for i, c := range cs {
+			if !failed[i] {
+				ok2 = append(ok2, c)
+			}
+		}
+		cs = ok2
+	}
+	return cs
+}
+
 func main() {
 	var (
 		table1     = flag.Bool("table1", false, "print the Table I system configuration")
@@ -54,7 +99,11 @@ func main() {
 		input      = flag.String("input", "both", "input size: small, big or both")
 		all        = flag.Bool("all", false, "run every experiment")
 		asJSON     = flag.Bool("json", false, "emit figure data as JSON instead of text tables")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent benchmark runs per sweep (1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.BoolVar(&timing, "timing", false, "report per-experiment wall clock on stderr")
 	flag.Parse()
 
 	if *all {
@@ -65,7 +114,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			fail(err)
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
+
 	inputs := parseInputs(*input)
+	opt := bench.SweepOptions{Workers: *workers}
 
 	if *table1 {
 		fmt.Println("TABLE I: SYSTEM CONFIGURATION")
@@ -87,9 +156,10 @@ func main() {
 	if *fig4 || *fig5 {
 		byInput = map[bench.Input][]bench.Comparison{}
 		for _, in := range inputs {
-			cs, err := bench.RunAll(in)
-			fail(err)
-			byInput[in] = cs
+			in := in
+			timed(fmt.Sprintf("fig4/5-%s", in), func() {
+				byInput[in] = sweep(bench.StandardJobs(in), opt)
+			})
 		}
 	}
 	if *fig4 {
@@ -115,30 +185,49 @@ func main() {
 		fmt.Println("DIRECT STORE vs PREFETCHING (CCSM + next-line L2 prefetcher)")
 		pf := core.DefaultConfig(core.ModeCCSM)
 		pf.PrefetchDepth = 4
-		t := stats.NewTable("Benchmark", "Input", "DS vs CCSM", "DS vs CCSM+prefetch")
+		// Two jobs per benchmark: DS vs plain CCSM, then DS vs the
+		// prefetching baseline. Pairs stay adjacent in job order.
+		var jobs []bench.SweepJob
 		for _, in := range inputs {
 			for _, code := range []string{"NN", "VA", "BL", "MM", "HT"} {
-				plain, err := bench.Compare(code, in)
-				fail(err)
-				vsPf, err := bench.CompareWithConfigs(code, in, pf, core.DefaultConfig(core.ModeDirectStore))
-				fail(err)
-				t.AddRow(code, in.String(), stats.Percent(plain.Speedup()), stats.Percent(vsPf.Speedup()))
+				jobs = append(jobs,
+					bench.SweepJob{Code: code, In: in,
+						Base: core.DefaultConfig(core.ModeCCSM),
+						DS:   core.DefaultConfig(core.ModeDirectStore)},
+					bench.SweepJob{Code: code, In: in,
+						Base: pf,
+						DS:   core.DefaultConfig(core.ModeDirectStore)})
 			}
+		}
+		var cs []bench.Comparison
+		timed("prefetch", func() { cs = sweep(jobs, opt) })
+		t := stats.NewTable("Benchmark", "Input", "DS vs CCSM", "DS vs CCSM+prefetch")
+		for i := 0; i+1 < len(cs); i += 2 {
+			plain, vsPf := cs[i], cs[i+1]
+			t.AddRow(plain.Code, plain.In.String(), stats.Percent(plain.Speedup()), stats.Percent(vsPf.Speedup()))
 		}
 		fmt.Println(t)
 	}
 	if *standalone {
 		fmt.Println("STAND-ALONE DIRECT STORE (§III-H): CCSM removed between CPU and GPU")
-		t := stats.NewTable("Benchmark", "Input", "DS speedup", "Standalone speedup")
+		var jobs []bench.SweepJob
 		for _, in := range inputs {
 			for _, code := range []string{"NN", "VA", "BL", "BP", "NW"} {
-				ds, err := bench.Compare(code, in)
-				fail(err)
-				sa, err := bench.CompareWithConfigs(code, in,
-					core.DefaultConfig(core.ModeCCSM), core.DefaultConfig(core.ModeStandalone))
-				fail(err)
-				t.AddRow(code, in.String(), stats.Percent(ds.Speedup()), stats.Percent(sa.Speedup()))
+				jobs = append(jobs,
+					bench.SweepJob{Code: code, In: in,
+						Base: core.DefaultConfig(core.ModeCCSM),
+						DS:   core.DefaultConfig(core.ModeDirectStore)},
+					bench.SweepJob{Code: code, In: in,
+						Base: core.DefaultConfig(core.ModeCCSM),
+						DS:   core.DefaultConfig(core.ModeStandalone)})
 			}
+		}
+		var cs []bench.Comparison
+		timed("standalone", func() { cs = sweep(jobs, opt) })
+		t := stats.NewTable("Benchmark", "Input", "DS speedup", "Standalone speedup")
+		for i := 0; i+1 < len(cs); i += 2 {
+			ds, sa := cs[i], cs[i+1]
+			t.AddRow(ds.Code, ds.In.String(), stats.Percent(ds.Speedup()), stats.Percent(sa.Speedup()))
 		}
 		fmt.Println(t)
 	}

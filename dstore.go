@@ -140,9 +140,21 @@ func CompareBenchmark(code string, in Input) (BenchComparison, error) {
 }
 
 // RunAllBenchmarks compares every Table II benchmark for one input
-// size (the full Fig. 4 / Fig. 5 data set).
+// size (the full Fig. 4 / Fig. 5 data set). Every benchmark is
+// attempted; failures are aggregated into a *bench.SweepError rather
+// than aborting the sweep.
 func RunAllBenchmarks(in Input) ([]BenchComparison, error) {
 	return bench.RunAll(in)
+}
+
+// SweepOptions configures a parallel benchmark sweep.
+type SweepOptions = bench.SweepOptions
+
+// RunAllBenchmarksParallel is RunAllBenchmarks with opt.Workers
+// concurrent runs. Each run owns its own simulated system, so the
+// results are identical to the sequential sweep, in the same order.
+func RunAllBenchmarksParallel(in Input, opt SweepOptions) ([]BenchComparison, error) {
+	return bench.RunAllParallel(in, opt)
 }
 
 // GeomeanSpeedup is the rightmost bar of Fig. 4: the geometric mean of

@@ -102,17 +102,13 @@ func CompareWithConfigs(code string, in Input, base, ds core.Config) (Comparison
 	return c, nil
 }
 
-// RunAll compares every Table II benchmark for one input size.
+// RunAll compares every Table II benchmark for one input size,
+// sequentially. Every benchmark is attempted even if one fails; failures
+// are aggregated into a *SweepError so one broken profile cannot hide
+// the other results. Use RunAllParallel to spread the sweep across
+// cores.
 func RunAll(in Input) ([]Comparison, error) {
-	var out []Comparison
-	for _, code := range Codes() {
-		c, err := Compare(code, in)
-		if err != nil {
-			return nil, fmt.Errorf("bench %s: %w", code, err)
-		}
-		out = append(out, c)
-	}
-	return out, nil
+	return RunAllParallel(in, SweepOptions{Workers: 1})
 }
 
 // speedupThreshold is the rounding floor below which the paper plots a

@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+// The engine microbenchmarks cover the three event-queue shapes the
+// simulator actually produces:
+//
+//   - FutureMix: schedules at spread-out future ticks (DRAM, link and
+//     pipeline latencies) — the classic heap workload.
+//   - ZeroDelay: Schedule(0, fn) chains — the dominant pattern in the
+//     coherence controller's same-tick message hops, served by the
+//     FIFO fast path.
+//   - Mixed: an 80/20 zero-delay/future blend approximating a full
+//     benchmark run.
+//
+// Run with -benchmem: the whole point of the concrete event queue is
+// zero allocations per schedule/step beyond slice growth.
+
+func BenchmarkScheduleStepFutureMix(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	// Pre-warm the queue so steady-state behaviour dominates.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Tick(i%97+1), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Tick(i%97+1), func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkScheduleStepZeroDelay(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(0, fn)
+		e.Step()
+	}
+}
+
+func BenchmarkZeroDelayChain(b *testing.B) {
+	// Each outer iteration runs a 64-hop zero-delay chain, the shape of
+	// a coherence transaction bouncing between controllers in one tick.
+	b.ReportAllocs()
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hops := 0
+		var hop func()
+		hop = func() {
+			hops++
+			if hops < 64 {
+				e.Schedule(0, hop)
+			}
+		}
+		e.Schedule(1, hop)
+		e.Run()
+	}
+}
+
+func BenchmarkScheduleStepMixed(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.Schedule(Tick(i%31+1), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%5 == 0 {
+			e.Schedule(Tick(i%31+1), fn)
+		} else {
+			e.Schedule(0, fn)
+		}
+		e.Step()
+	}
+}
+
+func BenchmarkRunDrain(b *testing.B) {
+	// Fill-then-drain: the queue grows to 4096 events and empties, the
+	// pattern of a kernel issuing a wavefront of memory operations.
+	b.ReportAllocs()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := NewEngine()
+		b.StartTimer()
+		for j := 0; j < 4096; j++ {
+			e.Schedule(Tick(j%251), fn)
+		}
+		e.Run()
+	}
+}

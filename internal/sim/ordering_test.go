@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// refEngine is the original container/heap event queue, kept verbatim as
+// the ordering oracle for the concrete 4-ary heap + same-tick FIFO
+// engine: both must execute any schedule in identical (tick,
+// insertion-order) order.
+type refEngine struct {
+	now    Tick
+	events refHeap
+	seq    uint64
+}
+
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+
+func (h refHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *refHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+func (e *refEngine) Now() Tick { return e.now }
+
+func (e *refEngine) Schedule(delay Tick, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+func (e *refEngine) run() Tick {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.when
+		ev.fn()
+	}
+	return e.now
+}
+
+// scheduler is the surface a scenario needs; both engines provide it.
+type scheduler interface {
+	Now() Tick
+	Schedule(delay Tick, fn func())
+}
+
+// firing records one event execution: which event ran and when.
+type firing struct {
+	id   int
+	tick Tick
+}
+
+// runScenario drives a randomized event schedule on e: a burst of root
+// events at mixed delays, each of which may schedule further events from
+// inside its handler — including zero-delay chains, the pattern the
+// engine's FIFO fast path serves. Event IDs are assigned in scheduling
+// order and the random stream is consumed in execution order, so two
+// engines produce identical traces iff they execute the schedule in
+// exactly the same order.
+func runScenario(e scheduler, run func() Tick, seed uint64) ([]firing, Tick) {
+	r := NewRand(seed)
+	var trace []firing
+	nextID := 0
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		id := nextID
+		nextID++
+		return func() {
+			trace = append(trace, firing{id: id, tick: e.Now()})
+			if depth >= 4 {
+				return
+			}
+			for i, n := 0, r.Intn(3); i < n; i++ {
+				// Bias toward zero delays: same-tick cascades are both
+				// the hot path and the easiest ordering to get wrong.
+				var d Tick
+				if !r.Bool(0.6) {
+					d = Tick(r.Intn(5))
+				}
+				e.Schedule(d, spawn(depth+1))
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Tick(r.Intn(24)), spawn(0))
+	}
+	end := run()
+	return trace, end
+}
+
+func TestEngineMatchesContainerHeapReference(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		eng := NewEngine()
+		got, gotEnd := runScenario(eng, eng.Run, seed)
+		ref := &refEngine{}
+		want, wantEnd := runScenario(ref, ref.run, seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: engine ran %d events, reference ran %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at event %d: engine fired %+v, reference fired %+v",
+					seed, i, got[i], want[i])
+			}
+		}
+		if gotEnd != wantEnd {
+			t.Fatalf("seed %d: engine ended at tick %d, reference at %d", seed, gotEnd, wantEnd)
+		}
+	}
+}
+
+// TestEngineHeapBeforeFIFOAtSameTick pins the subtle half of the
+// ordering contract: an event scheduled for tick T before the clock
+// reaches T (heap resident) must run before a zero-delay event scheduled
+// at T from inside T's first handler (FIFO resident), because it was
+// scheduled first.
+func TestEngineHeapBeforeFIFOAtSameTick(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(5, func() {
+		order = append(order, "first@5")
+		e.Schedule(0, func() { order = append(order, "zero-delay@5") })
+	})
+	e.Schedule(5, func() { order = append(order, "second@5") })
+	e.Run()
+	want := []string{"first@5", "second@5", "zero-delay@5"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEngineRunUntilWithFIFOPending ensures the limit check accounts for
+// the FIFO: a zero-delay event scheduled at the limit tick still runs.
+func TestEngineRunUntilWithFIFOPending(t *testing.T) {
+	e := NewEngine()
+	var ran []string
+	e.Schedule(10, func() {
+		ran = append(ran, "outer")
+		e.Schedule(0, func() { ran = append(ran, "inner") })
+		e.Schedule(1, func() { ran = append(ran, "beyond") })
+	})
+	if e.RunUntil(10) {
+		t.Error("RunUntil(10) reported drained with an event at 11 pending")
+	}
+	if len(ran) != 2 || ran[0] != "outer" || ran[1] != "inner" {
+		t.Errorf("ran %v, want [outer inner]", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("%d events pending, want 1", e.Pending())
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock at %d, want 10", e.Now())
+	}
+}
