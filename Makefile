@@ -1,8 +1,9 @@
 GO ?= go
 
 # check is the gate every change must pass: static analysis, a full
-# build, the full test suite, and a race-detector pass over the two
-# packages that use (sweep runner) or feed (event kernel) concurrency.
+# build, the full test suite, and a race-detector pass over the
+# packages that use (sweep runner, serve daemon) or feed (event
+# kernel) concurrency.
 .PHONY: check
 check: vet build test race
 
@@ -20,7 +21,15 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/bench ./internal/sim
+	$(GO) test -race ./internal/bench ./internal/sim ./internal/serve
+
+# serve-smoke boots the dstore-serve daemon on a random loopback port,
+# submits one small job over real HTTP, resubmits it, and asserts the
+# second answer is a byte-identical cache hit (checked against the
+# /metrics counters).
+.PHONY: serve-smoke
+serve-smoke:
+	$(GO) run ./cmd/dstore-serve -smoke
 
 # bench regenerates the event-kernel microbenchmarks. Compare against
 # the committed baseline in BENCH_sim_engine.txt before merging engine

@@ -21,10 +21,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -66,9 +68,11 @@ func timed(name string, f func()) {
 
 // sweep runs jobs through the worker pool and renders what succeeded.
 // A *bench.SweepError is reported per failure on stderr without
-// suppressing the surviving results; any other error is fatal.
-func sweep(jobs []bench.SweepJob, opt bench.SweepOptions) []bench.Comparison {
-	cs, err := bench.SweepWithConfigs(jobs, opt)
+// suppressing the surviving results; any other error is fatal. Ctrl-C
+// cancels the sweep through ctx: in-flight simulations abort and the
+// remaining jobs surface as cancellation failures.
+func sweep(ctx context.Context, jobs []bench.SweepJob, opt bench.SweepOptions) []bench.Comparison {
+	cs, err := bench.SweepWithConfigsContext(ctx, jobs, opt)
 	if err != nil {
 		se, ok := err.(*bench.SweepError)
 		if !ok {
@@ -136,6 +140,11 @@ func main() {
 	inputs := parseInputs(*input)
 	opt := bench.SweepOptions{Workers: *workers}
 
+	// Ctrl-C cancels in-flight sweeps instead of killing the process
+	// mid-write; a second Ctrl-C falls back to the default handler.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	if *table1 {
 		fmt.Println("TABLE I: SYSTEM CONFIGURATION")
 		fmt.Println(core.DefaultConfig(core.ModeCCSM).Table1())
@@ -146,7 +155,8 @@ func main() {
 	}
 	if *one != "" {
 		for _, in := range inputs {
-			c, err := bench.Compare(*one, in)
+			c, err := bench.CompareWithConfigsContext(ctx, *one, in,
+				core.DefaultConfig(core.ModeCCSM), core.DefaultConfig(core.ModeDirectStore))
 			fail(err)
 			printComparison(c)
 		}
@@ -158,7 +168,7 @@ func main() {
 		for _, in := range inputs {
 			in := in
 			timed(fmt.Sprintf("fig4/5-%s", in), func() {
-				byInput[in] = sweep(bench.StandardJobs(in), opt)
+				byInput[in] = sweep(ctx, bench.StandardJobs(in), opt)
 			})
 		}
 	}
@@ -200,7 +210,7 @@ func main() {
 			}
 		}
 		var cs []bench.Comparison
-		timed("prefetch", func() { cs = sweep(jobs, opt) })
+		timed("prefetch", func() { cs = sweep(ctx, jobs, opt) })
 		t := stats.NewTable("Benchmark", "Input", "DS vs CCSM", "DS vs CCSM+prefetch")
 		for i := 0; i+1 < len(cs); i += 2 {
 			plain, vsPf := cs[i], cs[i+1]
@@ -223,13 +233,17 @@ func main() {
 			}
 		}
 		var cs []bench.Comparison
-		timed("standalone", func() { cs = sweep(jobs, opt) })
+		timed("standalone", func() { cs = sweep(ctx, jobs, opt) })
 		t := stats.NewTable("Benchmark", "Input", "DS speedup", "Standalone speedup")
 		for i := 0; i+1 < len(cs); i += 2 {
 			ds, sa := cs[i], cs[i+1]
 			t.AddRow(ds.Code, ds.In.String(), stats.Percent(ds.Speedup()), stats.Percent(sa.Speedup()))
 		}
 		fmt.Println(t)
+	}
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "dstore-bench: interrupted — results above are partial")
 	}
 }
 

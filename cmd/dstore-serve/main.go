@@ -1,0 +1,225 @@
+// Command dstore-serve exposes the simulator as a long-running HTTP
+// service: submit benchmark runs as JSON jobs, poll for results, and
+// let the content-addressed cache absorb repeated requests.
+//
+// Usage:
+//
+//	dstore-serve                      # listen on :8080
+//	dstore-serve -addr 127.0.0.1:9000 -workers 8 -queue 128
+//	dstore-serve -smoke               # boot on a random port, run the
+//	                                  # end-to-end cache-hit smoke test
+//
+// API:
+//
+//	POST /v1/runs            submit {"bench":"MM","mode":"direct-store","input":"small"}
+//	GET  /v1/runs/{id}       job status (+ result once done)
+//	GET  /v1/runs/{id}/result raw canonical result document
+//	GET  /v1/benchmarks      what can be submitted
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus counters; /v1/stats is the JSON view
+//
+// SIGINT/SIGTERM shut down gracefully: queued jobs are cancelled and
+// in-flight simulations drain (bounded by -drain-timeout).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dstore/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "bounded job queue depth (full queue → 429)")
+		cacheEntries = flag.Int("cache", 1024, "result cache capacity (entries)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job simulation timeout (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain bound")
+		smoke        = flag.Bool("smoke", false, "boot on a random port, run the cache-hit smoke test, exit")
+	)
+	flag.Parse()
+
+	opt := serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   *jobTimeout,
+	}
+
+	if *smoke {
+		if err := runSmoke(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "serve-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := serve.New(opt)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dstore-serve listening on %s", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down: cancelling queued jobs, draining in-flight simulations")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain cut short: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// runSmoke boots the full daemon on a loopback port and exercises the
+// zero-to-cached path over real HTTP: submit one small job, wait for
+// the result, submit the identical job again, and require a
+// byte-identical cached answer plus a cache-hit counter increment.
+func runSmoke(opt serve.Options) error {
+	srv := serve.New(opt)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serve-smoke: daemon on %s\n", base)
+
+	spec := `{"bench":"MT","mode":"direct-store","input":"small"}`
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Submit and poll to completion.
+	var first struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := postJSON(client, base+"/v1/runs", spec, http.StatusAccepted, &first); err != nil {
+		return fmt.Errorf("first submission: %w", err)
+	}
+	fmt.Printf("serve-smoke: submitted job %s\n", first.ID)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := getJSON(client, base+"/v1/runs/"+first.ID, &st); err != nil {
+			return err
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" || st.Status == "cancelled" {
+			return fmt.Errorf("job %s: %s", st.Status, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job still %q after 2m", st.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	result1, err := getRaw(client, base+"/v1/runs/"+first.ID+"/result")
+	if err != nil {
+		return err
+	}
+
+	// Identical resubmission must be a cache hit with identical bytes.
+	var second struct {
+		ID     string          `json:"id"`
+		Status string          `json:"status"`
+		Cached bool            `json:"cached"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := postJSON(client, base+"/v1/runs", spec, http.StatusOK, &second); err != nil {
+		return fmt.Errorf("second submission: %w", err)
+	}
+	if !second.Cached || second.ID != first.ID {
+		return fmt.Errorf("second submission not served from cache (id=%s cached=%v)", second.ID, second.Cached)
+	}
+	if !bytes.Equal([]byte(second.Result), result1) {
+		return fmt.Errorf("cached result differs from first run:\n  first:  %s\n  cached: %s", result1, second.Result)
+	}
+
+	metrics, err := getRaw(client, base+"/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"dstore_serve_cache_hits_total 1",
+		"dstore_serve_jobs_executed_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	fmt.Printf("serve-smoke: OK — 1 simulation executed, resubmission served %d byte-identical bytes from cache\n", len(result1))
+	return nil
+}
+
+func postJSON(c *http.Client, url, body string, wantCode int, out any) error {
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		return fmt.Errorf("POST %s: got %d want %d: %s", url, resp.StatusCode, wantCode, b)
+	}
+	return json.Unmarshal(b, out)
+}
+
+func getJSON(c *http.Client, url string, out any) error {
+	b, err := getRaw(c, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+func getRaw(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}

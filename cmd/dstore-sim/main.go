@@ -6,7 +6,12 @@
 //
 //	dstore-sim -bench NN -mode direct-store -input small
 //	dstore-sim -bench MM -mode ccsm -input big -v
+//	dstore-sim -bench MM -input big -json
 //	dstore-sim -list
+//
+// -json emits the run as the canonical result document — the same
+// encoding dstore-serve returns from POST /v1/runs — so CLI output and
+// API responses are directly diffable.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"dstore/internal/bench"
 	"dstore/internal/core"
 	"dstore/internal/script"
+	"dstore/internal/serve"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -28,6 +34,7 @@ func main() {
 		modeStr = flag.String("mode", "direct-store", "coherence mode: ccsm, direct-store or standalone")
 		inStr   = flag.String("input", "small", "input size: small or big")
 		verbose = flag.Bool("v", false, "dump per-component counters")
+		jsonOut = flag.Bool("json", false, "emit the canonical result JSON (the dstore-serve encoding)")
 		list    = flag.Bool("list", false, "list available benchmarks")
 	)
 	flag.Parse()
@@ -61,6 +68,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown input %q\n", *inStr)
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if *scriptF != "" {
+			fmt.Fprintln(os.Stderr, "-json requires -bench (scripts have no canonical result encoding)")
+			os.Exit(2)
+		}
+		res, err := bench.Run(*code, mode, in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err := serve.EncodeResult(res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
 	}
 
 	sys := core.NewSystem(core.DefaultConfig(mode))

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -116,11 +117,25 @@ func (e *SweepError) FailedIndices() map[int]bool {
 // is a *SweepError listing every failure; successful entries in the
 // result slice are still valid.
 func SweepWithConfigs(jobs []SweepJob, opt SweepOptions) ([]Comparison, error) {
+	return SweepWithConfigsContext(context.Background(), jobs, opt)
+}
+
+// SweepWithConfigsContext is SweepWithConfigs under a context. On
+// cancellation, in-flight comparisons are abandoned mid-simulation and
+// not-yet-started jobs are skipped; both are reported in the
+// *SweepError as failures carrying ctx's error. With an uncancelled
+// context the results are byte-identical to SweepWithConfigs for any
+// worker count.
+func SweepWithConfigsContext(ctx context.Context, jobs []SweepJob, opt SweepOptions) ([]Comparison, error) {
 	results := make([]Comparison, len(jobs))
 	errs := make([]error, len(jobs))
 
 	runJob := func(i int) {
-		results[i], errs[i] = CompareWithConfigs(jobs[i].Code, jobs[i].In, jobs[i].Base, jobs[i].DS)
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = CompareWithConfigsContext(ctx, jobs[i].Code, jobs[i].In, jobs[i].Base, jobs[i].DS)
 	}
 
 	if w := opt.workers(len(jobs)); w == 1 {
@@ -167,4 +182,10 @@ func SweepWithConfigs(jobs []SweepJob, opt SweepOptions) ([]Comparison, error) {
 // RunAll's, in the same Table II order.
 func RunAllParallel(in Input, opt SweepOptions) ([]Comparison, error) {
 	return SweepWithConfigs(StandardJobs(in), opt)
+}
+
+// RunAllParallelContext is RunAllParallel under a context, with
+// SweepWithConfigsContext's cancellation contract.
+func RunAllParallelContext(ctx context.Context, in Input, opt SweepOptions) ([]Comparison, error) {
+	return SweepWithConfigsContext(ctx, StandardJobs(in), opt)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"dstore/internal/core"
@@ -36,12 +37,24 @@ func Run(code string, mode core.Mode, in Input) (Result, error) {
 
 // RunWithConfig executes one benchmark under an explicit configuration.
 func RunWithConfig(code string, cfg core.Config, in Input) (Result, error) {
+	return RunWithConfigContext(context.Background(), code, cfg, in)
+}
+
+// RunWithConfigContext is RunWithConfig under a context: cancellation
+// abandons the simulation mid-flight and returns ctx's error. Each run
+// builds a private system, so an abandoned run leaks nothing into later
+// ones, and an uncancelled run is event-for-event identical to
+// RunWithConfig.
+func RunWithConfigContext(ctx context.Context, code string, cfg core.Config, in Input) (Result, error) {
 	sys := core.NewSystem(cfg)
 	w, err := Build(sys, code, in)
 	if err != nil {
 		return Result{}, err
 	}
-	ticks, phases := w.RunPhases(sys)
+	ticks, phases, err := w.RunPhasesContext(ctx, sys)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
+	}
 	if err := sys.CheckCoherence(); err != nil {
 		return Result{}, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
 	}
@@ -91,12 +104,17 @@ func Compare(code string, in Input) (Comparison, error) {
 // CompareWithConfigs runs one benchmark under two explicit
 // configurations (baseline first).
 func CompareWithConfigs(code string, in Input, base, ds core.Config) (Comparison, error) {
+	return CompareWithConfigsContext(context.Background(), code, in, base, ds)
+}
+
+// CompareWithConfigsContext is CompareWithConfigs under a context.
+func CompareWithConfigsContext(ctx context.Context, code string, in Input, base, ds core.Config) (Comparison, error) {
 	c := Comparison{Code: code, In: in}
 	var err error
-	if c.CCSM, err = RunWithConfig(code, base, in); err != nil {
+	if c.CCSM, err = RunWithConfigContext(ctx, code, base, in); err != nil {
 		return c, err
 	}
-	if c.DS, err = RunWithConfig(code, ds, in); err != nil {
+	if c.DS, err = RunWithConfigContext(ctx, code, ds, in); err != nil {
 		return c, err
 	}
 	return c, nil

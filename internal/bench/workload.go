@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -233,16 +234,32 @@ func (w *Workload) Run(sys *core.System) sim.Tick {
 // RunPhases executes the workload and additionally returns per-phase
 // tick counts (produce/kernels/readback), for analysis output.
 func (w *Workload) RunPhases(sys *core.System) (sim.Tick, []sim.Tick) {
+	t, per, _ := w.RunPhasesContext(context.Background(), sys)
+	return t, per
+}
+
+// RunPhasesContext is RunPhases under a context: cancellation abandons
+// the workload between or inside phases, returning the ticks and
+// completed-phase counts accumulated so far along with ctx's error. A
+// cancelled system is torn mid-transaction and must be discarded.
+func (w *Workload) RunPhasesContext(ctx context.Context, sys *core.System) (sim.Tick, []sim.Tick, error) {
 	start := sys.Now()
 	var per []sim.Tick
 	for _, ph := range w.phases {
+		if err := ctx.Err(); err != nil {
+			return sys.Now() - start, per, err
+		}
 		p0 := sys.Now()
+		var err error
 		if ph.kernel != nil {
-			sys.RunKernel(*ph.kernel)
+			_, err = sys.RunKernelContext(ctx, *ph.kernel)
 		} else {
-			sys.RunCPU(ph.ops)
+			_, err = sys.RunCPUContext(ctx, ph.ops)
+		}
+		if err != nil {
+			return sys.Now() - start, per, err
 		}
 		per = append(per, sys.Now()-p0)
 	}
-	return sys.Now() - start, per
+	return sys.Now() - start, per, nil
 }

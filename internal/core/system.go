@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -375,30 +376,74 @@ func (s *System) AllocPrivate(size uint64, name string) (memsys.Addr, error) {
 	return s.Space.Malloc(size, name)
 }
 
+// ctxStop adapts a context to the engine's stop-polling interface. A
+// context that can never be cancelled maps to nil, which keeps the
+// uncancellable paths on the engine's plain Run loop.
+func ctxStop(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	done := ctx.Done()
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
 // RunCPU executes a CPU op stream to completion (produce or readback
 // phase) and returns the elapsed ticks.
 func (s *System) RunCPU(ops []cpu.Op) sim.Tick {
+	t, err := s.RunCPUContext(context.Background(), ops)
+	if err != nil {
+		panic("core: CPU phase cancelled without a cancellable context")
+	}
+	return t
+}
+
+// RunCPUContext is RunCPU under a context: the phase is abandoned
+// mid-simulation if ctx is cancelled, returning ctx's error and the
+// ticks elapsed so far. A cancelled system is torn mid-transaction and
+// must not be reused for further phases or invariant checks.
+func (s *System) RunCPUContext(ctx context.Context, ops []cpu.Op) (sim.Tick, error) {
 	start := s.Engine.Now()
 	done := false
 	s.Core.Run(cpu.NewSliceStream(ops), func() { done = true })
-	s.Engine.Run()
+	if _, drained := s.Engine.RunInterruptible(ctxStop(ctx)); !drained {
+		return s.Engine.Now() - start, ctx.Err()
+	}
 	if !done {
 		panic("core: CPU phase did not complete")
 	}
-	return s.Engine.Now() - start
+	return s.Engine.Now() - start, nil
 }
 
 // RunKernel launches a GPU kernel to completion and returns the elapsed
 // ticks.
 func (s *System) RunKernel(k gpu.Kernel) sim.Tick {
+	t, err := s.RunKernelContext(context.Background(), k)
+	if err != nil {
+		panic("core: kernel cancelled without a cancellable context")
+	}
+	return t
+}
+
+// RunKernelContext is RunKernel under a context, with the same
+// cancellation contract as RunCPUContext.
+func (s *System) RunKernelContext(ctx context.Context, k gpu.Kernel) (sim.Tick, error) {
 	start := s.Engine.Now()
 	done := false
 	s.GPU.Launch(k, func() { done = true })
-	s.Engine.Run()
+	if _, drained := s.Engine.RunInterruptible(ctxStop(ctx)); !drained {
+		return s.Engine.Now() - start, ctx.Err()
+	}
 	if !done {
 		panic(fmt.Sprintf("core: kernel %q did not complete", k.Name))
 	}
-	return s.Engine.Now() - start
+	return s.Engine.Now() - start, nil
 }
 
 // RunOverlapped runs a CPU op stream and a kernel concurrently (the

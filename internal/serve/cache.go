@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU over completed job results, keyed by
+// the job's content address. Because the key hashes the full canonical
+// spec and every run is a pure function of its spec, a cached body can
+// be served for any future identical submission without rerunning the
+// simulation.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	id   string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for id, counting a hit or a miss. Used
+// on the submission path, so the hit/miss counters mean "submissions
+// answered from cache" vs "submissions that had to simulate".
+func (c *resultCache) get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// lookup is get without touching the hit/miss counters, for status and
+// result reads that are not submissions.
+func (c *resultCache) lookup(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores a completed result, evicting the least recently used
+// entry if the cache is full.
+func (c *resultCache) put(id string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[id] = c.ll.PushFront(&cacheEntry{id: id, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).id)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters and current size.
+func (c *resultCache) stats() (hits, misses, evictions uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len()
+}

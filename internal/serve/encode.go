@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+
+	"dstore/internal/bench"
+)
+
+// ResultJSON is the canonical wire form of a bench.Result. The service
+// and dstore-sim -json both emit it, so API responses and CLI output
+// are directly diffable. Field order is fixed by the struct, and
+// encoding/json is deterministic over it, so equal Results encode to
+// byte-identical documents — the property the content-addressed cache
+// serves back.
+type ResultJSON struct {
+	Bench       string   `json:"bench"`
+	Mode        string   `json:"mode"`
+	Input       string   `json:"input"`
+	Ticks       uint64   `json:"ticks"`
+	PhaseTicks  []uint64 `json:"phase_ticks"`
+	L2Accesses  uint64   `json:"l2_accesses"`
+	L2Misses    uint64   `json:"l2_misses"`
+	MissRate    float64  `json:"miss_rate"`
+	Pushes      uint64   `json:"pushes"`
+	XbarBytes   uint64   `json:"xbar_bytes"`
+	DirectBytes uint64   `json:"direct_bytes"`
+}
+
+// NewResultJSON converts a bench.Result to its wire form.
+func NewResultJSON(r bench.Result) ResultJSON {
+	phases := make([]uint64, len(r.PhaseTicks))
+	for i, p := range r.PhaseTicks {
+		phases[i] = uint64(p)
+	}
+	return ResultJSON{
+		Bench:       r.Code,
+		Mode:        r.Mode.String(),
+		Input:       r.In.String(),
+		Ticks:       uint64(r.Ticks),
+		PhaseTicks:  phases,
+		L2Accesses:  r.L2Accesses,
+		L2Misses:    r.L2Misses,
+		MissRate:    r.MissRate,
+		Pushes:      r.Pushes,
+		XbarBytes:   r.XbarBytes,
+		DirectBytes: r.DirectBytes,
+	}
+}
+
+// EncodeResult renders the canonical JSON document for one run.
+func EncodeResult(r bench.Result) ([]byte, error) {
+	return json.Marshal(NewResultJSON(r))
+}
+
+// ComparisonJSON is the canonical wire form of a bench.Comparison: the
+// two runs plus the paper's derived metrics.
+type ComparisonJSON struct {
+	Bench         string     `json:"bench"`
+	Input         string     `json:"input"`
+	CCSM          ResultJSON `json:"ccsm"`
+	DirectStore   ResultJSON `json:"direct_store"`
+	Speedup       float64    `json:"speedup"`
+	MissRateDelta float64    `json:"miss_rate_delta"`
+}
+
+// EncodeComparison renders the canonical JSON document for one
+// CCSM-vs-direct-store pair.
+func EncodeComparison(c bench.Comparison) ([]byte, error) {
+	return json.Marshal(ComparisonJSON{
+		Bench:         c.Code,
+		Input:         c.In.String(),
+		CCSM:          NewResultJSON(c.CCSM),
+		DirectStore:   NewResultJSON(c.DS),
+		Speedup:       c.Speedup(),
+		MissRateDelta: c.MissRateDelta(),
+	})
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"testing"
+
+	"dstore/internal/core"
+)
+
+func TestNormalizeDefaultsAndCase(t *testing.T) {
+	n, err := JobSpec{Bench: " mt "}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Bench != "MT" || n.Mode != "direct-store" || n.Input != "small" {
+		t.Fatalf("normalized = %+v", n)
+	}
+	if _, err := (JobSpec{Bench: "nope"}).Normalize(); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := (JobSpec{Bench: "MT", Mode: "mesi"}).Normalize(); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := (JobSpec{Bench: "MT", Input: "huge"}).Normalize(); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+}
+
+// TestIDContentAddressing checks that specs that mean the same job
+// hash identically and different jobs do not.
+func TestIDContentAddressing(t *testing.T) {
+	id := func(s JobSpec) string {
+		n, err := s.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, err := n.ID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return i
+	}
+	base := id(JobSpec{Bench: "MM", Mode: "direct-store", Input: "small"})
+	if got := id(JobSpec{Bench: "mm"}); got != base {
+		t.Fatal("defaults and case produce a different ID")
+	}
+	// An all-absent override collapses to the no-override hash.
+	if got := id(JobSpec{Bench: "MM", Config: &ConfigOverride{}}); got != base {
+		t.Fatal("empty config override changed the ID")
+	}
+	if got := id(JobSpec{Bench: "MM", Mode: "ccsm"}); got == base {
+		t.Fatal("different mode hashed identically")
+	}
+	four := 4
+	if got := id(JobSpec{Bench: "MM", Config: &ConfigOverride{PrefetchDepth: &four}}); got == base {
+		t.Fatal("config override hashed identically to default")
+	}
+}
+
+func TestBuildConfigOverrides(t *testing.T) {
+	policy := "srrip"
+	ring := "ring"
+	slices := 8
+	n, err := JobSpec{Bench: "MT", Mode: "ccsm",
+		Config: &ConfigOverride{GPUL2Policy: &policy, NoC: &ring, GPUL2Slices: &slices}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := n.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Mode != core.ModeCCSM || string(cfg.GPUL2Policy) != "srrip" || cfg.NoC != "ring" || cfg.GPUL2Slices != 8 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+
+	bad := 3 // not a power of two; rejected by core.Config.Validate
+	n2, err := JobSpec{Bench: "MT", Config: &ConfigOverride{GPUL2Slices: &bad}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n2.BuildConfig(); err == nil {
+		t.Fatal("invalid slice count accepted")
+	}
+	nonsense := "mru"
+	n3, err := JobSpec{Bench: "MT", Config: &ConfigOverride{GPUL2Policy: &nonsense}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n3.BuildConfig(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

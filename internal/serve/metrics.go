@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dstore/internal/stats"
+)
+
+// metricDefs lists every exported metric in a fixed order, with its
+// Prometheus type. Both /metrics and /v1/stats render from this table
+// so the two views can never disagree on names.
+var metricDefs = []struct {
+	name, kind string
+}{
+	{"dstore_serve_cache_hits_total", "counter"},
+	{"dstore_serve_cache_misses_total", "counter"},
+	{"dstore_serve_cache_evictions_total", "counter"},
+	{"dstore_serve_cache_entries", "gauge"},
+	{"dstore_serve_coalesced_total", "counter"},
+	{"dstore_serve_rejected_total", "counter"},
+	{"dstore_serve_jobs_executed_total", "counter"},
+	{"dstore_serve_jobs_failed_total", "counter"},
+	{"dstore_serve_jobs_cancelled_total", "counter"},
+	{"dstore_serve_inflight_jobs", "gauge"},
+	{"dstore_serve_queue_capacity", "gauge"},
+}
+
+// snapshot materializes the current metric values as a stats.Set in
+// metricDefs order.
+func (s *Server) snapshot() *stats.Set {
+	hits, misses, evictions, size := s.cache.stats()
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	s.mu.Unlock()
+	values := map[string]uint64{
+		"dstore_serve_cache_hits_total":      hits,
+		"dstore_serve_cache_misses_total":    misses,
+		"dstore_serve_cache_evictions_total": evictions,
+		"dstore_serve_cache_entries":         uint64(size),
+		"dstore_serve_coalesced_total":       s.coalesced.Load(),
+		"dstore_serve_rejected_total":        s.rejected.Load(),
+		"dstore_serve_jobs_executed_total":   s.executed.Load(),
+		"dstore_serve_jobs_failed_total":     s.failed.Load(),
+		"dstore_serve_jobs_cancelled_total":  s.cancelled.Load(),
+		"dstore_serve_inflight_jobs":         uint64(inflight),
+		"dstore_serve_queue_capacity":        uint64(s.opt.QueueDepth),
+	}
+	set := stats.NewSet()
+	for _, d := range metricDefs {
+		set.Counter(d.name).Add(values[d.name])
+	}
+	return set
+}
+
+// handleMetrics implements GET /metrics in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	set := s.snapshot()
+	var b strings.Builder
+	for _, d := range metricDefs {
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", d.name, d.kind, d.name, set.Get(d.name))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleStats implements GET /v1/stats: the same metrics as a JSON
+// object (stats.Set's ordered encoding).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := s.snapshot().MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	_, _ = w.Write(b)
+}

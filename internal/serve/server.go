@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstore/internal/bench"
+	"dstore/internal/core"
+)
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// Workers is the number of simulations run concurrently. Zero or
+	// negative means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-started jobs.
+	// When the queue is full, submissions are rejected with 429 and a
+	// Retry-After hint. Default 64.
+	QueueDepth int
+	// CacheEntries bounds the result cache. Default 1024.
+	CacheEntries int
+	// JobTimeout cancels a simulation that runs longer than this; the
+	// job is reported as cancelled. Zero means no per-job timeout.
+	JobTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// jobStatus is a job's lifecycle state.
+type jobStatus string
+
+const (
+	statusQueued    jobStatus = "queued"
+	statusRunning   jobStatus = "running"
+	statusDone      jobStatus = "done"
+	statusFailed    jobStatus = "failed"
+	statusCancelled jobStatus = "cancelled"
+)
+
+// job is one accepted submission. Mutable fields are guarded by the
+// server mutex.
+type job struct {
+	id   string
+	spec JobSpec
+	cfg  core.Config
+
+	status    jobStatus
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// maxFailures bounds the recently-failed map; older failures fall off
+// and read as 404, which is fine — failures are not content-addressed
+// results, only diagnostics.
+const maxFailures = 256
+
+// Server is the simulation-as-a-service engine: it owns the job queue,
+// the worker pool and the result cache, and exposes the HTTP API via
+// Handler. Construct with New, stop with Shutdown or Close.
+type Server struct {
+	opt   Options
+	mux   *http.ServeMux
+	cache *resultCache
+	runFn func(ctx context.Context, j *job) ([]byte, error)
+
+	// baseCtx parents every job context; cancel aborts in-flight
+	// simulations (hard stop — graceful Shutdown does not cancel it
+	// unless its own context expires).
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[string]*job // queued or running
+	failures map[string]*job // recently failed or cancelled
+	failSeq  []string        // failure insertion order, for bounding
+	queue    chan *job
+	wg       sync.WaitGroup
+
+	executed  atomic.Uint64 // simulations run to completion
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	coalesced atomic.Uint64 // submissions attached to an in-flight job
+	rejected  atomic.Uint64 // 429s
+}
+
+// New starts a server: opt.Workers goroutines draining the job queue.
+func New(opt Options) *Server {
+	return newServer(opt, runBench)
+}
+
+// runBench executes a job for real: one private system per run, the
+// canonical encoding as the stored body.
+func runBench(ctx context.Context, j *job) ([]byte, error) {
+	res, err := bench.RunWithConfigContext(ctx, j.spec.Bench, j.cfg, j.spec.input())
+	if err != nil {
+		return nil, err
+	}
+	return EncodeResult(res)
+}
+
+// newServer is New with an injectable run function (test hook).
+func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *Server {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opt:      opt,
+		cache:    newResultCache(opt.CacheEntries),
+		runFn:    runFn,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		inflight: make(map[string]*job),
+		failures: make(map[string]*job),
+		queue:    make(chan *job, opt.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != statusQueued {
+		// Shutdown cancelled it while it sat in the channel.
+		s.mu.Unlock()
+		return
+	}
+	j.status = statusRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	ctx := s.baseCtx
+	cancel := context.CancelFunc(func() {})
+	if s.opt.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opt.JobTimeout)
+	}
+	body, err := s.runFn(ctx, j)
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	delete(s.inflight, j.id)
+	if err != nil {
+		j.errMsg = err.Error()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			j.status = statusCancelled
+			s.cancelled.Add(1)
+		} else {
+			j.status = statusFailed
+			s.failed.Add(1)
+		}
+		s.recordFailureLocked(j)
+		return
+	}
+	j.status = statusDone
+	s.executed.Add(1)
+	s.cache.put(j.id, body)
+}
+
+// recordFailureLocked remembers a failed job for status reads, bounded
+// to the most recent maxFailures. Caller holds s.mu.
+func (s *Server) recordFailureLocked(j *job) {
+	if _, ok := s.failures[j.id]; !ok {
+		s.failSeq = append(s.failSeq, j.id)
+	}
+	s.failures[j.id] = j
+	for len(s.failSeq) > maxFailures {
+		delete(s.failures, s.failSeq[0])
+		s.failSeq = s.failSeq[1:]
+	}
+}
+
+// Shutdown stops the server gracefully: new submissions are refused
+// with 503, queued jobs are cancelled, and in-flight simulations are
+// drained. If ctx expires before the drain completes, in-flight jobs
+// are hard-cancelled (they abort within a few thousand simulated
+// events) and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+	drain:
+		for {
+			select {
+			case j := <-s.queue:
+				j.status = statusCancelled
+				j.errMsg = "cancelled: server shutting down"
+				j.finished = time.Now()
+				delete(s.inflight, j.id)
+				s.cancelled.Add(1)
+				s.recordFailureLocked(j)
+			default:
+				break drain
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server: in-flight jobs are cancelled, then the
+// pool is torn down.
+func (s *Server) Close() {
+	s.cancel()
+	_ = s.Shutdown(context.Background())
+}
+
+// runResponse is the envelope for submission and status responses.
+type runResponse struct {
+	ID     string          `json:"id"`
+	Status jobStatus       `json:"status"`
+	Cached bool            `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds submission bodies; specs are tiny.
+const maxBodyBytes = 1 << 20
+
+// handleSubmit implements POST /v1/runs: parse and normalize the spec,
+// answer from cache on a hit, coalesce onto an identical in-flight
+// job, otherwise enqueue — or push back with 429 when the queue is
+// full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := norm.BuildConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := norm.ID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if j, ok := s.inflight[id]; ok {
+		s.coalesced.Add(1)
+		writeJSON(w, http.StatusAccepted, runResponse{ID: id, Status: j.status})
+		return
+	}
+	if body, ok := s.cache.get(id); ok {
+		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
+		return
+	}
+	j := &job{id: id, spec: norm, cfg: cfg, status: statusQueued, submitted: time.Now()}
+	select {
+	case s.queue <- j:
+		s.inflight[id] = j
+		// A resubmission supersedes any stale failure record.
+		delete(s.failures, id)
+		writeJSON(w, http.StatusAccepted, runResponse{ID: id, Status: statusQueued})
+	default:
+		s.rejected.Add(1)
+		retry := int(s.opt.RetryAfter / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d pending); retry later", s.opt.QueueDepth)
+	}
+}
+
+// handleStatus implements GET /v1/runs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	if j, ok := s.inflight[id]; ok {
+		resp := runResponse{ID: id, Status: j.status}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if j, ok := s.failures[id]; ok {
+		resp := runResponse{ID: id, Status: j.status, Error: j.errMsg}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.mu.Unlock()
+	if body, ok := s.cache.lookup(id); ok {
+		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown run %q", id)
+}
+
+// handleResult implements GET /v1/runs/{id}/result: the raw canonical
+// result document, byte-identical across repeated identical jobs.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if body, ok := s.cache.lookup(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.inflight[id]; ok {
+		writeJSON(w, http.StatusConflict, runResponse{ID: id, Status: j.status})
+		return
+	}
+	if j, ok := s.failures[id]; ok {
+		writeJSON(w, http.StatusConflict, runResponse{ID: id, Status: j.status, Error: j.errMsg})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown run %q", id)
+}
+
+// handleBenchmarks implements GET /v1/benchmarks: what can be
+// submitted, plus the Table II inventory.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"benchmarks": bench.Codes(),
+		"modes": []string{core.ModeCCSM.String(), core.ModeDirectStore.String(),
+			core.ModeStandalone.String()},
+		"inputs": []string{bench.Small.String(), bench.Big.String()},
+		"table2": bench.Table2(),
+	})
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight := len(s.inflight)
+	closed := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if closed {
+		status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"inflight": inflight,
+		"workers":  s.opt.Workers,
+	})
+}

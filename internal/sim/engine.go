@@ -165,6 +165,35 @@ func (e *Engine) Run() Tick {
 	return e.now
 }
 
+// stopCheckEvents is how many events RunInterruptible executes between
+// stop-function polls. Large enough that the poll (typically a channel
+// select on a context) is invisible next to the event work, small
+// enough that cancellation latency stays in the microseconds.
+const stopCheckEvents = 8192
+
+// RunInterruptible executes events until the queue is empty or stop
+// returns true, polling stop every stopCheckEvents executed events. It
+// returns the final tick and whether the queue drained (false means
+// stop cut the run short with events still pending). A nil stop is
+// exactly Run. The stop function must not mutate simulation state, so
+// an interruptible run that is never stopped executes the identical
+// event sequence as Run.
+func (e *Engine) RunInterruptible(stop func() bool) (Tick, bool) {
+	if stop == nil {
+		return e.Run(), true
+	}
+	for {
+		for i := 0; i < stopCheckEvents; i++ {
+			if !e.Step() {
+				return e.now, true
+			}
+		}
+		if stop() {
+			return e.now, false
+		}
+	}
+}
+
 // RunUntil executes events up to and including tick limit and reports
 // whether the queue drained (true) or the limit cut the run short
 // (false). The clock is left at min(limit, last executed tick); events

@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+// TestRunInterruptibleNilStopEqualsRun checks a nil stop function is
+// exactly Run: same final tick, same executed-event count.
+func TestRunInterruptibleNilStopEqualsRun(t *testing.T) {
+	build := func() *Engine {
+		e := NewEngine()
+		var reschedule func()
+		n := 0
+		reschedule = func() {
+			n++
+			if n < 1000 {
+				e.Schedule(3, reschedule)
+			}
+		}
+		e.Schedule(1, reschedule)
+		return e
+	}
+	ref := build()
+	refTick := ref.Run()
+
+	e := build()
+	tick, drained := e.RunInterruptible(nil)
+	if !drained {
+		t.Fatal("nil-stop run did not drain")
+	}
+	if tick != refTick || e.Executed() != ref.Executed() {
+		t.Fatalf("interruptible run diverged: tick %d vs %d, executed %d vs %d",
+			tick, refTick, e.Executed(), ref.Executed())
+	}
+}
+
+// TestRunInterruptibleNeverStoppedEqualsRun checks that a stop
+// function that always reports false leaves the event sequence
+// untouched.
+func TestRunInterruptibleNeverStoppedEqualsRun(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Tick(10-i), func() { order = append(order, i) })
+	}
+	polls := 0
+	tick, drained := e.RunInterruptible(func() bool { polls++; return false })
+	if !drained {
+		t.Fatal("never-stopped run did not drain")
+	}
+	if tick != 10 {
+		t.Fatalf("final tick = %d, want 10", tick)
+	}
+	for i, got := range order {
+		if got != 9-i {
+			t.Fatalf("event order perturbed: %v", order)
+		}
+	}
+}
+
+// TestRunInterruptibleStops checks that a self-perpetuating event
+// chain — which Run would spin on forever — is cut off at a stop poll
+// with events still pending.
+func TestRunInterruptibleStops(t *testing.T) {
+	e := NewEngine()
+	var perpetual func()
+	perpetual = func() { e.Schedule(1, perpetual) }
+	e.Schedule(1, perpetual)
+
+	stops := 0
+	_, drained := e.RunInterruptible(func() bool {
+		stops++
+		return stops >= 2
+	})
+	if drained {
+		t.Fatal("perpetual chain reported drained")
+	}
+	if stops != 2 {
+		t.Fatalf("stop polled %d times, want 2", stops)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("no events pending after interrupt")
+	}
+	// The engine polled every stopCheckEvents events.
+	if want := uint64(2 * stopCheckEvents); e.Executed() != want {
+		t.Fatalf("executed %d events before stopping, want %d", e.Executed(), want)
+	}
+}
