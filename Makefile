@@ -21,7 +21,24 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/bench ./internal/sim ./internal/serve
+	$(GO) test -race ./internal/bench ./internal/sim ./internal/serve ./internal/chaos ./internal/coherence
+
+# stress runs the seeded randomized coherence stress harness with the
+# heavy fault profile. Deterministic: the same SEED and PROFILE always
+# produce a byte-identical transcript, so a failure here is a seed you
+# can replay forever. Override e.g. `make stress SEED=42 OPS=50000`.
+SEED ?= 2026
+PROFILE ?= heavy
+OPS ?= 10000
+.PHONY: stress
+stress:
+	$(GO) run ./cmd/dstore-sim -stress -chaos-seed $(SEED) -chaos-profile $(PROFILE) -stress-ops $(OPS)
+
+# stress-soak fans the harness out across many seeds in parallel —
+# the long-haul version of `make stress` for hunting rare interleavings.
+.PHONY: stress-soak
+stress-soak:
+	$(GO) run ./cmd/dstore-sim -stress -chaos-seed $(SEED) -chaos-profile $(PROFILE) -stress-ops $(OPS) -stress-instances 32
 
 # serve-smoke boots the dstore-serve daemon on a random loopback port,
 # submits one small job over real HTTP, resubmits it, and asserts the

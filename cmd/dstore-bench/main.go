@@ -66,11 +66,16 @@ func timed(name string, f func()) {
 	}
 }
 
+// sweepFailed records that at least one sweep lost benchmarks, so the
+// process can exit non-zero after rendering whatever survived.
+var sweepFailed bool
+
 // sweep runs jobs through the worker pool and renders what succeeded.
 // A *bench.SweepError is reported per failure on stderr without
-// suppressing the surviving results; any other error is fatal. Ctrl-C
-// cancels the sweep through ctx: in-flight simulations abort and the
-// remaining jobs surface as cancellation failures.
+// suppressing the surviving results, and marks the run failed so main
+// exits 1; any other error is fatal. Ctrl-C cancels the sweep through
+// ctx: in-flight simulations abort and the remaining jobs surface as
+// cancellation failures.
 func sweep(ctx context.Context, jobs []bench.SweepJob, opt bench.SweepOptions) []bench.Comparison {
 	cs, err := bench.SweepWithConfigsContext(ctx, jobs, opt)
 	if err != nil {
@@ -79,6 +84,7 @@ func sweep(ctx context.Context, jobs []bench.SweepJob, opt bench.SweepOptions) [
 			fail(err)
 		}
 		fmt.Fprintln(os.Stderr, se)
+		sweepFailed = true
 		failed := se.FailedIndices()
 		ok2 := cs[:0]
 		for i, c := range cs {
@@ -244,6 +250,11 @@ func main() {
 
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "dstore-bench: interrupted — results above are partial")
+		os.Exit(1)
+	}
+	if sweepFailed {
+		fmt.Fprintln(os.Stderr, "dstore-bench: one or more benchmarks failed — results above are partial")
+		os.Exit(1)
 	}
 }
 

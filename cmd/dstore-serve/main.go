@@ -17,6 +17,7 @@
 //	GET  /v1/benchmarks      what can be submitted
 //	GET  /healthz            liveness
 //	GET  /metrics            Prometheus counters; /v1/stats is the JSON view
+//	POST /v1/chaos           seeded fault-injection soak run (requires -chaos)
 //
 // SIGINT/SIGTERM shut down gracefully: queued jobs are cancelled and
 // in-flight simulations drain (bounded by -drain-timeout).
@@ -49,15 +50,19 @@ func main() {
 		cacheEntries = flag.Int("cache", 1024, "result cache capacity (entries)")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job simulation timeout (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain bound")
+		stallGuard   = flag.Uint64("stall-guard", 0, "per-tick event budget before a job is failed as livelocked (0 = default)")
+		enableChaos  = flag.Bool("chaos", false, "expose POST /v1/chaos (seeded fault-injection soak runs)")
 		smoke        = flag.Bool("smoke", false, "boot on a random port, run the cache-hit smoke test, exit")
 	)
 	flag.Parse()
 
 	opt := serve.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   *jobTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cacheEntries,
+		JobTimeout:       *jobTimeout,
+		StallGuardEvents: *stallGuard,
+		EnableChaos:      *enableChaos,
 	}
 
 	if *smoke {

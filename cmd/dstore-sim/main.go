@@ -7,11 +7,18 @@
 //	dstore-sim -bench NN -mode direct-store -input small
 //	dstore-sim -bench MM -mode ccsm -input big -v
 //	dstore-sim -bench MM -input big -json
+//	dstore-sim -stress -chaos-seed 42 -chaos-profile heavy
 //	dstore-sim -list
 //
 // -json emits the run as the canonical result document — the same
 // encoding dstore-serve returns from POST /v1/runs — so CLI output and
 // API responses are directly diffable.
+//
+// -stress runs the randomized coherence stress harness instead of a
+// benchmark: seeded agents issue load/store/kernel streams against a
+// data-value oracle while the -chaos-profile fault plan perturbs the
+// fabric. The transcript is deterministic in (-chaos-seed,
+// -chaos-profile); any invariant or oracle violation exits 1.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 
 	"dstore/internal/bench"
+	"dstore/internal/chaos"
 	"dstore/internal/core"
 	"dstore/internal/script"
 	"dstore/internal/serve"
@@ -36,6 +44,13 @@ func main() {
 		verbose = flag.Bool("v", false, "dump per-component counters")
 		jsonOut = flag.Bool("json", false, "emit the canonical result JSON (the dstore-serve encoding)")
 		list    = flag.Bool("list", false, "list available benchmarks")
+
+		stress       = flag.Bool("stress", false, "run the randomized coherence stress harness")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "stress harness PRNG seed (transcript is deterministic in it)")
+		chaosProfile = flag.String("chaos-profile", "none", "fault profile: none, light, heavy, drop-heavy or mutation")
+		stressOps    = flag.Int("stress-ops", 0, "operations per stress instance (0 = harness default)")
+		stressN      = flag.Int("stress-instances", 1, "independent stress instances (seeds seed, seed+1, ...)")
+		stressW      = flag.Int("stress-workers", 1, "concurrent stress instances")
 	)
 	flag.Parse()
 
@@ -43,7 +58,7 @@ func main() {
 		fmt.Println(bench.Table2())
 		return
 	}
-	if *code == "" && *scriptF == "" {
+	if *code == "" && *scriptF == "" && !*stress {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -59,6 +74,30 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeStr)
 		os.Exit(2)
+	}
+
+	if *stress {
+		prof, err := chaos.ProfileByName(*chaosProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg := chaos.StressConfig{Seed: *chaosSeed, Ops: *stressOps, Mode: mode, Profile: prof, Kernels: true}
+		results, err := chaos.RunSweep(cfg, *stressN, *stressW)
+		for _, res := range results {
+			if res == nil {
+				continue
+			}
+			fmt.Print(res.Transcript)
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "violation: %s\n", v)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	in := bench.Small
 	switch *inStr {

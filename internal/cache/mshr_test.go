@@ -189,6 +189,58 @@ func TestWriteBufferZeroCapacityPanics(t *testing.T) {
 	NewWriteBuffer(0)
 }
 
+// TestWriteBufferDrainUnderPressure runs the buffer at capacity with a
+// producer that outpaces the consumer: full-buffer pushes must fail
+// without corrupting order, coalescing must keep working at capacity,
+// and the drain must release exactly the distinct lines in FIFO order.
+func TestWriteBufferDrainUnderPressure(t *testing.T) {
+	w := NewWriteBuffer(4)
+	var drained []memsys.Addr
+	next, stalls := 0, 0
+	// Producer pushes two new lines per step, consumer pops one — the
+	// buffer saturates and stays saturated until the tail drain.
+	for step := 0; step < 32; step++ {
+		for k := 0; k < 2; k++ {
+			if w.Push(lineAddr(next)) {
+				next++
+			} else {
+				stalls++
+				if !w.Full() {
+					t.Fatal("push failed on a non-full buffer")
+				}
+				// A coalescing write must still land while stalled.
+				if oldest, ok := w.Peek(); !ok || !w.Push(oldest) {
+					t.Fatal("coalesce rejected at capacity")
+				}
+			}
+		}
+		if a, ok := w.Pop(); ok {
+			drained = append(drained, a)
+		}
+	}
+	for {
+		a, ok := w.Pop()
+		if !ok {
+			break
+		}
+		drained = append(drained, a)
+	}
+	if stalls == 0 {
+		t.Fatal("producer never stalled; the buffer was not under pressure")
+	}
+	if !w.Empty() {
+		t.Error("buffer not empty after drain")
+	}
+	if len(drained) != next {
+		t.Fatalf("drained %d lines, pushed %d distinct", len(drained), next)
+	}
+	for i, a := range drained {
+		if a != lineAddr(i) {
+			t.Fatalf("drain order broken at %d: got %#x want %#x", i, uint64(a), uint64(lineAddr(i)))
+		}
+	}
+}
+
 // Property: pops come out in push order (for non-coalesced pushes) and
 // Len is consistent.
 func TestPropertyWriteBufferFIFO(t *testing.T) {

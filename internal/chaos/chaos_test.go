@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"dstore/internal/core"
+)
+
+// small returns a quick stress config for unit tests.
+func small(mode core.Mode, prof Profile) StressConfig {
+	return StressConfig{
+		Seed: 42, Ops: 400, Rounds: 4, Agents: 4, Lines: 128,
+		Mode: mode, Profile: prof, Kernels: true,
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStressCleanUnderFaults: every survivable profile, every mode —
+// the run must complete with zero oracle/invariant violations.
+func TestStressCleanUnderFaults(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeCCSM, core.ModeDirectStore, core.ModeStandalone} {
+		for _, prof := range Profiles() {
+			if prof.Mutation() {
+				continue
+			}
+			t.Run(mode.String()+"/"+prof.Name, func(t *testing.T) {
+				res, err := RunStress(small(mode, prof))
+				if err != nil {
+					t.Fatalf("stress failed:\n%s\nerr: %v", res.Transcript, err)
+				}
+				if res.Ops == 0 {
+					t.Fatal("no operations issued")
+				}
+				// Push-only profiles have nothing to hit in CCSM mode
+				// (no direct-store traffic exists there).
+				pushOnly := prof.NetJitterProb == 0 && prof.StallProb == 0
+				if prof.Name != "none" && res.FaultsInjected == 0 && !(pushOnly && mode == core.ModeCCSM) {
+					t.Errorf("profile %s injected no faults", prof.Name)
+				}
+			})
+		}
+	}
+}
+
+// TestStressHeavyInjectsRecoveries: under the heavy profile on the
+// direct-store path, NACKs and retries must actually occur — otherwise
+// the recovery machinery is decorative.
+func TestStressHeavyInjectsRecoveries(t *testing.T) {
+	cfg := small(core.ModeDirectStore, mustProfile(t, "heavy"))
+	cfg.Ops = 1200
+	res, err := RunStress(cfg)
+	if err != nil {
+		t.Fatalf("stress failed:\n%s\nerr: %v", res.Transcript, err)
+	}
+	if res.Nacks == 0 {
+		t.Error("heavy profile produced no push NACKs")
+	}
+	if res.Retries == 0 {
+		t.Error("heavy profile produced no push retries")
+	}
+}
+
+// TestStressDeterminism: the same (seed, profile) must yield a
+// byte-identical transcript on repeated runs.
+func TestStressDeterminism(t *testing.T) {
+	cfg := small(core.ModeDirectStore, mustProfile(t, "heavy"))
+	a, err := RunStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transcript != b.Transcript {
+		t.Fatalf("transcripts differ between identical runs:\n--- first\n%s\n--- second\n%s", a.Transcript, b.Transcript)
+	}
+}
+
+// TestSweepWorkerInvariance: the ordered sweep output must not depend
+// on the worker count.
+func TestSweepWorkerInvariance(t *testing.T) {
+	cfg := small(core.ModeDirectStore, mustProfile(t, "light"))
+	cfg.Ops = 200
+	join := func(rs []*StressResult) string {
+		var b strings.Builder
+		for _, r := range rs {
+			b.WriteString(r.Transcript)
+		}
+		return b.String()
+	}
+	serial, err := RunSweep(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join(serial) != join(parallel) {
+		t.Fatal("sweep transcripts differ between -workers=1 and -workers=4")
+	}
+	seen := map[uint64]bool{}
+	for _, r := range serial {
+		if seen[r.Seed] {
+			t.Fatalf("duplicate seed %d in sweep", r.Seed)
+		}
+		seen[r.Seed] = true
+	}
+}
+
+// TestMutationCaught: the deliberately injected protocol bug (skip an
+// invalidation while acking the probe) must be detected as an
+// invariant/consistency violation — this is the harness proving it can
+// catch real bugs, not just survive faults.
+func TestMutationCaught(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeCCSM, core.ModeDirectStore} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := small(mode, mustProfile(t, "mutation"))
+			cfg.Ops = 1600
+			res, err := RunStress(cfg)
+			if err == nil {
+				t.Fatalf("mutation profile was not caught; transcript:\n%s", res.Transcript)
+			}
+			if !res.Failed() {
+				t.Fatal("error returned but no violations recorded")
+			}
+			if !strings.Contains(res.Transcript, "VIOLATION") {
+				t.Fatal("transcript carries no violation record")
+			}
+		})
+	}
+}
+
+// TestPushLossExhaustsRetries: dropping every push must end in a
+// diagnosed failure (retry exhaustion with a transaction dump), not a
+// hang.
+func TestPushLossExhaustsRetries(t *testing.T) {
+	prof := Profile{Name: "drop-all", PushDropProb: 1.0}
+	cfg := small(core.ModeDirectStore, prof)
+	cfg.Kernels = false
+	res, err := RunStress(cfg)
+	if err == nil {
+		t.Fatalf("total push loss not diagnosed; transcript:\n%s", res.Transcript)
+	}
+	if !strings.Contains(res.Transcript, "unacknowledged") {
+		t.Fatalf("expected retry-exhaustion diagnosis, got:\n%s", res.Transcript)
+	}
+}
+
+// TestResilientPushEquivalence: with the resilient protocol enabled but
+// no faults firing, direct-store runs still complete cleanly — the
+// ack/retry machinery is semantically transparent.
+func TestResilientPushEquivalence(t *testing.T) {
+	// NackProb > 0 turns resilience on; a vanishing probability keeps
+	// the fault schedule effectively empty.
+	prof := Profile{Name: "resilient-quiet", NackProb: 1e-12}
+	res, err := RunStress(small(core.ModeDirectStore, prof))
+	if err != nil {
+		t.Fatalf("resilient fault-free stress failed:\n%s\nerr: %v", res.Transcript, err)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, err := ProfileByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) = %+v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestStressSoak10k is the acceptance soak: a 10,000-operation seeded
+// run under the heavy fault profile must complete clean. It is the
+// designated -race target (see the Makefile stress goals); -short
+// skips it to keep the default suite fast.
+func TestStressSoak10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-op soak skipped in -short mode")
+	}
+	res, err := RunStress(StressConfig{
+		Seed: 2026, Ops: 10_000, Mode: core.ModeDirectStore,
+		Profile: mustProfile(t, "heavy"), Kernels: true,
+	})
+	if err != nil {
+		t.Fatalf("soak failed: %v", err)
+	}
+	if res.Failed() {
+		t.Fatalf("soak reported %d violations: %s", len(res.Violations), res.Violations[0])
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("heavy soak injected no faults")
+	}
+	t.Logf("soak: ops=%d ticks=%d faults=%d nacks=%d retries=%d",
+		res.Ops, res.Ticks, res.FaultsInjected, res.Nacks, res.Retries)
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunSweep executes instances independent stress runs (seeds cfg.Seed,
+// cfg.Seed+1, ...) across a worker pool. Results come back in instance
+// order regardless of worker count or scheduling, so concatenated
+// transcripts are byte-identical for any -workers value — parallelism
+// must never be able to masquerade as nondeterminism. The returned
+// error aggregates every failed instance.
+func RunSweep(cfg StressConfig, instances, workers int) ([]*StressResult, error) {
+	cfg = cfg.withDefaults()
+	if instances < 1 {
+		instances = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > instances {
+		workers = instances
+	}
+	results := make([]*StressResult, instances)
+	errs := make([]error, instances)
+	next := make(chan int, instances)
+	for i := 0; i < instances; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(i)
+				results[i], errs[i] = RunStress(c)
+			}
+		}()
+	}
+	wg.Wait()
+	var firstErr error
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if failed > 0 {
+		return results, fmt.Errorf("chaos: %d/%d stress instances failed: %w", failed, instances, firstErr)
+	}
+	return results, nil
+}

@@ -78,8 +78,18 @@ type Ctrl struct {
 	portFree      sim.Tick
 
 	// Direct-store send side (CPU controller only).
-	directLink *interconnect.Link
+	directLink interconnect.DirectPort
 	pushTarget func(memsys.Addr) *Ctrl
+
+	// Fault injection and recovery (chaos runs only; all nil/zero in
+	// normal operation, leaving behaviour byte-identical).
+	hooks       *ChaosHooks
+	res         ResilienceConfig
+	onFatal     func(error)
+	pushSeq     uint64
+	pushPending map[uint64]*pendingPush
+	appliedPush map[uint64]bool
+	lastPushVer map[memsys.Addr]uint64
 
 	counters     *stats.Set
 	probesRecv   *stats.Counter
@@ -91,6 +101,8 @@ type Ctrl struct {
 	upgrades     *stats.Counter
 	pushOverflow *stats.Counter
 	bypasses     *stats.Counter
+	pushNacks    *stats.Counter
+	pushRetries  *stats.Counter
 }
 
 // NewCtrl builds a controller, creating its cache arrays, and registers
@@ -124,6 +136,8 @@ func NewCtrl(engine *sim.Engine, cfg CtrlConfig, xbar interconnect.Network, mem 
 	c.upgrades = c.counters.Counter("upgrades")
 	c.pushOverflow = c.counters.Counter("pushes_overflowed")
 	c.bypasses = c.counters.Counter("fill_bypasses")
+	c.pushNacks = c.counters.Counter("push_nacks")
+	c.pushRetries = c.counters.Counter("push_retries")
 	mem.AddPeer(c)
 	return c
 }
@@ -155,19 +169,21 @@ func (c *Ctrl) Ver(a memsys.Addr) uint64 { return c.ver[memsys.LineAlign(a)] }
 
 // AttachDirectStore wires the CPU-side push path: the dedicated link
 // and the slice-routing function (paper §III-G).
-func (c *Ctrl) AttachDirectStore(link *interconnect.Link, target func(memsys.Addr) *Ctrl) {
+func (c *Ctrl) AttachDirectStore(link interconnect.DirectPort, target func(memsys.Addr) *Ctrl) {
 	c.directLink = link
 	c.pushTarget = target
 }
 
 // Access submits a demand load or store. The controller's single port
-// accepts one request per tick; overlapping submissions queue.
+// accepts one request per tick; overlapping submissions queue. Injected
+// controller stalls (chaos runs) extend the port occupancy.
 func (c *Ctrl) Access(req *memsys.Request) {
 	now := c.engine.Now()
 	start := now
 	if c.portFree > start {
 		start = c.portFree
 	}
+	start += c.stallTicks()
 	c.portFree = start + 1
 	c.engine.ScheduleAt(start, func() { c.process(req) })
 }
@@ -379,6 +395,13 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 		panic(fmt.Sprintf("coherence %s: no push target for %#x", c.name, uint64(line)))
 	}
 	p := PutxMsg{Addr: line, Ver: req.Ver, From: c.name}
+	if c.res.Enabled {
+		// Resilient push (chaos runs): sequence-numbered, acknowledged,
+		// retried with exponential backoff on loss or NACK. The store
+		// completes when the ack arrives, not when the PUTX leaves.
+		c.sendResilientPush(p, req, target)
+		return
+	}
 	if c.cfg.DirectOverXbar {
 		// Ablation: no dedicated network — the push rides the shared
 		// coherence crossbar and contends with everything else.
@@ -409,6 +432,19 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 // so a working set larger than the L2 keeps its oldest pushed prefix
 // resident rather than churning every line through the cache.
 func (c *Ctrl) ReceivePutx(p PutxMsg, req *memsys.Request) {
+	if p.Seq != 0 {
+		// Resilient protocol: req stays with the sender (the push may
+		// be retried or duplicated); delivery is acknowledged instead.
+		c.receivePutxResilient(p)
+		return
+	}
+	c.applyPutx(p)
+	c.complete(req, c.cfg.L2HitLat)
+}
+
+// applyPutx performs the install itself, shared between the
+// fire-and-forget and resilient paths.
+func (c *Ctrl) applyPutx(p PutxMsg) {
 	c.pushesRecv.Inc()
 	line := p.Addr
 	_, pending := c.mshr.Lookup(line)
@@ -419,7 +455,6 @@ func (c *Ctrl) ReceivePutx(p PutxMsg, req *memsys.Request) {
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
-		c.complete(req, c.cfg.L2HitLat)
 		return
 	}
 	if pending {
@@ -435,11 +470,9 @@ func (c *Ctrl) ReceivePutx(p PutxMsg, req *memsys.Request) {
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
-		c.complete(req, c.cfg.L2HitLat)
 		return
 	}
 	c.installLine(line, MM, true, p.Ver)
-	c.complete(req, c.cfg.L2HitLat)
 }
 
 // installLine allocates a line, handling victim writeback.
@@ -465,16 +498,21 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 }
 
 // writebackDone clears the writeback buffer entry once memory has
-// committed it.
-func (c *Ctrl) writebackDone(line memsys.Addr) {
-	delete(c.wbBuf, line)
+// committed it. The clear is version-matched: if a newer writeback for
+// the same line is already in flight (re-fetch and re-evict, or a
+// second bypassed store), the commit notice of the older one must not
+// strip the line's probe protection.
+func (c *Ctrl) writebackDone(line memsys.Addr, ver uint64) {
+	if v, ok := c.wbBuf[line]; ok && v == ver {
+		delete(c.wbBuf, line)
+	}
 }
 
 // receiveProbe answers the memory controller's probe after the array
-// lookup delay.
+// lookup delay, plus any injected controller stall.
 func (c *Ctrl) receiveProbe(p ProbeMsg) {
 	c.probesRecv.Inc()
-	c.engine.Schedule(c.cfg.L2HitLat, func() { c.answerProbe(p) })
+	c.engine.Schedule(c.cfg.L2HitLat+c.stallTicks(), func() { c.answerProbe(p) })
 }
 
 func (c *Ctrl) answerProbe(p ProbeMsg) {
@@ -482,13 +520,21 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 	ack := AckMsg{Addr: line, From: c.name}
 
 	if ver, ok := c.wbBuf[line]; ok {
-		// Dirty eviction still in flight: we remain the data source.
-		ack.HadData = true
-		ack.Dirty = true
-		ack.Ver = ver
-		c.supplyToRequester(p, ver, true)
-		c.sendAck(ack)
-		return
+		st, _, hit := c.l2.Probe(line)
+		owned := hit && (st == MM || st == M || st == O)
+		if !owned || c.ver[line] < ver {
+			// Dirty eviction still in flight: we remain the data source.
+			ack.HadData = true
+			ack.Dirty = true
+			ack.Ver = ver
+			c.supplyToRequester(p, ver, true)
+			c.sendAck(ack)
+			return
+		}
+		// The line was re-acquired and re-dirtied while the older
+		// writeback is still in flight. The live copy is newer, so
+		// answer from the cache below; the in-flight writeback's
+		// version-matched completion clears the buffer entry.
 	}
 
 	st, dirty, ok := c.l2.Probe(line)
@@ -518,6 +564,14 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 			ack.HadData, ack.Dirty, ack.Ver = true, dirty || st == MM, c.ver[line]
 		case S:
 			ack.Present = true
+		}
+		if c.hooks != nil && c.hooks.SkipInvalidate != nil && c.hooks.SkipInvalidate() {
+			// Injected protocol mutation: acknowledge the probe but keep
+			// the copy. The requester will install exclusive while this
+			// cache still holds the line — exactly the silent bug class
+			// the stress harness's invariant and oracle checks must
+			// catch.
+			break
 		}
 		if c.l1 != nil {
 			c.l1.Invalidate(line)
@@ -631,8 +685,13 @@ func (c *Ctrl) receiveData(d DataMsg) {
 		case bypassed && grant == MM:
 			// Exclusive permission held but no copy installed: the
 			// store writes through to memory (nobody else caches the
-			// line — the GETX invalidated all copies).
+			// line — the GETX invalidated all copies). Until memory
+			// commits, this controller is the data's only holder, so the
+			// line must sit in the writeback buffer: a GETS that beats
+			// the in-flight WB to the ordering point probes us, and
+			// without the entry it would read stale DRAM.
 			fillVer = w.Ver
+			c.wbBuf[line] = w.Ver
 			msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: w.Ver}
 			c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 				c.mem.ReceiveRequest(msg)

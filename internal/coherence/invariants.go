@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"dstore/internal/memsys"
 )
@@ -17,16 +18,21 @@ import (
 // the simulator; a non-nil error means a protocol bug.
 func (m *MemCtrl) CheckInvariants(lines []memsys.Addr) error {
 	if !m.Idle() {
-		return fmt.Errorf("coherence: %d transactions still in flight", len(m.busy))
+		return fmt.Errorf("coherence: %d transactions still in flight\n%s", len(m.busy), m.TransactionDump())
 	}
+	names := make([]string, 0, len(m.peers))
+	for name := range m.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	for _, a := range lines {
 		line := memsys.LineAlign(a)
 		owners := 0
 		exclusive := false
 		holders := 0
 		var desc string
-		for name, p := range m.peers {
-			st := p.State(line)
+		for _, name := range names {
+			st := m.peers[name].State(line)
 			if st == I {
 				continue
 			}

@@ -2,6 +2,8 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"dstore/internal/dram"
 	"dstore/internal/interconnect"
@@ -36,6 +38,15 @@ type MemCtrl struct {
 	// RegionDirectory).
 	regions *RegionDirectory
 
+	// Per-transaction watchdog (EnableWatchdog). wdInterval zero means
+	// disabled: no scan events are ever scheduled, so the event
+	// sequence is untouched.
+	wdInterval sim.Tick
+	wdLimit    sim.Tick
+	wdOnStuck  func(error)
+	wdArmed    bool
+	wdTripped  bool
+
 	counters *stats.Set
 	requests *stats.Counter
 	probes   *stats.Counter
@@ -46,6 +57,7 @@ type MemCtrl struct {
 
 type txn struct {
 	req        ReqMsg
+	started    sim.Tick
 	acksWanted int
 	acks       []AckMsg
 	// Speculative-fetch bookkeeping: Hammer launches the DRAM read in
@@ -53,6 +65,14 @@ type txn struct {
 	probesClean bool // all acks in, no owner
 	dramDone    bool
 	dataSent    bool
+	// unblocked records the requester's completion notice. The
+	// transaction closes only once BOTH the unblock and every expected
+	// probe ack have arrived: on a fault-free fabric acks always beat
+	// the unblock (the requester's data leaves the owner before its
+	// ack), but injected delivery jitter can invert the race, and a
+	// straggling ack must not leak into the next transaction on the
+	// line.
+	unblocked bool
 }
 
 // NewMemCtrl builds the controller. probeTargets defines the broadcast
@@ -111,8 +131,9 @@ func (m *MemCtrl) ReceiveRequest(req ReqMsg) {
 
 func (m *MemCtrl) start(req ReqMsg) {
 	line := req.Addr
-	t := &txn{req: req}
+	t := &txn{req: req, started: m.engine.Now()}
 	m.busy[line] = t
+	m.armWatchdog()
 
 	if req.Type == WB {
 		m.wbs.Inc()
@@ -122,7 +143,7 @@ func (m *MemCtrl) start(req ReqMsg) {
 			// its writeback buffer, then move on.
 			m.xbar.Send(m.name, req.From, interconnect.CtrlMsgBytes, func(sim.Tick) {
 				if p := m.peers[req.From]; p != nil {
-					p.writebackDone(line)
+					p.writebackDone(line, req.Ver)
 				}
 			})
 			m.finish(line)
@@ -196,6 +217,7 @@ func (m *MemCtrl) ReceiveAck(a AckMsg) {
 	if len(t.acks) < t.acksWanted {
 		return
 	}
+	defer m.maybeFinish(line, t)
 	for i := range t.acks {
 		if t.acks[i].HadData {
 			// Owner-to-requester transfer already in flight; the
@@ -262,10 +284,22 @@ func (m *MemCtrl) sendData(t *txn, ver uint64) {
 	})
 }
 
-// ReceiveUnblock closes the transaction for a line and starts the next
-// queued request, if any.
+// ReceiveUnblock records the requester's completion notice and closes
+// the transaction once every expected ack has also arrived.
 func (m *MemCtrl) ReceiveUnblock(a memsys.Addr) {
-	m.finish(memsys.LineAlign(a))
+	line := memsys.LineAlign(a)
+	t := m.busy[line]
+	if t == nil {
+		panic(fmt.Sprintf("coherence: unblock for idle line %#x", uint64(line)))
+	}
+	t.unblocked = true
+	m.maybeFinish(line, t)
+}
+
+func (m *MemCtrl) maybeFinish(line memsys.Addr, t *txn) {
+	if t.unblocked && len(t.acks) >= t.acksWanted {
+		m.finish(line)
+	}
 }
 
 func (m *MemCtrl) finish(line memsys.Addr) {
@@ -287,3 +321,80 @@ func (m *MemCtrl) finish(line memsys.Addr) {
 
 // Idle reports whether no transaction is in flight (test hook).
 func (m *MemCtrl) Idle() bool { return len(m.busy) == 0 }
+
+// EnableWatchdog arms the per-transaction watchdog: every interval
+// ticks (while transactions are in flight) the controller scans its
+// busy set, and a transaction older than limit fails the run through
+// onStuck with a full transaction dump — turning a would-be hang into a
+// diagnosis. A nil onStuck panics instead. The scan is self-limiting:
+// it only reschedules while transactions remain in flight, so a
+// drained system still drains and the watchdog never keeps the event
+// queue alive on its own.
+func (m *MemCtrl) EnableWatchdog(interval, limit sim.Tick, onStuck func(error)) {
+	if interval <= 0 || limit <= 0 {
+		panic(fmt.Sprintf("coherence: non-positive watchdog interval %d / limit %d", interval, limit))
+	}
+	m.wdInterval = interval
+	m.wdLimit = limit
+	m.wdOnStuck = onStuck
+	m.armWatchdog()
+}
+
+func (m *MemCtrl) armWatchdog() {
+	if m.wdInterval == 0 || m.wdArmed || m.wdTripped || len(m.busy) == 0 {
+		return
+	}
+	m.wdArmed = true
+	m.engine.Schedule(m.wdInterval, m.watchdogScan)
+}
+
+func (m *MemCtrl) watchdogScan() {
+	m.wdArmed = false
+	if m.wdTripped || len(m.busy) == 0 {
+		return
+	}
+	now := m.engine.Now()
+	for _, line := range m.busyLines() {
+		t := m.busy[line]
+		if age := now - t.started; age > m.wdLimit {
+			m.wdTripped = true
+			err := fmt.Errorf(
+				"coherence: transaction for line %#x (%s from %s) stuck for %d ticks (limit %d)\n%s",
+				uint64(line), t.req.Type, t.req.From, age, m.wdLimit, m.TransactionDump())
+			if m.wdOnStuck == nil {
+				panic(err)
+			}
+			m.wdOnStuck(err)
+			return
+		}
+	}
+	m.armWatchdog()
+}
+
+// busyLines returns the in-flight lines in address order, so every dump
+// and scan is deterministic.
+func (m *MemCtrl) busyLines() []memsys.Addr {
+	lines := make([]memsys.Addr, 0, len(m.busy))
+	for line := range m.busy {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	return lines
+}
+
+// TransactionDump renders every in-flight transaction and its queue in
+// address order: the diagnosis attached to watchdog trips and push
+// retry exhaustion.
+func (m *MemCtrl) TransactionDump() string {
+	var b strings.Builder
+	now := m.engine.Now()
+	fmt.Fprintf(&b, "transaction dump at tick %d: %d in flight\n", now, len(m.busy))
+	for _, line := range m.busyLines() {
+		t := m.busy[line]
+		fmt.Fprintf(&b,
+			"  line %#x: %s from %s, age %d, acks %d/%d, probesClean=%v dramDone=%v dataSent=%v, %d queued\n",
+			uint64(line), t.req.Type, t.req.From, now-t.started, len(t.acks), t.acksWanted,
+			t.probesClean, t.dramDone, t.dataSent, len(m.queued[line]))
+	}
+	return b.String()
+}

@@ -190,4 +190,21 @@ type PutxMsg struct {
 	Addr memsys.Addr
 	Ver  uint64
 	From string
+	// Seq is non-zero only under the resilient push protocol (chaos
+	// runs): it identifies the push for acknowledgement, retry and
+	// receiver-side duplicate suppression. Zero means fire-and-forget
+	// (the paper's baseline behaviour).
+	Seq uint64
+}
+
+// PushAckMsg travels GPU L2 slice → CPU controller over the shared
+// crossbar, acknowledging (or refusing) a resilient direct-store push.
+// It exists only in chaos runs; the baseline push path sends nothing
+// back.
+type PushAckMsg struct {
+	Addr memsys.Addr
+	Seq  uint64
+	// Nack asks the sender to retry later (injected receiver-side
+	// faults; a real controller would assert it on resource conflicts).
+	Nack bool
 }

@@ -130,6 +130,42 @@ type Config struct {
 	// RegionShift is the region granularity (2^shift bytes; default 12
 	// = 4KB) when RegionDirectory is on.
 	RegionShift uint
+	// StallGuardEvents arms the engine's forward-progress watchdog:
+	// executing more than this many events without the clock advancing
+	// panics with a livelock diagnosis. Zero (default) disables the
+	// guard and leaves the engine untouched.
+	StallGuardEvents uint64
+	// Chaos wires deterministic fault injection (internal/chaos) into
+	// the machine. Nil — the default, and the only value benchmarks
+	// ever see — leaves every component byte-identical to the
+	// fault-free build.
+	Chaos *ChaosConfig `json:"-"`
+}
+
+// ChaosConfig is the set of fault-injection attachment points NewSystem
+// honours. The concrete fault implementations live in internal/chaos;
+// core only knows where they plug in, which keeps the dependency
+// pointing chaos → core. Every field is optional.
+type ChaosConfig struct {
+	// WrapNet wraps the coherence network (delay jitter). The engine is
+	// supplied so wrappers can schedule delayed deliveries.
+	WrapNet func(*sim.Engine, interconnect.Network) interconnect.Network
+	// WrapDirect wraps the dedicated push link (drop/duplicate/jitter).
+	WrapDirect func(*sim.Engine, interconnect.DirectPort) interconnect.DirectPort
+	// Hooks installs controller-side faults (stalls, push NACKs, the
+	// skip-invalidate mutation) on every cache controller.
+	Hooks *coherence.ChaosHooks
+	// Resilience, when Enabled, switches the direct-store push to the
+	// ack/NACK + bounded-retry protocol on every controller.
+	Resilience coherence.ResilienceConfig
+	// WatchdogInterval arms the memory controller's per-transaction
+	// watchdog: every interval ticks in-flight transactions older than
+	// WatchdogLimit fail the run with a transaction dump.
+	WatchdogInterval sim.Tick
+	WatchdogLimit    sim.Tick
+	// OnFailure receives fatal protocol failures (push retry
+	// exhaustion, stuck transactions) instead of a panic.
+	OnFailure func(error)
 }
 
 // DefaultConfig returns the Table I system in the given mode.
@@ -172,13 +208,27 @@ func (c Config) Validate() error {
 		return nil
 	}
 	pow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	sets := func(bytes, ways int) int {
+		if ways <= 0 {
+			return 0
+		}
+		return bytes / (ways * memsys.LineSize)
+	}
+	sliceBytes := 0
+	if pow2(c.GPUL2Slices) {
+		sliceBytes = c.GPUL2Bytes / c.GPUL2Slices
+	}
 	for _, e := range []error{
 		check(c.CPUL1DBytes > 0 && c.CPUL1DWays > 0, "CPU L1D geometry %d/%d", c.CPUL1DBytes, c.CPUL1DWays),
 		check(c.CPUL2Bytes > 0 && c.CPUL2Ways > 0, "CPU L2 geometry %d/%d", c.CPUL2Bytes, c.CPUL2Ways),
 		check(c.SMs > 0, "SM count %d", c.SMs),
 		check(c.MaxWarpsPerSM > 0, "warps per SM %d", c.MaxWarpsPerSM),
 		check(pow2(c.GPUL2Slices), "GPU L2 slice count %d must be a power of two", c.GPUL2Slices),
-		check(c.GPUL2Bytes%c.GPUL2Slices == 0, "GPU L2 %dB not divisible into %d slices", c.GPUL2Bytes, c.GPUL2Slices),
+		check(sliceBytes == 0 || c.GPUL2Bytes%c.GPUL2Slices == 0, "GPU L2 %dB not divisible into %d slices", c.GPUL2Bytes, c.GPUL2Slices),
+		check(pow2(sets(c.CPUL1DBytes, c.CPUL1DWays)), "CPU L1D set count %d must be a power of two", sets(c.CPUL1DBytes, c.CPUL1DWays)),
+		check(pow2(sets(c.CPUL2Bytes, c.CPUL2Ways)), "CPU L2 set count %d must be a power of two", sets(c.CPUL2Bytes, c.CPUL2Ways)),
+		check(pow2(sets(c.GPUL1Bytes, c.GPUL1Ways)), "GPU L1 set count %d must be a power of two", sets(c.GPUL1Bytes, c.GPUL1Ways)),
+		check(sliceBytes == 0 || pow2(sets(sliceBytes, c.GPUL2Ways)), "GPU L2 slice set count %d must be a power of two", sets(sliceBytes, c.GPUL2Ways)),
 		check(c.CPUMSHRs > 0 && c.SliceMSHRs > 0 && c.GPUMSHRsPerSM > 0, "MSHR counts must be positive"),
 		check(c.StoreBuffer > 0, "store buffer %d", c.StoreBuffer),
 		check(c.MemBytes >= 1<<20, "memory %dB too small", c.MemBytes),
@@ -227,6 +277,9 @@ func NewSystem(cfg Config) *System {
 		counters: stats.NewSet(),
 	}
 	s.prefetches = s.counters.Counter("l2_prefetches_issued")
+	if cfg.StallGuardEvents != 0 {
+		engine.SetStallGuard(cfg.StallGuardEvents)
+	}
 	s.DRAM = dram.New(engine, cfg.DRAM)
 
 	sliceName := func(i int) string { return fmt.Sprintf("gpu.l2.s%d", i) }
@@ -249,6 +302,9 @@ func NewSystem(cfg Config) *System {
 		s.Net = interconnect.NewRing(engine, "ring", nodes, hop, cfg.XbarBW)
 	default:
 		panic(fmt.Sprintf("core: unknown NoC kind %q", cfg.NoC))
+	}
+	if cfg.Chaos != nil && cfg.Chaos.WrapNet != nil {
+		s.Net = cfg.Chaos.WrapNet(engine, s.Net)
 	}
 	standalone := cfg.Mode == ModeStandalone
 	s.Mem = coherence.NewMemCtrl(engine, "mem", s.Net, s.DRAM,
@@ -317,9 +373,30 @@ func NewSystem(cfg Config) *System {
 	}
 
 	s.Direct = interconnect.NewLink(engine, "direct", cfg.DirectLat, cfg.DirectBW)
-	s.CPUCtrl.AttachDirectStore(s.Direct, func(a memsys.Addr) *coherence.Ctrl {
+	var direct interconnect.DirectPort = s.Direct
+	if cfg.Chaos != nil && cfg.Chaos.WrapDirect != nil {
+		direct = cfg.Chaos.WrapDirect(engine, direct)
+	}
+	s.CPUCtrl.AttachDirectStore(direct, func(a memsys.Addr) *coherence.Ctrl {
 		return s.Slices[memsys.SliceFor(a, cfg.GPUL2Slices)]
 	})
+
+	if ch := cfg.Chaos; ch != nil {
+		for _, c := range append([]*coherence.Ctrl{s.CPUCtrl}, s.Slices...) {
+			if ch.Hooks != nil {
+				c.AttachChaos(ch.Hooks)
+			}
+			if ch.Resilience.Enabled {
+				c.EnableResilience(ch.Resilience)
+			}
+			if ch.OnFailure != nil {
+				c.SetFailureHandler(ch.OnFailure)
+			}
+		}
+		if ch.WatchdogInterval != 0 {
+			s.Mem.EnableWatchdog(ch.WatchdogInterval, ch.WatchdogLimit, ch.OnFailure)
+		}
+	}
 
 	cpuTLB := mmu.NewTLB(s.PT, mmu.Config{
 		Name: "cpu.tlb", Entries: cfg.CPUTLBSize, HitLatency: 1, WalkLatency: cfg.TLBWalkLat,

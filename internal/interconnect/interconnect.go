@@ -24,6 +24,20 @@ const (
 	DataMsgBytes = 8 + 128
 )
 
+// DirectPort is the send-side interface of a point-to-point channel.
+// *Link is the real implementation; fault-injection wrappers (the chaos
+// layer) satisfy it too, so the coherence layer's direct-store path can
+// be wrapped without knowing about faults.
+type DirectPort interface {
+	Name() string
+	// Send transmits size bytes and invokes deliver at arrival,
+	// returning the arrival tick.
+	Send(size int, deliver func(now sim.Tick)) sim.Tick
+	Counters() *stats.Set
+}
+
+var _ DirectPort = (*Link)(nil)
+
 // Link is a unidirectional point-to-point channel with a fixed
 // propagation latency and a serialisation bandwidth. Sends that overlap
 // queue behind each other.

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobPanicRecovered checks a panicking simulation becomes a failed
+// job carrying the stack trace while the worker stays alive for the
+// next job.
+func TestJobPanicRecovered(t *testing.T) {
+	calls := 0
+	stub := func(ctx context.Context, j *job) ([]byte, error) {
+		calls++
+		if calls == 1 {
+			panic("synthetic engine explosion")
+		}
+		return []byte(`{"stub":true}`), nil
+	}
+	base := startServer(t, newServer(Options{Workers: 1}, stub))
+
+	bad := post(t, base, `{"bench":"VA"}`)
+	if bad.code != http.StatusAccepted {
+		t.Fatalf("submit: %d", bad.code)
+	}
+	st := waitStatus(t, base, bad.ID, "failed", 10*time.Second)
+	if !strings.Contains(st.Error, "synthetic engine explosion") ||
+		!strings.Contains(st.Error, "goroutine") {
+		t.Fatalf("error = %q, want panic message with stack trace", st.Error)
+	}
+
+	// The same worker must survive to run the next job.
+	good := post(t, base, `{"bench":"NN"}`)
+	waitStatus(t, base, good.ID, "done", 10*time.Second)
+
+	m := metricsMap(t, base)
+	if m["dstore_serve_jobs_panicked_total"] != 1 {
+		t.Fatalf("panicked = %d, want 1", m["dstore_serve_jobs_panicked_total"])
+	}
+	if m["dstore_serve_jobs_failed_total"] != 1 {
+		t.Fatalf("failed = %d, want 1", m["dstore_serve_jobs_failed_total"])
+	}
+}
+
+// TestChaosEndpointDisabled checks /v1/chaos is rejected unless the
+// operator opted in.
+func TestChaosEndpointDisabled(t *testing.T) {
+	base := startServer(t, New(Options{Workers: 1}))
+	resp, err := http.Post(base+"/v1/chaos", "application/json",
+		strings.NewReader(`{"seed":1,"profile":"light"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("chaos on disabled server = %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestChaosEndpoint runs a small seeded soak through POST /v1/chaos
+// and checks the response shape and the fault counters it feeds.
+func TestChaosEndpoint(t *testing.T) {
+	base := startServer(t, New(Options{Workers: 2, EnableChaos: true}))
+
+	body := `{"seed":7,"profile":"heavy","ops":400,"rounds":4,"lines":64,"instances":2,"workers":2}`
+	resp, err := http.Post(base+"/v1/chaos", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos soak = %d", resp.StatusCode)
+	}
+	var out struct {
+		Profile   string `json:"profile"`
+		Mode      string `json:"mode"`
+		OK        bool   `json:"ok"`
+		Failed    int    `json:"failed"`
+		Instances []struct {
+			Seed       uint64   `json:"seed"`
+			OK         bool     `json:"ok"`
+			Faults     uint64   `json:"faults_injected"`
+			Transcript string   `json:"transcript"`
+			Violations []string `json:"violations"`
+		} `json:"instances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Failed != 0 || out.Profile != "heavy" || len(out.Instances) != 2 {
+		t.Fatalf("soak response: ok=%v failed=%d profile=%q instances=%d",
+			out.OK, out.Failed, out.Profile, len(out.Instances))
+	}
+	var faults uint64
+	for _, in := range out.Instances {
+		if !in.OK || len(in.Violations) != 0 || in.Transcript == "" {
+			t.Fatalf("instance %d: %+v", in.Seed, in)
+		}
+		faults += in.Faults
+	}
+	if faults == 0 {
+		t.Fatal("heavy profile injected no faults")
+	}
+	m := metricsMap(t, base)
+	if m["dstore_chaos_faults_injected_total"] != faults {
+		t.Fatalf("faults metric = %d, want %d", m["dstore_chaos_faults_injected_total"], faults)
+	}
+
+	// Unknown profiles are a client error, not a crash.
+	resp2, err := http.Post(base+"/v1/chaos", "application/json",
+		strings.NewReader(`{"seed":1,"profile":"nonsense"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown profile = %d, want 400", resp2.StatusCode)
+	}
+}

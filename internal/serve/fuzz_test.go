@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobSpecCanonical fuzzes the submission decode → normalize →
+// canonical-encode path that feeds content addressing. Two properties
+// must hold for arbitrary input: malformed specs never panic, and for
+// any spec that normalizes, the canonical encoding is a fixed point —
+// decoding it and re-encoding yields the same bytes, so a job's ID is
+// stable no matter how many times its spec round-trips.
+func FuzzJobSpecCanonical(f *testing.F) {
+	f.Add([]byte(`{"bench":"MM","mode":"direct-store","input":"small"}`))
+	f.Add([]byte(`{"bench":"nn"}`))
+	f.Add([]byte(`{"bench":"MT","mode":"ccsm","input":"big","config":{"sms":8}}`))
+	f.Add([]byte(`{"bench":"VA","config":{}}`))
+	f.Add([]byte(`{"bench":"HT","mode":"standalone","config":{"l2_slices":2,"mshrs":16}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"bench":"MM","config":{"sms":-1}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("{\"bench\":\"\x00\"}"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var spec JobSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return // not a spec at all; just must not have panicked
+		}
+		norm, err := spec.Normalize()
+		if err != nil {
+			return // invalid specs are rejected, never crash
+		}
+		if _, err := norm.BuildConfig(); err != nil {
+			return // normalizes but carries an invalid override
+		}
+		enc1, err := norm.Canonical()
+		if err != nil {
+			t.Fatalf("normalized spec failed to encode: %v", err)
+		}
+		var back JobSpec
+		if err := json.Unmarshal(enc1, &back); err != nil {
+			t.Fatalf("canonical form does not decode: %v\n%s", err, enc1)
+		}
+		renorm, err := back.Normalize()
+		if err != nil {
+			t.Fatalf("canonical form does not re-normalize: %v\n%s", err, enc1)
+		}
+		enc2, err := renorm.Canonical()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding not a fixed point:\n first: %s\nsecond: %s", enc1, enc2)
+		}
+		id1, err := norm.ID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id2, err := renorm.ID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id1 != id2 {
+			t.Fatalf("job ID unstable across round-trip: %s vs %s", id1, id2)
+		}
+	})
+}

@@ -23,8 +23,12 @@ var metricDefs = []struct {
 	{"dstore_serve_jobs_executed_total", "counter"},
 	{"dstore_serve_jobs_failed_total", "counter"},
 	{"dstore_serve_jobs_cancelled_total", "counter"},
+	{"dstore_serve_jobs_panicked_total", "counter"},
 	{"dstore_serve_inflight_jobs", "gauge"},
 	{"dstore_serve_queue_capacity", "gauge"},
+	{"dstore_chaos_faults_injected_total", "counter"},
+	{"dstore_coherence_nacks_total", "counter"},
+	{"dstore_coherence_retries_total", "counter"},
 }
 
 // snapshot materializes the current metric values as a stats.Set in
@@ -44,8 +48,12 @@ func (s *Server) snapshot() *stats.Set {
 		"dstore_serve_jobs_executed_total":   s.executed.Load(),
 		"dstore_serve_jobs_failed_total":     s.failed.Load(),
 		"dstore_serve_jobs_cancelled_total":  s.cancelled.Load(),
+		"dstore_serve_jobs_panicked_total":   s.panicked.Load(),
 		"dstore_serve_inflight_jobs":         uint64(inflight),
 		"dstore_serve_queue_capacity":        uint64(s.opt.QueueDepth),
+		"dstore_chaos_faults_injected_total": s.chaosFaults.Load(),
+		"dstore_coherence_nacks_total":       s.chaosNacks.Load(),
+		"dstore_coherence_retries_total":     s.chaosRetries.Load(),
 	}
 	set := stats.NewSet()
 	for _, d := range metricDefs {

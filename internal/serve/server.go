@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,16 @@ type Options struct {
 	JobTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// StallGuardEvents arms the simulation engine's forward-progress
+	// watchdog for every job: a simulation that executes this many
+	// events without the clock advancing is declared livelocked and
+	// fails (the panic is caught per-job; the worker survives). Zero
+	// selects 10M events, far beyond any legitimate same-tick cascade.
+	StallGuardEvents uint64
+	// EnableChaos exposes POST /v1/chaos, which runs the fault-injection
+	// stress harness synchronously for soak testing. Off by default:
+	// chaos runs are expensive and not content-addressable.
+	EnableChaos bool
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.StallGuardEvents == 0 {
+		o.StallGuardEvents = 10_000_000
 	}
 	return o
 }
@@ -107,6 +121,12 @@ type Server struct {
 	cancelled atomic.Uint64
 	coalesced atomic.Uint64 // submissions attached to an in-flight job
 	rejected  atomic.Uint64 // 429s
+	panicked  atomic.Uint64 // jobs that panicked (caught; worker survived)
+
+	// Aggregates over /v1/chaos stress runs.
+	chaosFaults  atomic.Uint64
+	chaosNacks   atomic.Uint64
+	chaosRetries atomic.Uint64
 }
 
 // New starts a server: opt.Workers goroutines draining the job queue.
@@ -144,6 +164,7 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *
 	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.wg.Add(opt.Workers)
@@ -179,7 +200,11 @@ func (s *Server) runJob(j *job) {
 	if s.opt.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.opt.JobTimeout)
 	}
-	body, err := s.runFn(ctx, j)
+	// Arm the engine's forward-progress watchdog: a livelocked
+	// simulation panics instead of spinning the worker forever, and
+	// safeRun converts that panic into a failed job.
+	j.cfg.StallGuardEvents = s.opt.StallGuardEvents
+	body, err := s.safeRun(ctx, j)
 	cancel()
 
 	s.mu.Lock()
@@ -201,6 +226,21 @@ func (s *Server) runJob(j *job) {
 	j.status = statusDone
 	s.executed.Add(1)
 	s.cache.put(j.id, body)
+}
+
+// safeRun executes the job's simulation with per-job panic isolation: a
+// panicking simulation (a protocol assertion, the engine's livelock
+// guard) becomes a failed-job result carrying the panic value and
+// stack, and the worker goroutine survives to take the next job.
+func (s *Server) safeRun(ctx context.Context, j *job) (body []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panicked.Add(1)
+			body = nil
+			err = fmt.Errorf("job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return s.runFn(ctx, j)
 }
 
 // recordFailureLocked remembers a failed job for status reads, bounded

@@ -73,6 +73,12 @@ type Engine struct {
 	fifoHead int
 	seq      uint64
 	executed uint64
+
+	// Stall-guard state (SetStallGuard): guardLimit 0 disables the
+	// forward-progress watchdog entirely.
+	guardLimit uint64
+	guardTick  Tick
+	guardCount uint64
 }
 
 // NewEngine returns an engine at tick zero with an empty event queue.
@@ -88,6 +94,21 @@ func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoHead }
 
 // Executed returns the total number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetStallGuard arms the engine's forward-progress watchdog: executing
+// more than limit events without the clock advancing a single tick
+// panics with a diagnostic instead of livelocking. Legitimate same-tick
+// cascades in the coherence layer are a few hundred events deep, so any
+// generous limit (say, one million) only ever trips on a genuine
+// livelock — an event chain rescheduling itself at delay zero forever.
+// A limit of zero disables the guard (the default); a disabled guard
+// adds one predictable branch to the step path and changes nothing
+// else, preserving byte-identical results.
+func (e *Engine) SetStallGuard(limit uint64) {
+	e.guardLimit = limit
+	e.guardTick = e.now
+	e.guardCount = 0
+}
 
 // Schedule queues fn to run delay ticks from now. A delay of zero runs fn
 // later in the current tick, after all previously scheduled events for
@@ -141,6 +162,9 @@ func (e *Engine) Step() bool {
 		if len(e.heap) == 0 || e.heap[0].when > e.now {
 			ev := e.fifoPop()
 			e.executed++
+			if e.guardLimit != 0 {
+				e.checkStall()
+			}
 			ev.fn()
 			return true
 		}
@@ -151,8 +175,26 @@ func (e *Engine) Step() bool {
 	ev := e.heapPop()
 	e.now = ev.when
 	e.executed++
+	if e.guardLimit != 0 {
+		e.checkStall()
+	}
 	ev.fn()
 	return true
+}
+
+// checkStall accounts one executed event against the stall guard. The
+// caller has checked the guard is armed.
+func (e *Engine) checkStall() {
+	if e.now != e.guardTick {
+		e.guardTick = e.now
+		e.guardCount = 0
+	}
+	e.guardCount++
+	if e.guardCount > e.guardLimit {
+		panic(fmt.Sprintf(
+			"sim: forward-progress watchdog: %d events executed at tick %d without the clock advancing (livelock)",
+			e.guardCount, e.now))
+	}
 }
 
 // Run executes events until the queue is empty and returns the final
