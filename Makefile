@@ -1,15 +1,33 @@
 GO ?= go
 
 # check is the gate every change must pass: static analysis, a full
-# build, the full test suite, and a race-detector pass over the
-# packages that use (sweep runner, serve daemon) or feed (event
-# kernel) concurrency.
+# build, the full test suite, a race-detector pass over the packages
+# that use (sweep runner, serve daemon) or feed (event kernel)
+# concurrency, and the exhaustive small-config protocol model check.
 .PHONY: check
-check: vet build test race
+check: vet lint build test race modelcheck
 
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's own analyzers (determinism contract, stats-key
+# registry, event-callback safety), plus staticcheck when installed.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/dstore-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# modelcheck exhaustively explores the standard sweep of small
+# protocol configurations (~3.4M states, ~15s) and fails on any
+# SWMR / data-value / MM-install invariant violation.
+.PHONY: modelcheck
+modelcheck:
+	$(GO) run ./cmd/dstore-modelcheck
 
 .PHONY: build
 build:

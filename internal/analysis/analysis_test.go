@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// all is the production analyzer set, in the order dstore-lint runs
+// them.
+func all() []*Analyzer {
+	return []*Analyzer{Determinism, StatsKey, EventSafety}
+}
+
+// TestFixtureViolations loads the seeded-violation fixture by its
+// explicit import path (wildcards skip testdata, so the production
+// lint run never sees it) and checks that every analyzer catches its
+// seeded violation — and that every annotated twin is suppressed,
+// which the exact-count assertion enforces.
+func TestFixtureViolations(t *testing.T) {
+	diags, err := Run("", []string{"dstore/internal/analysis/testdata/src/fixture"}, all())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []struct {
+		analyzer string
+		line     int
+		substr   string
+	}{
+		{"determinism", 10, "import of math/rand"},
+		{"determinism", 19, "time.Now in deterministic package"},
+		{"determinism", 37, "range over map in deterministic package"},
+		{"statskey", 50, `unknown stats counter key "hitz"`},
+		{"statskey", 56, "dynamic stats counter key passed to Set.Get"},
+		{"eventsafety", 70, "event callback calls Engine.Step"},
+		{"eventsafety", 87, `event callback captures loop variable "i"`},
+	}
+	if len(diags) != len(want) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(want))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && d.Pos.Line == w.line && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic at fixture.go:%d containing %q", w.analyzer, w.line, w.substr)
+		}
+	}
+
+	// The typo hint must point at the registered neighbour.
+	for _, d := range diags {
+		if strings.Contains(d.Message, `"hitz"`) && !strings.Contains(d.Message, `did you mean "hits"`) {
+			t.Errorf("statskey diagnostic lacks typo hint: %s", d)
+		}
+	}
+}
+
+// TestAppliesScoping checks the package filter: cmd/ and examples/ are
+// exempt from the determinism contract, internal packages are not.
+func TestAppliesScoping(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"dstore", true},
+		{"dstore/internal/sim", true},
+		{"dstore/internal/analysis/testdata/src/fixture", true},
+		{"dstore/cmd/dstore-lint", false},
+		{"dstore/examples/bench", false},
+		{"other/internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := isDeterministicPkg(c.pkg); got != c.want {
+			t.Errorf("isDeterministicPkg(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestTreeClean runs the full analyzer set over the whole repo — the
+// same check `dstore-lint ./...` performs — and wants zero findings.
+// Skipped in -short mode: it type-checks every package.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole tree")
+	}
+	diags, err := Run("../..", []string{"./..."}, all())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DeterministicPackages lists the import-path prefixes whose code must
+// be a pure function of its inputs: the simulator core and everything
+// it feeds. The serve daemon is included — its job bookkeeping
+// legitimately reads the wall clock, but each such read must carry a
+// //dstore:allow-wallclock annotation so nothing new sneaks into the
+// result-producing paths (the content-addressed cache depends on
+// byte-identical results).
+var DeterministicPackages = []string{
+	"dstore",
+	"dstore/internal/",
+}
+
+// isDeterministicPkg reports whether pkgPath falls under the
+// determinism contract: an exact match for entries without a trailing
+// slash, a prefix match for entries with one. cmd/ and examples/ are
+// exempt: they are process entry points (timing flags, profiling)
+// whose output is not part of a simulation transcript.
+func isDeterministicPkg(pkgPath string) bool {
+	for _, p := range DeterministicPackages {
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(pkgPath, p) {
+				return true
+			}
+		} else if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the time-package functions that read the wall
+// clock or create timers driven by it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// nondetImports are packages whose presence in deterministic code is a
+// finding by itself: randomness must come from sim.Rand, which is
+// seeded and replayable.
+var nondetImports = map[string]string{
+	"math/rand":    "unseeded/global randomness; use sim.Rand (seeded SplitMix64) instead",
+	"math/rand/v2": "unseeded/global randomness; use sim.Rand (seeded SplitMix64) instead",
+	"crypto/rand":  "nondeterministic entropy source; use sim.Rand (seeded SplitMix64) instead",
+}
+
+// Determinism forbids wall-clock reads, nondeterministic randomness
+// and unordered map iteration inside the deterministic packages.
+// Escape hatches: //dstore:allow-wallclock, //dstore:allow-rand,
+// //dstore:allow-maprange.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clock, unseeded randomness and map-iteration " +
+		"order dependence in simulation packages",
+	Applies: isDeterministicPkg,
+	Run:     runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := nondetImports[path]; bad && !pass.Allowed(imp.Pos(), "rand") {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package: %s "+
+					"(or annotate //dstore:allow-rand <why>)", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				ref := pass.funcOf(n)
+				if ref != nil && ref.Recv == "" && ref.PkgPath == "time" && wallClockFuncs[ref.Name] {
+					if !pass.Allowed(n.Pos(), "wallclock") {
+						pass.Reportf(n.Pos(), "time.%s in deterministic package: simulation "+
+							"results must not depend on the wall clock "+
+							"(annotate //dstore:allow-wallclock <why> if this never reaches a result)", ref.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				t := pass.Pkg.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					if !pass.Allowed(n.Pos(), "maprange") {
+						pass.Reportf(n.Pos(), "range over map in deterministic package: iteration "+
+							"order is randomized per run; sort the keys first "+
+							"(or annotate //dstore:allow-maprange <why> if order cannot escape)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+
+	"dstore/internal/stats"
+)
+
+// statsPkg is the package whose Set methods define counter keys.
+const statsPkg = "dstore/internal/stats"
+
+// StatsKey checks every string-literal key passed to
+// (*stats.Set).Counter or (*stats.Set).Get against the registry in
+// internal/stats/registry.go. A key outside the registry is a typo or
+// a one-off: either way it would report zero forever (Get) or create
+// an orphan counter no table knows about (Counter). Dynamic keys need
+// a //dstore:allow-statskey annotation.
+var StatsKey = &Analyzer{
+	Name: "statskey",
+	Doc:  "flag stats counter keys missing from the internal/stats registry",
+	Run:  runStatsKey,
+}
+
+func runStatsKey(pass *Pass) error {
+	if pass.Pkg.PkgPath == statsPkg {
+		// The registry and Set implementation themselves are exempt.
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			ref := pass.funcOf(call)
+			if !ref.isMethod(statsPkg, "Set", "Counter") && !ref.isMethod(statsPkg, "Set", "Get") {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				if !pass.Allowed(call.Pos(), "statskey") {
+					pass.Reportf(call.Pos(), "dynamic stats counter key passed to Set.%s; "+
+						"use a registered literal or annotate //dstore:allow-statskey <why>", ref.Name)
+				}
+				return true
+			}
+			key, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !stats.KnownKey(key) && !pass.Allowed(call.Pos(), "statskey") {
+				pass.Reportf(lit.Pos(), "unknown stats counter key %q: fix the typo or register "+
+					"it in internal/stats/registry.go%s", key, nearestKeyHint(key))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nearestKeyHint suggests a registered key that looks like a typo of
+// key (shared prefix of at least half the length), or "".
+func nearestKeyHint(key string) string {
+	best := ""
+	for _, k := range stats.KnownKeys() {
+		n := commonPrefix(k, key)
+		if n*2 >= len(key) && n*2 >= len(k) && (best == "" || n > commonPrefix(best, key)) {
+			best = k
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return " (did you mean " + strconv.Quote(best) + "?)"
+}
+
+func commonPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

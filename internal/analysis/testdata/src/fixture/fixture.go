@@ -1,0 +1,96 @@
+// Package fixture seeds exactly one violation per analyzer rule, plus
+// an annotated twin for each escape hatch. The analysis unit tests
+// load this package by its explicit import path (go list's `./...`
+// wildcard skips testdata directories, so `dstore-lint ./...` never
+// sees it) and assert that every seeded violation — and nothing else —
+// is reported.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"dstore/internal/sim"
+	"dstore/internal/stats"
+)
+
+// WallClock reads the wall clock: determinism finding.
+func WallClock() time.Time {
+	return time.Now()
+}
+
+// WallClockAllowed is the annotated twin: no finding.
+func WallClockAllowed() time.Time {
+	return time.Now() //dstore:allow-wallclock fixture: annotated twin
+}
+
+// Random uses the flagged math/rand import (the import declaration
+// itself is the determinism finding, not this call).
+func Random() int {
+	return rand.Int()
+}
+
+// MapRange iterates a map without sorting: determinism finding on the
+// first loop; the second is annotated and clean.
+func MapRange(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	//dstore:allow-maprange fixture: order folds into a commutative sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// BadKey passes an unregistered literal key: statskey finding with a
+// did-you-mean hint ("hitz" ~ "hits").
+func BadKey(s *stats.Set) {
+	s.Counter("hitz").Inc()
+}
+
+// DynamicKey passes a non-literal key: statskey finding on the first
+// call; the second is annotated and clean.
+func DynamicKey(s *stats.Set, name string) uint64 {
+	v := s.Get(name)
+	v += s.Get(name) //dstore:allow-statskey fixture: annotated twin
+	return v
+}
+
+// GoodKey uses a registered literal key: no finding.
+func GoodKey(s *stats.Set) {
+	s.Counter("hits").Inc()
+}
+
+// Reenter schedules a callback that re-enters the run loop:
+// eventsafety finding.
+func Reenter(eng *sim.Engine) {
+	eng.Schedule(1, func() {
+		eng.Step()
+	})
+}
+
+// ReenterAllowed is the annotated twin: no finding.
+func ReenterAllowed(eng *sim.Engine) {
+	eng.Schedule(1, func() {
+		eng.Step() //dstore:allow-reentry fixture: annotated twin
+	})
+}
+
+// LoopCapture schedules callbacks from inside a loop: the first loop
+// captures the loop variable directly (eventsafety finding), the
+// second rebinds it first (clean).
+func LoopCapture(eng *sim.Engine, xs []int) {
+	for i := range xs {
+		eng.Schedule(1, func() {
+			_ = i
+		})
+	}
+	for i := range xs {
+		i := i
+		eng.Schedule(1, func() {
+			_ = i
+		})
+	}
+}

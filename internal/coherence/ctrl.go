@@ -71,6 +71,14 @@ type Ctrl struct {
 	// acknowledges their writeback; probes hitting it supply data from
 	// here, closing the eviction race.
 	wbBuf map[memsys.Addr]uint64
+	// wbStale marks wbBuf entries whose line has since been granted
+	// exclusively to another agent (the entry answered an invalidating
+	// probe): the writeback itself must still reach memory, but the
+	// buffered data is no longer current, so it must neither satisfy
+	// local loads nor supply later probes. Found by the model checker:
+	// without the mark, a load after the remote store returns the
+	// pre-store data.
+	wbStale map[memsys.Addr]bool
 	// remotePending holds uncacheable direct-region loads awaiting
 	// data.
 	remotePending map[memsys.Addr][]*memsys.Request
@@ -121,6 +129,7 @@ func NewCtrl(engine *sim.Engine, cfg CtrlConfig, xbar interconnect.Network, mem 
 		mshr:          cache.NewMSHR(cfg.MSHRs),
 		ver:           make(map[memsys.Addr]uint64),
 		wbBuf:         make(map[memsys.Addr]uint64),
+		wbStale:       make(map[memsys.Addr]bool),
 		remotePending: make(map[memsys.Addr][]*memsys.Request),
 		counters:      stats.NewSet(),
 	}
@@ -228,13 +237,14 @@ func (c *Ctrl) processReq(req *memsys.Request, quiet bool) {
 		c.missPath(req, line, false)
 	case memsys.Store:
 		st, hit := lookupL2(line)
-		switch {
-		case hit && st == MM:
-			c.localWrite(line, req)
-		case hit && st == M:
-			// Paper: stores are not allowed in M; but no other node
-			// holds a copy, so the M→MM upgrade is silent.
-			c.l2.SetState(line, MM)
+		switch out := Transition(st, EvStoreHit); {
+		case hit && out.OK:
+			// MM commits in place; M is the paper's silent M→MM
+			// upgrade (stores are not allowed in M, but no other node
+			// holds a copy, so the controller upgrades locally).
+			if out.Next != st {
+				c.l2.SetState(line, out.Next)
+			}
 			c.localWrite(line, req)
 		case hit: // S or O: must invalidate other copies first
 			c.upgrades.Inc()
@@ -274,17 +284,17 @@ func (c *Ctrl) complete(req *memsys.Request, lat sim.Tick) {
 
 // missPath sends the demand miss into the protocol.
 func (c *Ctrl) missPath(req *memsys.Request, line memsys.Addr, wantX bool) {
-	if ver, ok := c.wbBuf[line]; ok {
+	if ver, ok := c.wbBuf[line]; ok && !wantX && !c.wbStale[line] {
 		// The line is in our own writeback buffer (dirty eviction or
-		// overflowed push still in flight to memory): serve it locally
-		// — we are still the data's owner until memory acknowledges.
-		if wantX {
-			c.installLine(line, MM, true, ver)
-			c.ver[line] = req.Ver
-			c.l2.SetDirty(line, true)
-			c.complete(req, c.cfg.L2HitLat)
-			return
-		}
+		// overflowed push still in flight to memory): loads are served
+		// locally — we are still the data source until memory
+		// acknowledges. Stores must NOT reclaim the line silently:
+		// another agent may hold a shared copy granted from this very
+		// buffer, so write permission requires the full GETX
+		// invalidation round (a silent reclaim here was an SWMR
+		// violation found by the model checker). Stale entries (the
+		// line was since granted exclusively elsewhere) fall through
+		// for loads too.
 		req.Ver = ver
 		c.complete(req, c.cfg.L2HitLat)
 		return
@@ -450,7 +460,7 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 	_, pending := c.mshr.Lookup(line)
 	if !pending && c.l2.SetFull(line) {
 		c.pushOverflow.Inc()
-		c.wbBuf[line] = p.Ver
+		c.bufferWriteback(line, p.Ver)
 		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
@@ -461,18 +471,19 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 		e, _ := c.mshr.Lookup(line)
 		e.Superseded = true
 	}
+	st, dirty := PushInstallState(c.cfg.PushWriteThrough)
 	if c.cfg.PushWriteThrough {
 		// Ablation: pushes write through to memory and install
 		// exclusive-clean, so evictions are silent.
-		c.installLine(line, M, false, p.Ver)
-		c.wbBuf[line] = p.Ver
+		c.installLine(line, st, dirty, p.Ver)
+		c.bufferWriteback(line, p.Ver)
 		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
 		return
 	}
-	c.installLine(line, MM, true, p.Ver)
+	c.installLine(line, st, dirty, p.Ver)
 }
 
 // installLine allocates a line, handling victim writeback.
@@ -488,7 +499,7 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 	vv := c.ver[v.Addr]
 	delete(c.ver, v.Addr)
 	if v.Dirty {
-		c.wbBuf[v.Addr] = vv
+		c.bufferWriteback(v.Addr, vv)
 		c.wbSent.Inc()
 		msg := ReqMsg{Type: WB, Addr: v.Addr, From: c.name, Ver: vv}
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
@@ -505,7 +516,16 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 func (c *Ctrl) writebackDone(line memsys.Addr, ver uint64) {
 	if v, ok := c.wbBuf[line]; ok && v == ver {
 		delete(c.wbBuf, line)
+		delete(c.wbStale, line)
 	}
+}
+
+// bufferWriteback records a fresh in-flight writeback. Overwriting an
+// older entry (re-fetch and re-evict) also clears any staleness: the
+// new data is current again.
+func (c *Ctrl) bufferWriteback(line memsys.Addr, ver uint64) {
+	c.wbBuf[line] = ver
+	delete(c.wbStale, line)
 }
 
 // receiveProbe answers the memory controller's probe after the array
@@ -519,11 +539,17 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 	line := p.Addr
 	ack := AckMsg{Addr: line, From: c.name}
 
-	if ver, ok := c.wbBuf[line]; ok {
+	if ver, ok := c.wbBuf[line]; ok && !c.wbStale[line] {
 		st, _, hit := c.l2.Probe(line)
 		owned := hit && (st == MM || st == M || st == O)
 		if !owned || c.ver[line] < ver {
 			// Dirty eviction still in flight: we remain the data source.
+			// An invalidating probe hands that role to the requester, so
+			// the entry goes stale: it must not supply anyone else (the
+			// new owner has newer data) nor satisfy local loads.
+			if p.Kind == PrbInv {
+				c.wbStale[line] = true
+			}
 			ack.HadData = true
 			ack.Dirty = true
 			ack.Ver = ver
@@ -542,29 +568,21 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 		c.sendAck(ack)
 		return
 	}
-	switch p.Kind {
-	case PrbShare:
-		switch st {
-		case MM:
-			ack.HadData, ack.Dirty, ack.Ver = true, true, c.ver[line]
-			c.l2.SetState(line, O)
-		case O:
-			ack.HadData, ack.Dirty, ack.Ver = true, dirty, c.ver[line]
-		case M:
-			// Exclusive-clean surrenders to shared; memory already
-			// holds the same version.
-			ack.HadData, ack.Dirty, ack.Ver = true, false, c.ver[line]
-			c.l2.SetState(line, S)
-		case S:
-			ack.Present = true
-		}
-	case PrbInv:
-		switch st {
-		case MM, O, M:
-			ack.HadData, ack.Dirty, ack.Ver = true, dirty || st == MM, c.ver[line]
-		case S:
-			ack.Present = true
-		}
+	// The probe reaction — what data leaves, what the ack reports and
+	// which state the copy drops to — is one row of the shared protocol
+	// table (table.go), the same relation the model checker enumerates.
+	out := Transition(st, ProbeEvent(p.Kind))
+	ack.Present = out.Present
+	if out.Data != NoData {
+		ack.HadData = true
+		ack.Dirty = DataDirty(out.Data, dirty)
+		ack.Ver = c.ver[line]
+	}
+	switch {
+	case out.Next == st:
+		// No state change (O/S survive PrbShare, everything survives
+		// PrbSnoop).
+	case out.Next == I:
 		if c.hooks != nil && c.hooks.SkipInvalidate != nil && c.hooks.SkipInvalidate() {
 			// Injected protocol mutation: acknowledge the probe but keep
 			// the copy. The requester will install exclusive while this
@@ -578,13 +596,8 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 		}
 		c.l2.Invalidate(line)
 		delete(c.ver, line)
-	case PrbSnoop:
-		switch st {
-		case MM, O, M:
-			ack.HadData, ack.Dirty, ack.Ver = true, dirty || st == MM, c.ver[line]
-		case S:
-			ack.Present = true
-		}
+	default:
+		c.l2.SetState(line, out.Next)
 	}
 	if ack.HadData {
 		// 3-hop transfer: the owner sends the line straight to the
@@ -601,12 +614,13 @@ func (c *Ctrl) supplyToRequester(p ProbeMsg, ver uint64, dirty bool) {
 	var owned bool
 	switch p.Kind {
 	case PrbShare:
-		grant = S // previous owner keeps writeback responsibility in O
+		// Previous owner keeps writeback responsibility in O.
+		grant = GrantState(GETS, true, false)
 	case PrbInv:
-		grant = MM
+		grant = GrantState(GETX, true, false)
 		owned = dirty // dirty-data responsibility transfers
 	case PrbSnoop:
-		grant = I // uncacheable read: nothing installs
+		grant = GrantState(RemoteLoad, true, false) // uncacheable: nothing installs
 	}
 	d := DataMsg{Addr: p.Addr, Ver: ver, Grant: grant, Owned: owned}
 	requester := p.Requester
@@ -691,7 +705,7 @@ func (c *Ctrl) receiveData(d DataMsg) {
 			// the in-flight WB to the ordering point probes us, and
 			// without the entry it would read stale DRAM.
 			fillVer = w.Ver
-			c.wbBuf[line] = w.Ver
+			c.bufferWriteback(line, w.Ver)
 			msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: w.Ver}
 			c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 				c.mem.ReceiveRequest(msg)

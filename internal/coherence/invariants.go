@@ -21,7 +21,7 @@ func (m *MemCtrl) CheckInvariants(lines []memsys.Addr) error {
 		return fmt.Errorf("coherence: %d transactions still in flight\n%s", len(m.busy), m.TransactionDump())
 	}
 	names := make([]string, 0, len(m.peers))
-	for name := range m.peers {
+	for name := range m.peers { //dstore:allow-maprange keys sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)

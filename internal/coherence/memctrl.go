@@ -168,12 +168,9 @@ func (m *MemCtrl) start(req ReqMsg) {
 		return
 	}
 	t.acksWanted = len(targets)
-	kind := PrbShare
-	switch req.Type {
-	case GETX:
-		kind = PrbInv
-	case RemoteLoad:
-		kind = PrbSnoop
+	kind, ok := ProbeFor(req.Type)
+	if !ok {
+		panic(fmt.Sprintf("coherence: no probe kind for %v", req.Type))
 	}
 	if req.Type != GETX {
 		// Speculative memory fetch (the Opteron/Hammer hallmark): the
@@ -240,7 +237,7 @@ func (m *MemCtrl) ReceiveAck(a AckMsg) {
 
 // sendGrant delivers write permission without data (full-line write).
 func (m *MemCtrl) sendGrant(t *txn, ver uint64) {
-	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: MM}
+	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: GrantState(GETX, false, false)}
 	requester := t.req.From
 	m.xbar.Send(m.name, requester, interconnect.CtrlMsgBytes, func(sim.Tick) {
 		m.peers[requester].receiveData(d)
@@ -264,19 +261,9 @@ func (m *MemCtrl) anySharer(t *txn) bool {
 // sendData delivers memory-sourced data to the requester with the
 // right grant.
 func (m *MemCtrl) sendData(t *txn, ver uint64) {
-	var grant State
-	switch t.req.Type {
-	case GETX:
-		grant = MM
-	case GETS:
-		if m.anySharer(t) {
-			grant = S
-		} else {
-			grant = M // Hammer grants exclusive-clean when no other copy exists
-		}
-	case RemoteLoad:
-		grant = I // uncacheable: no install
-	}
+	// GETX → MM; GETS → S if a copy survived, else exclusive-clean M
+	// (the Hammer grant); RemoteLoad → I (uncacheable, no install).
+	grant := GrantState(t.req.Type, false, m.anySharer(t))
 	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: grant}
 	requester := t.req.From
 	m.xbar.Send(m.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
@@ -375,7 +362,7 @@ func (m *MemCtrl) watchdogScan() {
 // and scan is deterministic.
 func (m *MemCtrl) busyLines() []memsys.Addr {
 	lines := make([]memsys.Addr, 0, len(m.busy))
-	for line := range m.busy {
+	for line := range m.busy { //dstore:allow-maprange keys sorted below
 		lines = append(lines, line)
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })

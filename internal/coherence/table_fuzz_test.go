@@ -1,0 +1,59 @@
+package coherence
+
+import (
+	"testing"
+)
+
+// FuzzTransition drives the extracted transition function with
+// arbitrary (state, event) bytes — including values far outside the
+// enums — and checks the safety contract the model checker and the
+// runtime controllers both rely on:
+//
+//   - Transition never panics, whatever the input.
+//   - Write permission is only ever granted in MM: any legal
+//     transition whose next state permits stores must land in MM, and
+//     only the store-commit and push-install events may acquire it
+//     from a non-MM state.
+//   - Outcomes are internally consistent: a transition to I clears
+//     dirtiness, an illegal outcome carries no effects, and data is
+//     only supplied by probe reactions.
+func FuzzTransition(f *testing.F) {
+	for st := 0; st < NumStates; st++ {
+		for ev := 0; ev < int(NumEvents); ev++ {
+			f.Add(uint8(st), uint8(ev))
+		}
+	}
+	f.Add(uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, stb, evb byte) {
+		st, ev := State(stb), Event(evb)
+		out := Transition(st, ev) // must not panic
+		if !out.OK {
+			if out.Next != I || out.Data != NoData || out.Present || out.Dirty != DirtyKeep {
+				t.Fatalf("Transition(%d, %d): illegal outcome carries effects: %+v", stb, evb, out)
+			}
+			return
+		}
+		if CanWrite(out.Next) && out.Next != MM {
+			t.Fatalf("Transition(%s, %s) grants write permission outside MM: %s",
+				StateName(st), EventName(ev), StateName(out.Next))
+		}
+		if out.Next == MM && st != MM {
+			switch ev {
+			case EvStoreHit, EvFillMM, EvPushInstall, EvDirectStore:
+			default:
+				t.Fatalf("Transition(%s, %s) reaches MM via a non-store event", StateName(st), EventName(ev))
+			}
+		}
+		if st != I && out.Next == I && out.Dirty != DirtyClear {
+			t.Fatalf("Transition(%s, %s) invalidates without clearing dirty", StateName(st), EventName(ev))
+		}
+		switch ev {
+		case EvProbeShare, EvProbeInv, EvProbeSnoop:
+		default:
+			if out.Data != NoData || out.Present {
+				t.Fatalf("Transition(%s, %s) supplies data outside a probe reaction: %+v",
+					StateName(st), EventName(ev), out)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package coherence
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateTable = flag.Bool("update", false, "rewrite the DESIGN.md protocol-table appendix")
+
+const (
+	designPath  = "../../DESIGN.md"
+	beginMarker = "<!-- protocol-table:begin -->"
+	endMarker   = "<!-- protocol-table:end -->"
+)
+
+// TestProtocolTableAppendix keeps DESIGN.md's Appendix A in sync with
+// the generated protocol table. On drift, rerun with -update to
+// regenerate the block between the markers.
+func TestProtocolTableAppendix(t *testing.T) {
+	doc, err := os.ReadFile(designPath)
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	text := string(doc)
+	begin := strings.Index(text, beginMarker)
+	end := strings.Index(text, endMarker)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("DESIGN.md is missing the %s / %s markers", beginMarker, endMarker)
+	}
+
+	want := "\n" + ProtocolTable()
+	got := text[begin+len(beginMarker) : end]
+	if got == want {
+		return
+	}
+	if !*updateTable {
+		t.Fatalf("DESIGN.md protocol-table appendix is stale; regenerate with:\n"+
+			"  go test ./internal/coherence -run ProtocolTableAppendix -update\n"+
+			"--- appendix ---\n%s\n--- generated ---\n%s", got, want)
+	}
+	updated := text[:begin+len(beginMarker)] + want + text[end:]
+	if err := os.WriteFile(designPath, []byte(updated), 0o644); err != nil {
+		t.Fatalf("write DESIGN.md: %v", err)
+	}
+}

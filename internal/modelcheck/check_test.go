@@ -1,0 +1,160 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStandardSweepClean exhaustively explores every standard-sweep
+// configuration and requires zero invariant violations. Short mode
+// skips the two largest members (the deep heap line and the two-line
+// product) to stay fast; `make modelcheck` and CI run them all.
+func TestStandardSweepClean(t *testing.T) {
+	for _, cfg := range StandardSweep() {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			if testing.Short() && (cfg.Lines > 1 && cfg.MaxStores > 1 || cfg.Lines == 1 && cfg.Bypass) {
+				t.Skip("large configuration skipped in -short mode")
+			}
+			res, err := Check(cfg)
+			if err != nil {
+				t.Fatalf("Check(%s): %v", cfg, err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("invariant violation:\n%s", res.Violation.Error())
+			}
+			if res.States < 2 {
+				t.Fatalf("suspiciously small state space: %d states", res.States)
+			}
+			t.Logf("%d states, %d transitions, depth %d", res.States, res.Transitions, res.MaxDepth)
+		})
+	}
+}
+
+// TestBypassNoWBBufRegression is the guarded PR 3 regression: with the
+// bypassed store's write-through no longer parked in the writeback
+// buffer, a GETS that beats the in-flight WB to the ordering point
+// reads stale DRAM — the lost-store race the heavy-profile soak
+// caught dynamically. The checker must find it, and the counterexample
+// must be a real trace ending in a data-value violation.
+func TestBypassNoWBBufRegression(t *testing.T) {
+	cfg := Config{
+		Agents: 3, Lines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2,
+		Bypass: true, Mutation: MutBypassNoWBBuf,
+	}
+	v := mustViolate(t, cfg)
+	if !strings.Contains(v.Message, "data-value violation") {
+		t.Errorf("want a data-value violation, got: %s", v.Message)
+	}
+	wantStep(t, v, "bypass store miss")
+}
+
+// TestSkipInvalidateCaught: acknowledging an invalidating probe while
+// keeping the copy must surface as a SWMR violation.
+func TestSkipInvalidateCaught(t *testing.T) {
+	cfg := Config{
+		Agents: 3, Lines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2,
+		Mutation: MutSkipInvalidate,
+	}
+	v := mustViolate(t, cfg)
+	if !strings.Contains(v.Message, "SWMR violation") {
+		t.Errorf("want a SWMR violation, got: %s", v.Message)
+	}
+}
+
+// TestPushInstallSCaught: installing a push in S instead of MM must
+// trip the MM-install invariant (paper §III-F).
+func TestPushInstallSCaught(t *testing.T) {
+	cfg := Config{
+		Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 1,
+		Mutation: MutPushInstallS,
+	}
+	v := mustViolate(t, cfg)
+	if !strings.Contains(v.Message, "MM-install") {
+		t.Errorf("want the MM-install invariant, got: %s", v.Message)
+	}
+}
+
+// mustViolate checks cfg and requires a violation with a coherent
+// counterexample: non-empty, every step labelled, and a rendered
+// final state.
+func mustViolate(t *testing.T, cfg Config) *Violation {
+	t.Helper()
+	res, err := Check(cfg)
+	if err != nil {
+		t.Fatalf("Check(%s): %v", cfg, err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("expected a violation for %s, state space was clean (%d states)", cfg, res.States)
+	}
+	v := res.Violation
+	if len(v.Trace) == 0 {
+		t.Fatalf("violation %q has an empty counterexample", v.Message)
+	}
+	for i, step := range v.Trace {
+		if step == "?" || step == "" {
+			t.Errorf("trace step %d is unlabelled", i+1)
+		}
+	}
+	if v.Final == "" {
+		t.Errorf("violation has no final-state rendering")
+	}
+	return v
+}
+
+// wantStep requires some trace step to mention substr.
+func wantStep(t *testing.T, v *Violation, substr string) {
+	t.Helper()
+	for _, step := range v.Trace {
+		if strings.Contains(step, substr) {
+			return
+		}
+	}
+	t.Errorf("no trace step mentions %q:\n%s", substr, strings.Join(v.Trace, "\n"))
+}
+
+// TestOrderedNetClean runs a small configuration under the
+// crossbar-faithful per-destination FIFO refinement; it must agree
+// with the unordered run on safety.
+func TestOrderedNetClean(t *testing.T) {
+	cfg := Config{Agents: 3, Lines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2, OrderedNet: true}
+	res, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("ordered-net violation:\n%s", res.Violation.Error())
+	}
+}
+
+// TestConfigValidate rejects out-of-range configurations.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Agents: 1, Lines: 1, MaxStores: 1},
+		{Agents: 4, Lines: 1, MaxStores: 1},
+		{Agents: 2, Lines: 0, MaxStores: 1},
+		{Agents: 2, Lines: 3, MaxStores: 1},
+		{Agents: 2, Lines: 1, DirectLines: 2, MaxStores: 1},
+		{Agents: 2, Lines: 1, MaxStores: maxSeqs + 1},
+		{Agents: 2, Lines: 1, MaxStores: 1, MaxEvicts: 16},
+		{Agents: 2, Lines: 1, MaxStores: 1, MaxLoads: 16},
+	}
+	for _, cfg := range bad {
+		if _, err := Check(cfg); err == nil {
+			t.Errorf("Check(%s): want a validation error", cfg)
+		}
+	}
+}
+
+// TestParseMutation round-trips every mutation name and rejects junk.
+func TestParseMutation(t *testing.T) {
+	for _, m := range []Mutation{MutNone, MutSkipInvalidate, MutBypassNoWBBuf, MutPushInstallS} {
+		got, err := ParseMutation(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMutation(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseMutation("made-up"); err == nil {
+		t.Error("ParseMutation accepted an unknown name")
+	}
+}

@@ -1,0 +1,659 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"dstore/internal/coherence"
+)
+
+// successors enumerates every state reachable from s in one atomic
+// step and hands each to emit together with an action label and, when
+// the step itself violated an invariant (push install state), a
+// violation message. Labels are only built when labels is true — trace
+// reconstruction re-runs successors with labels on, so the hot
+// exploration loop never formats strings.
+//
+// Each step is either a spontaneous agent action (issue a miss, commit
+// a store, evict, push) or the delivery of one in-flight message;
+// delivery order is completely nondeterministic. DRAM completions are
+// modelled as separate steps so the speculative-read-vs-probe race is
+// explored both ways.
+func successors(cfg Config, s *state, labels bool, emit func(ns state, label, viol string)) {
+	lbl := func(format string, args ...any) string {
+		if !labels {
+			return ""
+		}
+		return fmt.Sprintf(format, args...)
+	}
+
+	for a := 0; a < cfg.Agents; a++ {
+		for l := 0; l < cfg.Lines; l++ {
+			direct := isDirect(cfg, l)
+			gpu := a == gpuAgent(cfg)
+			canDemand := !direct || gpu // direct lines are only cached by the GPU slice
+
+			st := coherence.State(s.st[a][l])
+			idle := s.pend[a][l] == pendNone
+
+			// Load miss → GETS. Loads that hit (resident line or own
+			// non-stale writeback buffer) change no state and are
+			// skipped; a stale buffer entry forces the protocol path.
+			if canDemand && idle && st == coherence.I && (s.wb[a][l] == 0 || s.wbStale[a][l] != 0) &&
+				(cfg.MaxLoads == 0 || s.loadsLeft > 0) {
+				ns := *s
+				if cfg.MaxLoads > 0 {
+					ns.loadsLeft--
+				}
+				ns.pend[a][l] = pendLoad
+				ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETS), b: uint8(a)})
+				emit(ns, lbl("agent%d: load miss line %d (GETS)", a, l), "")
+			}
+
+			// Stores (heap lines only; the direct region is written via
+			// pushes — ctrl.go documents the same precondition).
+			if !direct && idle && s.storesLeft > 0 {
+				if out := coherence.Transition(st, coherence.EvStoreHit); out.OK {
+					// MM commit in place / silent M→MM upgrade.
+					ns := *s
+					ns.st[a][l] = uint8(out.Next)
+					ns.dirty[a][l] = 1
+					ns.latest[l]++
+					ns.ver[a][l] = ns.latest[l]
+					ns.storesLeft--
+					emit(ns, lbl("agent%d: store hit line %d → v%d", a, l, ns.latest[l]), "")
+				} else if st == coherence.S || st == coherence.O {
+					// Upgrade: other copies must be invalidated first.
+					ns := *s
+					ns.pend[a][l] = pendStore
+					ns.storesLeft--
+					ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETX), b: uint8(a)})
+					emit(ns, lbl("agent%d: store upgrade line %d (GETX)", a, l), "")
+				} else if st == coherence.I {
+					ns := *s
+					ns.pend[a][l] = pendStore
+					ns.storesLeft--
+					ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETX), b: uint8(a)})
+					emit(ns, lbl("agent%d: store miss line %d (GETX)", a, l), "")
+					if cfg.Bypass {
+						// Bypass-dirty-victim flavour: the fill will not
+						// allocate; the store writes through.
+						nb := *s
+						nb.pend[a][l] = pendBypass
+						nb.storesLeft--
+						nb.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETX), b: uint8(a)})
+						emit(nb, lbl("agent%d: bypass store miss line %d (GETX)", a, l), "")
+					}
+				}
+			}
+
+			// Spontaneous eviction (capacity is abstracted away).
+			if canDemand && idle && st != coherence.I &&
+				(cfg.MaxEvicts == 0 || s.evictsLeft > 0) {
+				ns := *s
+				if cfg.MaxEvicts > 0 {
+					ns.evictsLeft--
+				}
+				if s.dirty[a][l] != 0 {
+					ns.wb[a][l] = s.ver[a][l]
+					ns.wbStale[a][l] = 0
+					ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.WB), b: uint8(a), c: s.ver[a][l]})
+					ns.invalidate(a, l)
+					emit(ns, lbl("agent%d: evict dirty line %d (WB v%d)", a, l, s.ver[a][l]), "")
+				} else {
+					ns.invalidate(a, l)
+					emit(ns, lbl("agent%d: evict clean line %d", a, l), "")
+				}
+			}
+
+			// Direct-store push (CPU agent only, direct lines only).
+			if a == 0 && direct && s.storesLeft > 0 {
+				if cfg.Resilient {
+					if s.pushSeq < maxSeqs && pendingPushesForLine(s, l) < 2 {
+						ns := *s
+						ns.latest[l]++
+						ns.storesLeft--
+						seq := ns.pushSeq + 1
+						ns.pushSeq = seq
+						ns.pushPend |= 1 << seq
+						ns.pushVer[seq] = ns.latest[l]
+						ns.pushLine[seq] = uint8(l)
+						ns.send(msg{kind: kPutx, line: uint8(l), a: ns.latest[l], b: seq})
+						emit(ns, lbl("agent0: push line %d v%d (seq %d)", l, ns.latest[l], seq), "")
+					}
+				} else if !putxInFlight(s, l) {
+					// Fire-and-forget pushes ride a dedicated FIFO link:
+					// one in flight per line models the in-order delivery.
+					ns := *s
+					ns.latest[l]++
+					ns.storesLeft--
+					ns.send(msg{kind: kPutx, line: uint8(l), a: ns.latest[l]})
+					emit(ns, lbl("agent0: push line %d v%d", l, ns.latest[l]), "")
+				}
+			}
+
+			// Uncacheable remote load of the direct region (CPU reading
+			// results back) — exercises the PrbSnoop row.
+			if a == 0 && direct && idle && (cfg.MaxLoads == 0 || s.loadsLeft > 0) {
+				ns := *s
+				if cfg.MaxLoads > 0 {
+					ns.loadsLeft--
+				}
+				ns.pend[a][l] = pendRemote
+				ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.RemoteLoad), b: uint8(a)})
+				emit(ns, lbl("agent0: remote load line %d", l), "")
+			}
+		}
+	}
+
+	// DRAM completions.
+	for l := 0; l < cfg.Lines; l++ {
+		if s.busy[l] == 0 {
+			continue
+		}
+		t := s.txn[l]
+		if t.flags&tDramPending == 0 || t.flags&tDramDone != 0 {
+			continue
+		}
+		ns := *s
+		nt := &ns.txn[l]
+		if t.typ == uint8(coherence.WB) {
+			// Memory committed the writeback (the version was recorded at
+			// transaction start, matching memctrl.start): notify the
+			// writer and close the transaction.
+			ns.send(msg{kind: kWBDone, line: uint8(l), a: t.from, b: t.ver})
+			finishTxn(cfg, &ns, l)
+			emit(ns, lbl("memctl: WB v%d line %d committed", t.ver, l), "")
+		} else {
+			nt.flags |= tDramDone
+			maybeSendFromMemory(&ns, l)
+			emit(ns, lbl("memctl: speculative DRAM read line %d done", l), "")
+		}
+	}
+
+	// Message deliveries. The multiset is sorted, so skipping an entry
+	// equal to its predecessor dedupes identical deliveries.
+	for i := 0; i < int(s.nmsgs); i++ {
+		if i > 0 && s.msgs[i] == s.msgs[i-1] {
+			continue
+		}
+		m := s.msgs[i]
+		if m.ord != 0 {
+			// OrderedNet: not at the head of its destination's FIFO.
+			continue
+		}
+		if m.kind == kReq && coherence.ReqType(m.a) == coherence.WB && earlierWBInFlight(s, m) {
+			// The crossbar is FIFO per source-destination pair, so two
+			// writebacks from the same agent for the same line (evict,
+			// reclaim from the writeback buffer, evict again) arrive in
+			// send order: versions are monotone, so deliver lowest first.
+			continue
+		}
+		for _, v := range deliveryVariants(cfg, s, m) {
+			ns := *s
+			if v != variantDup {
+				ns.take(i)
+			} else {
+				ns.dupLeft--
+			}
+			label, viol := deliver(cfg, &ns, m, v, labels)
+			emit(ns, label, viol)
+		}
+	}
+}
+
+// Delivery variants for nondeterministic receive behaviour.
+const (
+	variantNormal = iota
+	variantSkipInvalidate
+	variantNack
+	variantDup
+)
+
+// deliveryVariants lists how message m may be received in state s.
+func deliveryVariants(cfg Config, s *state, m msg) []int {
+	switch m.kind {
+	case kProbe:
+		if cfg.Mutation == MutSkipInvalidate && probeWouldInvalidate(s, m) {
+			return []int{variantNormal, variantSkipInvalidate}
+		}
+	case kPutx:
+		vs := []int{variantNormal}
+		if cfg.Resilient && m.b != 0 {
+			if s.nackLeft > 0 {
+				vs = append(vs, variantNack)
+			}
+			if s.dupLeft > 0 {
+				vs = append(vs, variantDup)
+			}
+		}
+		return vs
+	}
+	return []int{variantNormal}
+}
+
+// probeWouldInvalidate reports whether delivering probe m takes the
+// normal-path copy to I (the mutation point for MutSkipInvalidate).
+func probeWouldInvalidate(s *state, m msg) bool {
+	a, l := int(m.b), int(m.line)
+	st := coherence.State(s.st[a][l])
+	if s.wb[a][l] != 0 && s.wbStale[a][l] == 0 {
+		owned := st == coherence.MM || st == coherence.M || st == coherence.O
+		if !owned || s.ver[a][l] < s.wb[a][l] {
+			return false // answered from the writeback buffer, no state change
+		}
+	}
+	out := coherence.Transition(st, coherence.ProbeEvent(coherence.ProbeKind(m.a)))
+	return st != coherence.I && out.Next == coherence.I
+}
+
+// deliver applies message m (already removed from the multiset unless
+// duplicated) to ns.
+func deliver(cfg Config, ns *state, m msg, variant int, labels bool) (label, viol string) {
+	lbl := func(format string, args ...any) string {
+		if !labels {
+			return ""
+		}
+		return fmt.Sprintf(format, args...)
+	}
+	l := int(m.line)
+	switch m.kind {
+	case kReq:
+		e := reqEntry{typ: m.a, from: m.b, ver: m.c}
+		if ns.busy[l] != 0 {
+			if int(ns.nq[l]) >= maxQueue {
+				panic("modelcheck: request queue overflow (raise maxQueue)")
+			}
+			ns.queue[l][ns.nq[l]] = e
+			ns.nq[l]++
+			return lbl("memctl: queue %s from agent%d line %d", coherence.ReqType(m.a), m.b, l), ""
+		}
+		startTxn(cfg, ns, l, e)
+		return lbl("memctl: start %s from agent%d line %d", coherence.ReqType(m.a), m.b, l), ""
+
+	case kProbe:
+		return deliverProbe(cfg, ns, m, variant, lbl)
+
+	case kAck:
+		return deliverAck(cfg, ns, m, lbl)
+
+	case kData:
+		return deliverData(cfg, ns, m, lbl)
+
+	case kUnblock:
+		if ns.busy[l] == 0 {
+			panic("modelcheck: unblock for idle line")
+		}
+		ns.txn[l].flags |= tUnblocked
+		maybeFinish(cfg, ns, l)
+		return lbl("memctl: unblock from agent%d line %d", m.a, l), ""
+
+	case kWBDone:
+		a := int(m.a)
+		if ns.wb[a][l] == m.b {
+			ns.wb[a][l] = 0
+			ns.wbStale[a][l] = 0
+		}
+		return lbl("agent%d: WB v%d line %d acknowledged", a, m.b, l), ""
+
+	case kPutx:
+		return deliverPutx(cfg, ns, m, variant, lbl)
+
+	case kPushAck:
+		seq := m.a
+		if m.b&fNack != 0 {
+			if ns.pushPend&(1<<seq) != 0 {
+				// Retry the still-pending push (chaos.go's retryPush).
+				ns.send(msg{kind: kPutx, line: ns.pushLine[seq], a: ns.pushVer[seq], b: seq})
+				return lbl("agent0: push seq %d NACKed, retrying", seq), ""
+			}
+			return lbl("agent0: stale NACK for seq %d ignored", seq), ""
+		}
+		ns.pushPend &^= 1 << seq
+		return lbl("agent0: push seq %d acknowledged", seq), ""
+	}
+	panic("modelcheck: unknown message kind")
+}
+
+// startTxn begins a transaction at the ordering point, mirroring
+// memctrl.start: writebacks update memory immediately and wait only
+// for DRAM; reads and upgrades broadcast probes to every other agent,
+// with a speculative DRAM read racing them for everything but GETX.
+func startTxn(cfg Config, ns *state, l int, e reqEntry) {
+	ns.busy[l] = 1
+	t := &ns.txn[l]
+	*t = txnState{typ: e.typ, from: e.from, ver: e.ver}
+	typ := coherence.ReqType(e.typ)
+	if typ == coherence.WB {
+		ns.mem[l] = e.ver
+		t.flags = tDramPending
+		return
+	}
+	kind, ok := coherence.ProbeFor(typ)
+	if !ok {
+		panic(fmt.Sprintf("modelcheck: no probe kind for %v", typ))
+	}
+	t.acksWanted = uint8(cfg.Agents - 1)
+	if typ != coherence.GETX {
+		t.flags |= tDramPending
+	}
+	for tgt := 0; tgt < cfg.Agents; tgt++ {
+		if tgt == int(e.from) {
+			continue
+		}
+		ns.send(msg{kind: kProbe, line: uint8(l), a: uint8(kind), b: uint8(tgt), c: e.from})
+	}
+}
+
+// deliverProbe is ctrl.answerProbe: the writeback buffer supplies
+// in-flight dirty evictions, everything else is a row of the shared
+// protocol table.
+func deliverProbe(cfg Config, ns *state, m msg, variant int, lbl func(string, ...any) string) (string, string) {
+	a, l := int(m.b), int(m.line)
+	kind := coherence.ProbeKind(m.a)
+	requester := m.c
+	st := coherence.State(ns.st[a][l])
+
+	if wbv := ns.wb[a][l]; wbv != 0 && ns.wbStale[a][l] == 0 {
+		owned := st == coherence.MM || st == coherence.M || st == coherence.O
+		if !owned || ns.ver[a][l] < wbv {
+			// Dirty eviction still in flight: this agent remains the data
+			// source; no state change. An invalidating probe transfers
+			// that role, so the entry goes stale.
+			if kind == coherence.PrbInv {
+				ns.wbStale[a][l] = 1
+			}
+			supply(ns, l, requester, kind, wbv, true)
+			ns.send(msg{kind: kAck, line: uint8(l), a: uint8(a), b: fHadData | fDirty, c: wbv})
+			return lbl("agent%d: %v line %d answered from wb buffer (v%d)", a, kind, l, wbv), ""
+		}
+		// Re-acquired and re-dirtied: the live copy below is newer.
+	}
+
+	out := coherence.Transition(st, coherence.ProbeEvent(kind))
+	var flags uint8
+	if out.Present {
+		flags |= fPresent
+	}
+	dirty := coherence.DataDirty(out.Data, ns.dirty[a][l] != 0)
+	hadData := out.Data != coherence.NoData
+	ver := ns.ver[a][l]
+	skipped := ""
+	switch {
+	case out.Next == st:
+		// O/S survive PrbShare; everything survives PrbSnoop.
+	case out.Next == coherence.I:
+		if variant == variantSkipInvalidate {
+			skipped = " [copy kept: skip-invalidate]"
+			break
+		}
+		ns.invalidate(a, l)
+	default:
+		ns.st[a][l] = uint8(out.Next)
+	}
+	if hadData {
+		flags |= fHadData
+		if dirty {
+			flags |= fDirty
+		}
+		supply(ns, l, requester, kind, ver, dirty)
+	}
+	ns.send(msg{kind: kAck, line: uint8(l), a: uint8(a), b: flags, c: ver})
+	return lbl("agent%d: answer %v line %d (was %s)%s", a, kind, l, coherence.StateName(st), skipped), ""
+}
+
+// supply is ctrl.supplyToRequester: the 3-hop owner-to-requester data
+// transfer with the grant implied by the probe kind.
+func supply(ns *state, l int, requester uint8, kind coherence.ProbeKind, ver uint8, dirty bool) {
+	var grant coherence.State
+	var flags uint8
+	switch kind {
+	case coherence.PrbShare:
+		grant = coherence.GrantState(coherence.GETS, true, false)
+	case coherence.PrbInv:
+		grant = coherence.GrantState(coherence.GETX, true, false)
+		if dirty {
+			flags |= fOwned // dirty-data responsibility transfers
+		}
+	case coherence.PrbSnoop:
+		grant = coherence.GrantState(coherence.RemoteLoad, true, false)
+	}
+	ns.send(msg{kind: kData, line: uint8(l), a: requester, b: uint8(grant), c: ver, d: flags})
+}
+
+// deliverAck is memctrl.ReceiveAck: collect, and once all acks are in
+// either rely on the owner's in-flight transfer or source from memory.
+func deliverAck(cfg Config, ns *state, m msg, lbl func(string, ...any) string) (string, string) {
+	l := int(m.line)
+	if ns.busy[l] == 0 {
+		panic("modelcheck: ack for idle line")
+	}
+	t := &ns.txn[l]
+	t.acksRecv++
+	if m.b&fHadData != 0 {
+		t.flags |= tOwnerSupplied | tSharerSeen
+	}
+	if m.b&fPresent != 0 {
+		t.flags |= tSharerSeen
+	}
+	if t.acksRecv >= t.acksWanted {
+		if t.flags&tOwnerSupplied != 0 {
+			// Owner-to-requester transfer already in flight; the
+			// speculative DRAM read is discarded.
+			t.flags &^= tDramPending
+		} else {
+			t.flags |= tProbesClean
+			if coherence.ReqType(t.typ) == coherence.GETX {
+				// No owner: full-line write, grant travels without data.
+				t.flags |= tDataSent
+				ns.send(msg{kind: kData, line: uint8(l), a: t.from,
+					b: uint8(coherence.GrantState(coherence.GETX, false, false)), c: ns.mem[l]})
+			} else {
+				maybeSendFromMemory(ns, l)
+			}
+		}
+		maybeFinish(cfg, ns, l)
+	}
+	return lbl("memctl: ack from agent%d line %d", m.a, l), ""
+}
+
+// maybeSendFromMemory is memctrl.maybeSendFromMemory: data leaves once
+// the probes came back clean and the speculative read completed.
+func maybeSendFromMemory(ns *state, l int) {
+	t := &ns.txn[l]
+	if t.flags&(tDataSent|tProbesClean|tDramDone) != tProbesClean|tDramDone {
+		return
+	}
+	t.flags |= tDataSent
+	typ := coherence.ReqType(t.typ)
+	sharer := typ == coherence.GETS && t.flags&tSharerSeen != 0
+	grant := coherence.GrantState(typ, false, sharer)
+	ns.send(msg{kind: kData, line: uint8(l), a: t.from, b: uint8(grant), c: ns.mem[l]})
+}
+
+func maybeFinish(cfg Config, ns *state, l int) {
+	t := &ns.txn[l]
+	if t.flags&tUnblocked != 0 && t.acksRecv >= t.acksWanted {
+		finishTxn(cfg, ns, l)
+	}
+}
+
+func finishTxn(cfg Config, ns *state, l int) {
+	ns.busy[l] = 0
+	ns.txn[l] = txnState{}
+	if ns.nq[l] == 0 {
+		return
+	}
+	e := ns.queue[l][0]
+	copy(ns.queue[l][:], ns.queue[l][1:int(ns.nq[l])])
+	ns.nq[l]--
+	ns.queue[l][ns.nq[l]] = reqEntry{}
+	startTxn(cfg, ns, l, e)
+}
+
+// deliverData is ctrl.receiveData: complete the outstanding miss.
+func deliverData(cfg Config, ns *state, m msg, lbl func(string, ...any) string) (string, string) {
+	a, l := int(m.a), int(m.line)
+	grant := coherence.State(m.b)
+	if grant == coherence.I {
+		// Uncacheable remote-load data: nothing installs.
+		if ns.pend[a][l] != pendRemote {
+			panic("modelcheck: remote data with no remote pend")
+		}
+		ns.pend[a][l] = pendNone
+		ns.send(msg{kind: kUnblock, line: uint8(l), a: uint8(a)})
+		return lbl("agent%d: remote load line %d completes (v%d)", a, l, m.c), ""
+	}
+	p := ns.pend[a][l]
+	if p == pendNone {
+		panic("modelcheck: data with no pending miss")
+	}
+	superseded := ns.super[a][l] != 0
+	ns.pend[a][l] = pendNone
+	ns.super[a][l] = 0
+	defer ns.send(msg{kind: kUnblock, line: uint8(l), a: uint8(a)})
+	switch {
+	case superseded:
+		// A push landed while the fill was in flight; the pushed line
+		// wins and the fill data is dropped.
+		return lbl("agent%d: fill line %d superseded by push", a, l), ""
+	case p == pendLoad:
+		ev, ok := coherence.FillEvent(grant)
+		if !ok {
+			panic("modelcheck: no fill event for grant")
+		}
+		out := coherence.Transition(coherence.State(ns.st[a][l]), ev)
+		if !out.OK {
+			panic("modelcheck: illegal fill")
+		}
+		ns.st[a][l] = uint8(out.Next)
+		if m.d&fOwned != 0 {
+			ns.dirty[a][l] = 1
+		}
+		ns.ver[a][l] = m.c
+		return lbl("agent%d: fill line %d %s v%d", a, l, coherence.StateName(out.Next), m.c), ""
+	case p == pendStore:
+		out := coherence.Transition(coherence.State(ns.st[a][l]), coherence.EvFillMM)
+		if !out.OK {
+			panic("modelcheck: illegal exclusive fill")
+		}
+		ns.st[a][l] = uint8(out.Next)
+		ns.dirty[a][l] = 1
+		ns.latest[l]++
+		ns.ver[a][l] = ns.latest[l]
+		return lbl("agent%d: exclusive fill line %d, store commits v%d", a, l, ns.latest[l]), ""
+	case p == pendBypass:
+		// Write permission held but no copy installed: write through.
+		// The writeback-buffer entry keeps this agent the data source
+		// until memory commits — dropping it is the PR 3 lost-store bug.
+		ns.latest[l]++
+		v := ns.latest[l]
+		if cfg.Mutation != MutBypassNoWBBuf {
+			ns.wb[a][l] = v
+			ns.wbStale[a][l] = 0
+		}
+		ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.WB), b: uint8(a), c: v})
+		return lbl("agent%d: bypassed store line %d writes through v%d", a, l, v), ""
+	}
+	panic("modelcheck: unreachable pend kind")
+}
+
+// deliverPutx is the GPU slice's ReceivePutx.
+func deliverPutx(cfg Config, ns *state, m msg, variant int, lbl func(string, ...any) string) (string, string) {
+	l := int(m.line)
+	ver, seq := m.a, m.b
+	if variant == variantNack {
+		ns.nackLeft--
+		ns.send(msg{kind: kPushAck, line: uint8(l), a: seq, b: fNack})
+		return lbl("gpu: NACK push seq %d line %d", seq, l), ""
+	}
+	dup := ""
+	if variant == variantDup {
+		dup = " [duplicated]"
+	}
+	if seq != 0 {
+		// Resilient receive: duplicate suppression, then ack.
+		if ns.applied&(1<<seq) != 0 || ver < ns.lastPushVer[l] {
+			ns.send(msg{kind: kPushAck, line: uint8(l), a: seq})
+			return lbl("gpu: duplicate/stale push seq %d line %d re-acked%s", seq, l, dup), ""
+		}
+	}
+	viol := applyPush(cfg, ns, l, ver)
+	if seq != 0 {
+		ns.applied |= 1 << seq
+		ns.lastPushVer[l] = ver
+		ns.send(msg{kind: kPushAck, line: uint8(l), a: seq})
+	}
+	return lbl("gpu: push install line %d v%d (seq %d)%s", l, ver, seq, dup), viol
+}
+
+// applyPush is ctrl.applyPutx without the capacity/overflow path
+// (capacity is abstracted away): install per the shared table's
+// PushInstallState, superseding any fill in flight, and check the MM-
+// install invariant — write permission must arrive with the data
+// (§III-F), except under the deliberate write-through ablation.
+func applyPush(cfg Config, ns *state, l int, ver uint8) string {
+	g := gpuAgent(cfg)
+	if ns.pend[g][l] != pendNone {
+		ns.super[g][l] = 1
+	}
+	st, dirty := coherence.PushInstallState(cfg.WriteThroughPush)
+	if cfg.Mutation == MutPushInstallS {
+		st, dirty = coherence.S, false
+	}
+	ns.st[g][l] = uint8(st)
+	ns.dirty[g][l] = 0
+	if dirty {
+		ns.dirty[g][l] = 1
+	}
+	ns.ver[g][l] = ver
+	if cfg.WriteThroughPush {
+		ns.wb[g][l] = ver
+		ns.wbStale[g][l] = 0
+		ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.WB), b: uint8(g), c: ver})
+	}
+	want, _ := coherence.PushInstallState(cfg.WriteThroughPush)
+	if st != want {
+		return fmt.Sprintf("push installed line %d in %s, want %s (MM-install invariant, paper §III-F)",
+			l, coherence.StateName(st), coherence.StateName(want))
+	}
+	return ""
+}
+
+// pendingPushesForLine counts unacknowledged pushes targeting line l.
+func pendingPushesForLine(s *state, l int) int {
+	n := 0
+	for seq := 1; seq <= maxSeqs; seq++ {
+		if s.pushPend&(1<<seq) != 0 && int(s.pushLine[seq]) == l {
+			n++
+		}
+	}
+	return n
+}
+
+// earlierWBInFlight reports whether the multiset holds an older
+// writeback request for the same line. Same-line writebacks are sent
+// in version order (data flows through probes before it can be
+// re-evicted) and the crossbar reserves its destination port at send
+// time, so they arrive in version order too.
+func earlierWBInFlight(s *state, m msg) bool {
+	for i := 0; i < int(s.nmsgs); i++ {
+		o := s.msgs[i]
+		if o.kind == kReq && coherence.ReqType(o.a) == coherence.WB &&
+			o.line == m.line && o.c < m.c {
+			return true
+		}
+	}
+	return false
+}
+
+// putxInFlight reports whether a fire-and-forget push for line l is in
+// the multiset (the dedicated link is FIFO, so baseline pushes are
+// modelled one-at-a-time per line).
+func putxInFlight(s *state, l int) bool {
+	for i := 0; i < int(s.nmsgs); i++ {
+		if s.msgs[i].kind == kPutx && int(s.msgs[i].line) == l {
+			return true
+		}
+	}
+	return false
+}

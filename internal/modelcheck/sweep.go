@@ -1,0 +1,40 @@
+package modelcheck
+
+// StandardSweep is the default verification portfolio: the set of
+// configurations `dstore-modelcheck` (and CI) explore on every run.
+// Budgets are chosen so the whole sweep finishes in well under a
+// minute while still covering every protocol flavour:
+//
+//   - Single-line configurations carry the deepest budgets. Lines are
+//     independent in the protocol — the memory controller serialises,
+//     queues and probes per line, and agents' per-line state never
+//     reads another line — so a single-line run with the full store
+//     budget over-approximates any one line of a multi-line run (the
+//     only shared state, the action budgets, is monotone: a line of a
+//     product run always sees a subset of the budget a dedicated run
+//     grants it).
+//   - Two-line products catch exactly what composition cannot: bugs
+//     in the cross-line bookkeeping itself (per-line busy/queue
+//     confusion, line-indexing slips). Full interleaving of two
+//     independent subsystems multiplies their state spaces, so the
+//     products run with bounded eviction and load budgets.
+func StandardSweep() []Config {
+	return []Config{
+		// The deep heap-line run: every store flavour including the
+		// bypass-dirty-victim path, unbounded evictions and loads.
+		{Agents: 3, Lines: 1, DirectLines: 0, MaxStores: 2, Bypass: true},
+		// The direct-store region: fire-and-forget pushes, GPU-side
+		// caching, CPU remote loads.
+		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2},
+		// Resilient pushes with injected NACKs and duplicated
+		// deliveries (the chaos layer's direct-link faults).
+		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2,
+			Resilient: true, MaxNacks: 1, MaxDups: 1},
+		// The §III-F write-through push ablation (install M, not MM).
+		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2, WriteThroughPush: true},
+		// Two-line products: heap + direct line under full
+		// interleaving, bounded budgets.
+		{Agents: 3, Lines: 2, DirectLines: 1, MaxStores: 2, MaxEvicts: 1, MaxLoads: 2},
+		{Agents: 3, Lines: 2, DirectLines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2, Bypass: true},
+	}
+}

@@ -192,7 +192,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.status = statusRunning
-	j.started = time.Now()
+	j.started = time.Now() //dstore:allow-wallclock job metadata only, never in a Result
 	s.mu.Unlock()
 
 	ctx := s.baseCtx
@@ -209,7 +209,7 @@ func (s *Server) runJob(j *job) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j.finished = time.Now()
+	j.finished = time.Now() //dstore:allow-wallclock job metadata only, never in a Result
 	delete(s.inflight, j.id)
 	if err != nil {
 		j.errMsg = err.Error()
@@ -271,7 +271,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			case j := <-s.queue:
 				j.status = statusCancelled
 				j.errMsg = "cancelled: server shutting down"
-				j.finished = time.Now()
+				j.finished = time.Now() //dstore:allow-wallclock job metadata only, never in a Result
 				delete(s.inflight, j.id)
 				s.cancelled.Add(1)
 				s.recordFailureLocked(j)
@@ -371,6 +371,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
 		return
 	}
+	//dstore:allow-wallclock job metadata only, never in a Result
 	j := &job{id: id, spec: norm, cfg: cfg, status: statusQueued, submitted: time.Now()}
 	select {
 	case s.queue <- j:

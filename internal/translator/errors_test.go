@@ -1,0 +1,148 @@
+package translator
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestLexPositions checks tokens carry accurate 1-based line/col
+// coordinates, including across comments and multi-line strings.
+func TestLexPositions(t *testing.T) {
+	src := "int a;\n  foo<<<1, 2>>>(b);\n/* skip\nskip */ x\n"
+	toks := Lex(src)
+	want := []struct {
+		text      string
+		line, col int
+	}{
+		{"int", 1, 1}, {"a", 1, 5}, {";", 1, 6},
+		{"foo", 2, 3}, {"<<<", 2, 6}, {"1", 2, 9}, {",", 2, 10},
+		{"2", 2, 12}, {">>>", 2, 13}, {"(", 2, 16}, {"b", 2, 17},
+		{")", 2, 18}, {";", 2, 19},
+		{"x", 4, 9},
+	}
+	if len(toks) != len(want)+1 { // +1 for EOF
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want)+1)
+	}
+	for i, w := range want {
+		got := toks[i]
+		if got.Text != w.text || got.Line != w.line || got.Col != w.col {
+			t.Errorf("token %d: got %q at line %d col %d; want %q at line %d col %d",
+				i, got.Text, got.Line, got.Col, w.text, w.line, w.col)
+		}
+	}
+	eof := toks[len(toks)-1]
+	if eof.Kind != TokEOF || eof.Line != 5 {
+		t.Errorf("EOF token: %+v, want line 5", eof)
+	}
+}
+
+// malformedSources is a battery of broken inputs: the lexer must
+// produce a token stream ending in EOF and the translator must return
+// a normal error (or succeed vacuously), never panic.
+var malformedSources = []string{
+	"",
+	"\"unterminated string",
+	"'u",
+	"/* unterminated comment",
+	"// comment to EOF",
+	"<<<",
+	">>>",
+	"<<<<<<>>>>>>",
+	"k<<<>>>()",
+	"k<<<1>>>(",
+	"k<<<1,2>>>(a,)",
+	"float *a = malloc(",
+	"float *a = malloc();",
+	"cudaMalloc(&a",
+	"cudaMalloc((void**)&a, n * sizeof(float)",
+	"#define N\nint a = N;",
+	"\x00\x01\xff\xfe",
+	"\"str\\",
+	strings.Repeat("(", 200),
+	strings.Repeat("k<<<1,1>>>(a); ", 50),
+}
+
+func TestLexMalformedNeverPanics(t *testing.T) {
+	for _, src := range malformedSources {
+		toks := Lex(src)
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Errorf("Lex(%q): stream does not end in EOF", src)
+		}
+		for i, tok := range toks {
+			if tok.Line < 1 || tok.Col < 1 {
+				t.Errorf("Lex(%q): token %d has unset position %d:%d", src, i, tok.Line, tok.Col)
+			}
+		}
+	}
+}
+
+func TestTranslateMalformedNeverPanics(t *testing.T) {
+	for _, src := range malformedSources {
+		// A panic fails the test run; both error and success are fine.
+		_, _ = Translate(map[string]string{"m.cu": src}, Options{})
+	}
+}
+
+// TestLexRandomNeverPanics hammers the lexer with seeded random byte
+// soup and random mutations of a valid program.
+func TestLexRandomNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	valid := "int main(){float*a=malloc(N*sizeof(float));k<<<1,2>>>(a);}"
+	for i := 0; i < 500; i++ {
+		var src string
+		if i%2 == 0 {
+			b := make([]byte, rng.Intn(64))
+			for j := range b {
+				b[j] = byte(rng.Intn(256))
+			}
+			src = string(b)
+		} else {
+			b := []byte(valid)
+			for j := 0; j < 4; j++ {
+				b[rng.Intn(len(b))] = byte(rng.Intn(256))
+			}
+			src = string(b)
+		}
+		toks := Lex(src)
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("Lex(%q): stream does not end in EOF", src)
+		}
+		_, _ = Translate(map[string]string{"m.cu": src}, Options{})
+	}
+}
+
+// TestEvalSizeErrorPositions drives every error path of the size
+// evaluator: malformed expressions return an error carrying the
+// offending token's line/col — and never panic.
+func TestEvalSizeErrorPositions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // substring of the error
+	}{
+		{"1 - 2", "negative intermediate"},
+		{"4 / 0", "division by zero"},
+		{"sizeof(float", "unterminated sizeof"},
+		{"sizeof float", "expected '(' after sizeof"},
+		{"sizeof(banana)", "unknown type"},
+		{"N * 4", "not a known compile-time constant"},
+		{"(1 + 2", "expected ')'"},
+		{"+", "unexpected token"},
+		{"1 2", "trailing tokens"},
+		{"0x", "bad numeric literal"},
+	}
+	for _, c := range cases {
+		toks := Lex(c.expr)
+		_, err := EvalSize(toks, nil)
+		if err == nil {
+			t.Errorf("EvalSize(%q): want error containing %q, got nil", c.expr, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("EvalSize(%q) = %q, want substring %q", c.expr, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "line ") || !strings.Contains(err.Error(), "col ") {
+			t.Errorf("EvalSize(%q) error carries no line/col: %q", c.expr, err)
+		}
+	}
+}

@@ -75,7 +75,7 @@ func (e *evaluator) expr() (uint64, error) {
 			v += rhs
 		} else {
 			if rhs > v {
-				return 0, fmt.Errorf("translator: negative intermediate in size expression")
+				return 0, fmt.Errorf("translator: negative intermediate in size expression at %s", tokenString(t))
 			}
 			v -= rhs
 		}
@@ -101,7 +101,7 @@ func (e *evaluator) term() (uint64, error) {
 			v *= rhs
 		} else {
 			if rhs == 0 {
-				return 0, fmt.Errorf("translator: division by zero in size expression")
+				return 0, fmt.Errorf("translator: division by zero in size expression at %s", tokenString(t))
 			}
 			v /= rhs
 		}
@@ -130,7 +130,7 @@ func (e *evaluator) factor() (uint64, error) {
 		for {
 			p := e.next()
 			if p.Kind == TokEOF {
-				return 0, fmt.Errorf("translator: unterminated sizeof")
+				return 0, fmt.Errorf("translator: unterminated sizeof at %s", tokenString(t))
 			}
 			if p.Kind == TokPunct && p.Text == ")" {
 				break
@@ -153,14 +153,14 @@ func (e *evaluator) factor() (uint64, error) {
 			}
 		}
 		if size == 0 {
-			return 0, fmt.Errorf("translator: unknown type in sizeof(%v)", names)
+			return 0, fmt.Errorf("translator: unknown type in sizeof(%v) at %s", names, tokenString(t))
 		}
 		return size, nil
 	case t.Kind == TokIdent:
 		if v, ok := e.defines[t.Text]; ok {
 			return v, nil
 		}
-		return 0, fmt.Errorf("translator: size depends on %q, which is not a known compile-time constant (add it to Options.Defines)", t.Text)
+		return 0, fmt.Errorf("translator: size depends on %s, which is not a known compile-time constant (add it to Options.Defines)", tokenString(t))
 	case t.Kind == TokPunct && t.Text == "(":
 		// Either a parenthesised sub-expression or a cast like
 		// (size_t); treat a lone type name followed by ')' as a cast

@@ -35,7 +35,8 @@ type Token struct {
 	Text string
 	Pos  int // byte offset of the first character
 	End  int // byte offset one past the last character
-	Line int // 1-based line number
+	Line int // 1-based line number of the first character
+	Col  int // 1-based column (byte-based) of the first character
 }
 
 // Lex tokenises the source, skipping whitespace and comments. It never
@@ -45,14 +46,23 @@ type Token struct {
 func Lex(src string) []Token {
 	var toks []Token
 	line := 1
+	lineStart := 0 // byte offset of the current line's first character
 	i := 0
 	n := len(src)
+	emit := func(kind TokKind, start, end int, startLine, startCol int) {
+		toks = append(toks, Token{
+			Kind: kind, Text: src[start:end],
+			Pos: start, End: end, Line: startLine, Col: startCol,
+		})
+	}
+	col := func(pos int) int { return pos - lineStart + 1 }
 	for i < n {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '/' && i+1 < n && src[i+1] == '/':
@@ -64,6 +74,7 @@ func Lex(src string) []Token {
 			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
 				if src[i] == '\n' {
 					line++
+					lineStart = i + 1
 				}
 				i++
 			}
@@ -74,7 +85,7 @@ func Lex(src string) []Token {
 			}
 		case c == '"' || c == '\'':
 			quote := c
-			start := i
+			start, startLine, startCol := i, line, col(i)
 			i++
 			for i < n && src[i] != quote {
 				if src[i] == '\\' && i+1 < n {
@@ -82,37 +93,38 @@ func Lex(src string) []Token {
 				}
 				if src[i] == '\n' {
 					line++
+					lineStart = i + 1
 				}
 				i++
 			}
 			if i < n {
 				i++
 			}
-			toks = append(toks, Token{Kind: TokString, Text: src[start:i], Pos: start, End: i, Line: line})
+			emit(TokString, start, i, startLine, startCol)
 		case c == '<' && i+2 < n && src[i+1] == '<' && src[i+2] == '<':
-			toks = append(toks, Token{Kind: TokLaunchOpen, Text: "<<<", Pos: i, End: i + 3, Line: line})
+			emit(TokLaunchOpen, i, i+3, line, col(i))
 			i += 3
 		case c == '>' && i+2 < n && src[i+1] == '>' && src[i+2] == '>':
-			toks = append(toks, Token{Kind: TokLaunchClose, Text: ">>>", Pos: i, End: i + 3, Line: line})
+			emit(TokLaunchClose, i, i+3, line, col(i))
 			i += 3
 		case isIdentStart(rune(c)):
 			start := i
 			for i < n && isIdentPart(rune(src[i])) {
 				i++
 			}
-			toks = append(toks, Token{Kind: TokIdent, Text: src[start:i], Pos: start, End: i, Line: line})
+			emit(TokIdent, start, i, line, col(start))
 		case unicode.IsDigit(rune(c)):
 			start := i
 			for i < n && (isIdentPart(rune(src[i])) || src[i] == '.') {
 				i++
 			}
-			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Pos: start, End: i, Line: line})
+			emit(TokNumber, start, i, line, col(start))
 		default:
-			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: i, End: i + 1, Line: line})
+			emit(TokPunct, i, i+1, line, col(i))
 			i++
 		}
 	}
-	toks = append(toks, Token{Kind: TokEOF, Pos: n, End: n, Line: line})
+	toks = append(toks, Token{Kind: TokEOF, Pos: n, End: n, Line: line, Col: col(n)})
 	return toks
 }
 
@@ -124,13 +136,14 @@ func isIdentPart(r rune) bool {
 	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
 }
 
-// tokenString formats a token for error messages.
+// tokenString formats a token for error messages, with its source
+// position so malformed input is diagnosable.
 func tokenString(t Token) string {
 	switch t.Kind {
 	case TokEOF:
-		return "end of file"
+		return fmt.Sprintf("end of file (line %d, col %d)", t.Line, t.Col)
 	default:
-		return fmt.Sprintf("%q", t.Text)
+		return fmt.Sprintf("%q (line %d, col %d)", t.Text, t.Line, t.Col)
 	}
 }
 
@@ -179,6 +192,9 @@ func parseUintLiteral(s string) (uint64, bool) {
 	}
 	var v uint64
 	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		if len(s) == 2 {
+			return 0, false // "0x" with no digits
+		}
 		for _, r := range s[2:] {
 			var d uint64
 			switch {

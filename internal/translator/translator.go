@@ -113,13 +113,13 @@ func Translate(files map[string]string, opts Options) (*Translation, error) {
 	}
 
 	names := make([]string, 0, len(files))
-	for n := range files {
+	for n := range files { //dstore:allow-maprange keys sorted below
 		names = append(names, n)
 	}
 	sort.Strings(names)
 
 	defines := make(map[string]uint64)
-	for k, v := range opts.Defines {
+	for k, v := range opts.Defines { //dstore:allow-maprange map-to-map copy, order irrelevant
 		defines[k] = v
 	}
 	toksByFile := make(map[string][]Token)
@@ -129,7 +129,7 @@ func Translate(files map[string]string, opts Options) (*Translation, error) {
 			return nil, fmt.Errorf("translator: %s uses cudaMemcpy; input programs must perform no CUDA memory copy", n)
 		}
 		toksByFile[n] = Lex(src)
-		for k, v := range scanDefines(src) {
+		for k, v := range scanDefines(src) { //dstore:allow-maprange map-to-map copy, order irrelevant
 			defines[k] = v
 		}
 	}
