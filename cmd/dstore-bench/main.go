@@ -15,9 +15,17 @@
 // Sweeps fan out across cores: -workers N bounds the number of
 // concurrent benchmark runs (default GOMAXPROCS; 1 recovers the strictly
 // sequential behaviour). The output is byte-identical for every worker
-// count. -timing reports per-experiment wall clock on stderr, and
+// count. -timing reports per-experiment wall clock on stderr — and,
+// per benchmark, the host-side setup/run/report phase breakdown — and
 // -cpuprofile/-memprofile write pprof profiles for diagnosing
 // performance regressions.
+//
+// With -bench, the observability flags compare the two modes side by
+// side (see DESIGN.md §10):
+//
+//	dstore-bench -bench NN -input small -hist            # latency histograms, CCSM vs DS
+//	dstore-bench -bench NN -input small -trace nn.json   # nn.ccsm.json + nn.ds.json
+//	dstore-bench -bench NN -input small -timeseries nn.csv
 package main
 
 import (
@@ -25,14 +33,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"dstore/internal/bench"
 	"dstore/internal/core"
+	"dstore/internal/obs"
 	"dstore/internal/stats"
 )
 
@@ -66,6 +78,19 @@ func timed(name string, f func()) {
 	}
 }
 
+// hostClock backs the -timing phase breakdown. It lives in cmd/,
+// outside the determinism contract: host wall time is measured around
+// the simulation, never inside it, so results are identical with the
+// clock on or off.
+func hostClock() uint64 { return uint64(time.Now().UnixNano()) }
+
+// reportPhases prints one benchmark's host-side phase breakdown.
+func reportPhases(code string, in bench.Input, hp bench.HostPhases) {
+	const ns = 1e9
+	fmt.Fprintf(os.Stderr, "timing: %-3s/%-5s setup %6.3fs  run %6.3fs  report %6.3fs\n",
+		code, in, float64(hp.SetupNS)/ns, float64(hp.RunNS)/ns, float64(hp.ReportNS)/ns)
+}
+
 // sweepFailed records that at least one sweep lost benchmarks, so the
 // process can exit non-zero after rendering whatever survived.
 var sweepFailed bool
@@ -77,7 +102,15 @@ var sweepFailed bool
 // ctx: in-flight simulations abort and the remaining jobs surface as
 // cancellation failures.
 func sweep(ctx context.Context, jobs []bench.SweepJob, opt bench.SweepOptions) []bench.Comparison {
-	cs, err := bench.SweepWithConfigsContext(ctx, jobs, opt)
+	if timing {
+		opt.Clock = hostClock
+	}
+	cs, timings, err := bench.SweepWithTimingsContext(ctx, jobs, opt)
+	if timing {
+		for i, hp := range timings {
+			reportPhases(jobs[i].Code, jobs[i].In, hp)
+		}
+	}
 	if err != nil {
 		se, ok := err.(*bench.SweepError)
 		if !ok {
@@ -112,6 +145,10 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent benchmark runs per sweep (1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceF  = flag.String("trace", "", "with -bench: write per-mode Chrome traces (FILE.ccsm.json and FILE.ds.json)")
+		histOut = flag.Bool("hist", false, "with -bench: print latency histograms for both modes side by side")
+		seriesF = flag.String("timeseries", "", "with -bench: write per-mode time-series files (.csv or .json by extension)")
 	)
 	flag.BoolVar(&timing, "timing", false, "report per-experiment wall clock on stderr")
 	flag.Parse()
@@ -160,11 +197,35 @@ func main() {
 		fmt.Println(bench.Table2())
 	}
 	if *one != "" {
+		obsWanted := *traceF != "" || *histOut || *seriesF != ""
 		for _, in := range inputs {
-			c, err := bench.CompareWithConfigsContext(ctx, *one, in,
-				core.DefaultConfig(core.ModeCCSM), core.DefaultConfig(core.ModeDirectStore))
+			base := core.DefaultConfig(core.ModeCCSM)
+			ds := core.DefaultConfig(core.ModeDirectStore)
+			if obsWanted {
+				base.Obs = obs.New(obs.Options{Trace: *traceF != "", Hist: *histOut, TimeSeries: *seriesF != ""})
+				ds.Obs = obs.New(obs.Options{Trace: *traceF != "", Hist: *histOut, TimeSeries: *seriesF != ""})
+			}
+			var clk obs.Clock
+			if timing {
+				clk = hostClock
+			}
+			c, hp, err := bench.CompareWithConfigsTimedContext(ctx, *one, in, base, ds, clk)
 			fail(err)
 			printComparison(c)
+			if timing {
+				reportPhases(*one, in, hp)
+			}
+			if *histOut {
+				printHistPair(base.Obs, ds.Obs)
+			}
+			if *traceF != "" {
+				writeModeFile(*traceF, "ccsm", base.Obs.WriteTrace)
+				writeModeFile(*traceF, "ds", ds.Obs.WriteTrace)
+			}
+			if *seriesF != "" {
+				writeModeFile(*seriesF, "ccsm", seriesWriter(*seriesF, base.Obs))
+				writeModeFile(*seriesF, "ds", seriesWriter(*seriesF, ds.Obs))
+			}
 		}
 	}
 
@@ -282,6 +343,46 @@ func printComparison(c bench.Comparison) {
 		c.DS.XbarBytes, c.DS.DirectBytes, c.DS.Pushes)
 	fmt.Printf("  speedup=%s  miss-rate delta=%+.1fpp\n\n",
 		stats.Percent(c.Speedup()), c.MissRateDelta()*100)
+}
+
+// printHistPair renders the latency histograms of the two modes one
+// after the other, so the direct-store shift is visible in one scroll.
+func printHistPair(ccsm, ds *obs.Observer) {
+	for _, m := range []struct {
+		label string
+		o     *obs.Observer
+	}{{"CCSM", ccsm}, {"DS", ds}} {
+		for id := obs.HistID(0); id < obs.NumHists; id++ {
+			h := m.o.Hist(id)
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Printf("[%s] ", m.label)
+			h.WriteText(os.Stdout)
+			fmt.Println()
+		}
+	}
+}
+
+// writeModeFile writes one mode's export next to the requested path:
+// out.json becomes out.ccsm.json and out.ds.json.
+func writeModeFile(path, mode string, write func(io.Writer) error) {
+	ext := filepath.Ext(path)
+	name := strings.TrimSuffix(path, ext) + "." + mode + ext
+	f, err := os.Create(name)
+	fail(err)
+	fail(write(f))
+	fail(f.Close())
+	fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+}
+
+// seriesWriter picks the CSV or JSON time-series encoding from the
+// requested path's extension.
+func seriesWriter(path string, o *obs.Observer) func(io.Writer) error {
+	if strings.HasSuffix(path, ".json") {
+		return o.WriteSeriesJSON
+	}
+	return o.WriteSeriesCSV
 }
 
 func fail(err error) {

@@ -19,16 +19,30 @@
 // data-value oracle while the -chaos-profile fault plan perturbs the
 // fabric. The transcript is deterministic in (-chaos-seed,
 // -chaos-profile); any invariant or oracle violation exits 1.
+//
+// Observability (see DESIGN.md §10):
+//
+//	dstore-sim -bench NN -trace out.json        # Chrome trace (Perfetto)
+//	dstore-sim -bench NN -timeline lines.txt    # per-line coherence states
+//	dstore-sim -bench NN -hist                  # latency histograms
+//	dstore-sim -bench NN -timeseries ts.csv     # epoch-windowed series
+//
+// Traces are deterministic in (benchmark, input, mode, config): two
+// runs produce byte-identical files. -trace validates the written file
+// by re-parsing it through encoding/json before exiting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dstore/internal/bench"
 	"dstore/internal/chaos"
 	"dstore/internal/core"
+	"dstore/internal/obs"
 	"dstore/internal/script"
 	"dstore/internal/serve"
 	"dstore/internal/sim"
@@ -51,6 +65,13 @@ func main() {
 		stressOps    = flag.Int("stress-ops", 0, "operations per stress instance (0 = harness default)")
 		stressN      = flag.Int("stress-instances", 1, "independent stress instances (seeds seed, seed+1, ...)")
 		stressW      = flag.Int("stress-workers", 1, "concurrent stress instances")
+
+		traceF    = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+		traceCap  = flag.Int("trace-cap", 0, "trace ring-buffer capacity in events (0 = default; oldest events drop first)")
+		timelineF = flag.String("timeline", "", "write a per-line coherence state-transition timeline to this file")
+		histOut   = flag.Bool("hist", false, "print latency histograms (GPU loads, CPU stores, push-to-first-use) after the run")
+		seriesF   = flag.String("timeseries", "", "write epoch-windowed time series to this file (.csv or .json by extension)")
+		epoch     = flag.Uint64("epoch", 0, "time-series window width in ticks (0 = default)")
 	)
 	flag.Parse()
 
@@ -109,12 +130,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The observer is nil unless an observability flag asks for it, so a
+	// plain run stays on the zero-overhead path.
+	var o *obs.Observer
+	if *traceF != "" || *timelineF != "" || *histOut || *seriesF != "" {
+		o = obs.New(obs.Options{
+			Trace:      *traceF != "" || *timelineF != "",
+			TraceCap:   *traceCap,
+			Hist:       *histOut,
+			TimeSeries: *seriesF != "",
+			Epoch:      sim.Tick(*epoch),
+		})
+	}
+	cfg := core.DefaultConfig(mode)
+	cfg.Obs = o
+
 	if *jsonOut {
 		if *scriptF != "" {
 			fmt.Fprintln(os.Stderr, "-json requires -bench (scripts have no canonical result encoding)")
 			os.Exit(2)
 		}
-		res, err := bench.Run(*code, mode, in)
+		res, err := bench.RunWithConfig(*code, cfg, in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -125,10 +161,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(b))
+		writeObsOutputs(o, *traceF, *timelineF, *histOut, *seriesF)
 		return
 	}
 
-	sys := core.NewSystem(core.DefaultConfig(mode))
+	sys := core.NewSystem(cfg)
 	var (
 		total  sim.Tick
 		phases []sim.Tick
@@ -175,6 +212,9 @@ func main() {
 	t.AddRow("DRAM row-hit rate", stats.Percent(sys.DRAM.RowHitRate()))
 	fmt.Println(t)
 
+	o.FinishRun(sys.Now())
+	writeObsOutputs(o, *traceF, *timelineF, *histOut, *seriesF)
+
 	if *verbose {
 		fmt.Println("cpu controller:")
 		fmt.Print(indent(sys.CPUCtrl.Counters().Dump()))
@@ -194,6 +234,71 @@ func main() {
 		fmt.Print(indent(sys.DRAM.Counters().Dump()))
 		fmt.Println("core:")
 		fmt.Print(indent(sys.Core.Counters().Dump()))
+	}
+}
+
+// writeObsOutputs exports whatever the observer collected. The trace
+// file is validated by re-reading it through encoding/json — the same
+// parse Perfetto performs — so a malformed trace fails the run (and
+// `make trace-smoke`) instead of failing later in the viewer.
+func writeObsOutputs(o *obs.Observer, traceF, timelineF string, hist bool, seriesF string) {
+	if o == nil {
+		return
+	}
+	if traceF != "" {
+		f, err := os.Create(traceF)
+		failIf(err)
+		err = o.WriteTrace(f)
+		failIf(err)
+		failIf(f.Close())
+		raw, err := os.ReadFile(traceF)
+		failIf(err)
+		var parsed struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &parsed); err != nil {
+			fmt.Fprintf(os.Stderr, "trace %s is not valid Chrome trace JSON: %v\n", traceF, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events, %d dropped)\n", traceF, len(parsed.TraceEvents), o.Dropped())
+	}
+	if timelineF != "" {
+		f, err := os.Create(timelineF)
+		failIf(err)
+		failIf(o.WriteTimeline(f))
+		failIf(f.Close())
+		fmt.Fprintf(os.Stderr, "timeline: wrote %s\n", timelineF)
+	}
+	if hist {
+		fmt.Println()
+		for id := obs.HistID(0); id < obs.NumHists; id++ {
+			h := o.Hist(id)
+			if h.Count() == 0 {
+				fmt.Printf("%s: no samples\n", h.Name())
+				continue
+			}
+			h.WriteText(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if seriesF != "" {
+		f, err := os.Create(seriesF)
+		failIf(err)
+		if strings.HasSuffix(seriesF, ".json") {
+			err = o.WriteSeriesJSON(f)
+		} else {
+			err = o.WriteSeriesCSV(f)
+		}
+		failIf(err)
+		failIf(f.Close())
+		fmt.Fprintf(os.Stderr, "timeseries: wrote %s (%d windows)\n", seriesF, len(o.Samples()))
+	}
+}
+
+func failIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

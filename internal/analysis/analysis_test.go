@@ -31,6 +31,7 @@ func TestFixtureViolations(t *testing.T) {
 		{"determinism", 37, "range over map in deterministic package"},
 		{"statskey", 50, `unknown stats counter key "hitz"`},
 		{"statskey", 56, "dynamic stats counter key passed to Set.Get"},
+		{"statskey", 102, `unknown stats counter key "requests_getz"`},
 		{"eventsafety", 70, "event callback calls Engine.Step"},
 		{"eventsafety", 87, `event callback captures loop variable "i"`},
 	}
@@ -53,9 +54,12 @@ func TestFixtureViolations(t *testing.T) {
 		}
 	}
 
-	// The typo hint must point at the registered neighbour.
+	// The typo hints must point at the registered neighbours.
 	for _, d := range diags {
 		if strings.Contains(d.Message, `"hitz"`) && !strings.Contains(d.Message, `did you mean "hits"`) {
+			t.Errorf("statskey diagnostic lacks typo hint: %s", d)
+		}
+		if strings.Contains(d.Message, `"requests_getz"`) && !strings.Contains(d.Message, `did you mean "requests_gets"`) {
 			t.Errorf("statskey diagnostic lacks typo hint: %s", d)
 		}
 	}

@@ -94,3 +94,10 @@ func LoopCapture(eng *sim.Engine, xs []int) {
 		})
 	}
 }
+
+// BadKeyTyped passes a typo of one of the per-type memory-controller
+// request keys: statskey finding with a did-you-mean hint
+// ("requests_getz" ~ "requests_gets").
+func BadKeyTyped(s *stats.Set) {
+	s.Counter("requests_getz").Inc()
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"dstore/internal/core"
+	"dstore/internal/obs"
 )
 
 // SweepJob names one CCSM-vs-direct-store comparison inside a sweep: a
@@ -43,6 +44,11 @@ type SweepOptions struct {
 	// sequentially on the calling goroutine, recovering the historical
 	// behaviour exactly.
 	Workers int
+	// Clock, if set, measures host-side phase time for
+	// SweepWithTimingsContext (cmd/dstore-bench injects a time.Now-backed
+	// clock). Host timing never reaches the simulation, so results are
+	// identical with or without it.
+	Clock obs.Clock
 }
 
 func (o SweepOptions) workers(jobs int) int {
@@ -127,7 +133,18 @@ func SweepWithConfigs(jobs []SweepJob, opt SweepOptions) ([]Comparison, error) {
 // context the results are byte-identical to SweepWithConfigs for any
 // worker count.
 func SweepWithConfigsContext(ctx context.Context, jobs []SweepJob, opt SweepOptions) ([]Comparison, error) {
+	results, _, err := SweepWithTimingsContext(ctx, jobs, opt)
+	return results, err
+}
+
+// SweepWithTimingsContext is SweepWithConfigsContext returning, in
+// addition, each job's host-side phase breakdown (setup/run/report,
+// both runs of the pair summed) as measured by opt.Clock. A nil clock
+// reports zeros. The Comparison slice is byte-identical to
+// SweepWithConfigsContext's for any worker count.
+func SweepWithTimingsContext(ctx context.Context, jobs []SweepJob, opt SweepOptions) ([]Comparison, []HostPhases, error) {
 	results := make([]Comparison, len(jobs))
+	timings := make([]HostPhases, len(jobs))
 	errs := make([]error, len(jobs))
 
 	runJob := func(i int) {
@@ -135,7 +152,7 @@ func SweepWithConfigsContext(ctx context.Context, jobs []SweepJob, opt SweepOpti
 			errs[i] = err
 			return
 		}
-		results[i], errs[i] = CompareWithConfigsContext(ctx, jobs[i].Code, jobs[i].In, jobs[i].Base, jobs[i].DS)
+		results[i], timings[i], errs[i] = CompareWithConfigsTimedContext(ctx, jobs[i].Code, jobs[i].In, jobs[i].Base, jobs[i].DS, opt.Clock)
 	}
 
 	if w := opt.workers(len(jobs)); w == 1 {
@@ -172,9 +189,9 @@ func SweepWithConfigsContext(ctx context.Context, jobs []SweepJob, opt SweepOpti
 		}
 	}
 	if sweepErr != nil {
-		return results, sweepErr
+		return results, timings, sweepErr
 	}
-	return results, nil
+	return results, timings, nil
 }
 
 // RunAllParallel compares every Table II benchmark for one input size

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dstore/internal/core"
+	"dstore/internal/obs"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -46,19 +47,64 @@ func RunWithConfig(code string, cfg core.Config, in Input) (Result, error) {
 // ones, and an uncancelled run is event-for-event identical to
 // RunWithConfig.
 func RunWithConfigContext(ctx context.Context, code string, cfg core.Config, in Input) (Result, error) {
+	r, _, err := RunWithConfigTimedContext(ctx, code, cfg, in, nil)
+	return r, err
+}
+
+// HostPhases breaks one run's host-side wall time into the phases a
+// -timing report shows: building the system and workload, driving the
+// simulation, and assembling the result. Units are whatever the clock
+// counts — nanoseconds for the time.Now-backed clock cmd/dstore-bench
+// injects. Host timing never feeds back into the simulation, so the
+// Result is identical whatever the clock reads.
+type HostPhases struct {
+	SetupNS  uint64
+	RunNS    uint64
+	ReportNS uint64
+}
+
+// Total returns the summed phase time.
+func (h HostPhases) Total() uint64 { return h.SetupNS + h.RunNS + h.ReportNS }
+
+// Add accumulates other into h (for summing a comparison's two runs).
+func (h HostPhases) Add(other HostPhases) HostPhases {
+	return HostPhases{
+		SetupNS:  h.SetupNS + other.SetupNS,
+		RunNS:    h.RunNS + other.RunNS,
+		ReportNS: h.ReportNS + other.ReportNS,
+	}
+}
+
+// RunWithConfigTimedContext is RunWithConfigContext with a host-side
+// phase breakdown measured by clock (nil clock reports zeros). The
+// simulated Result is byte-identical to RunWithConfigContext's.
+func RunWithConfigTimedContext(ctx context.Context, code string, cfg core.Config, in Input, clock obs.Clock) (Result, HostPhases, error) {
+	if clock == nil {
+		clock = func() uint64 { return 0 }
+	}
+	var hp HostPhases
+	t0 := clock()
 	sys := core.NewSystem(cfg)
 	w, err := Build(sys, code, in)
+	hp.SetupNS = clock() - t0
 	if err != nil {
-		return Result{}, err
+		return Result{}, hp, err
 	}
+	t1 := clock()
 	ticks, phases, err := w.RunPhasesContext(ctx, sys)
+	hp.RunNS = clock() - t1
 	if err != nil {
-		return Result{}, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
+		return Result{}, hp, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
 	}
+	t2 := clock()
 	if err := sys.CheckCoherence(); err != nil {
-		return Result{}, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
+		hp.ReportNS = clock() - t2
+		return Result{}, hp, fmt.Errorf("bench %s (%s, %s): %w", code, cfg.Mode, in, err)
 	}
-	return Result{
+	// Seal the observer's final sampling window at the run's end tick so
+	// time-series exports cover the whole run. A nil observer ignores it.
+	cfg.Obs.FinishRun(sys.Now())
+	res := Result{
 		Code: code, Mode: cfg.Mode, In: in,
 		Ticks:       ticks,
 		PhaseTicks:  phases,
@@ -68,7 +114,9 @@ func RunWithConfigContext(ctx context.Context, code string, cfg core.Config, in 
 		Pushes:      sys.PushesReceived(),
 		XbarBytes:   sys.CoherenceTrafficBytes(),
 		DirectBytes: sys.DirectTrafficBytes(),
-	}, nil
+	}
+	hp.ReportNS = clock() - t2
+	return res, hp, nil
 }
 
 // Comparison holds a CCSM-vs-direct-store pair for one benchmark and
@@ -109,15 +157,24 @@ func CompareWithConfigs(code string, in Input, base, ds core.Config) (Comparison
 
 // CompareWithConfigsContext is CompareWithConfigs under a context.
 func CompareWithConfigsContext(ctx context.Context, code string, in Input, base, ds core.Config) (Comparison, error) {
+	c, _, err := CompareWithConfigsTimedContext(ctx, code, in, base, ds, nil)
+	return c, err
+}
+
+// CompareWithConfigsTimedContext is CompareWithConfigsContext with a
+// host phase breakdown summed over the pair's two runs.
+func CompareWithConfigsTimedContext(ctx context.Context, code string, in Input, base, ds core.Config, clock obs.Clock) (Comparison, HostPhases, error) {
 	c := Comparison{Code: code, In: in}
+	var hp, h HostPhases
 	var err error
-	if c.CCSM, err = RunWithConfigContext(ctx, code, base, in); err != nil {
-		return c, err
+	if c.CCSM, h, err = RunWithConfigTimedContext(ctx, code, base, in, clock); err != nil {
+		return c, hp.Add(h), err
 	}
-	if c.DS, err = RunWithConfigContext(ctx, code, ds, in); err != nil {
-		return c, err
+	hp = hp.Add(h)
+	if c.DS, h, err = RunWithConfigTimedContext(ctx, code, ds, in, clock); err != nil {
+		return c, hp.Add(h), err
 	}
-	return c, nil
+	return c, hp.Add(h), nil
 }
 
 // RunAll compares every Table II benchmark for one input size,

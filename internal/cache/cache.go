@@ -83,6 +83,11 @@ type Cache struct {
 	misses   *stats.Counter
 	evicts   *stats.Counter
 	wbacks   *stats.Counter
+
+	// accessHook, when non-nil, observes every demand access
+	// (SetAccessHook). It mirrors the accesses/hits/misses counters
+	// exactly: fired by Lookup only, never by Touch or Probe.
+	accessHook func(a memsys.Addr, hit bool)
 }
 
 // New builds a cache from cfg. It panics on malformed geometry: cache
@@ -172,11 +177,27 @@ func (c *Cache) Lookup(a memsys.Addr) (state uint8, hit bool) {
 	set, way, ok := c.find(a)
 	if !ok {
 		c.misses.Inc()
+		if c.accessHook != nil {
+			c.accessHook(a, false)
+		}
 		return 0, false
 	}
 	c.hits.Inc()
 	c.policy.touch(set, way)
+	if c.accessHook != nil {
+		c.accessHook(a, true)
+	}
 	return c.line(set, way).State, true
+}
+
+// SetAccessHook installs fn to observe every demand access, with the
+// same accounting as the accesses/hits/misses counters: Lookup fires
+// it, quiet paths (Touch, Probe) do not. The hook observes only — it
+// must not mutate the cache. A nil fn removes the hook; a removed hook
+// costs one predictable branch per lookup. The observability layer in
+// internal/obs is the intended client.
+func (c *Cache) SetAccessHook(fn func(a memsys.Addr, hit bool)) {
+	c.accessHook = fn
 }
 
 // Touch behaves like Lookup for replacement state (a hit refreshes

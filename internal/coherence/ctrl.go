@@ -6,6 +6,7 @@ import (
 	"dstore/internal/cache"
 	"dstore/internal/interconnect"
 	"dstore/internal/memsys"
+	"dstore/internal/obs"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -99,6 +100,13 @@ type Ctrl struct {
 	appliedPush map[uint64]bool
 	lastPushVer map[memsys.Addr]uint64
 
+	// Observability (AttachObserver): nil in normal operation. Every
+	// recording site is guarded by a nil check, so a detached controller
+	// pays one predictable branch and behaviour stays byte-identical.
+	obs    *obs.Observer
+	obsID  obs.CompID
+	obsMem obs.CompID
+
 	counters     *stats.Set
 	probesRecv   *stats.Counter
 	wbSent       *stats.Counter
@@ -164,6 +172,14 @@ func (c *Ctrl) L2Cache() *cache.Cache { return c.l2 }
 // L1Cache exposes the optional shadow array; nil when absent.
 func (c *Ctrl) L1Cache() *cache.Cache { return c.l1 }
 
+// WBBufLen returns the number of in-flight buffered writebacks
+// (telemetry gauge).
+func (c *Ctrl) WBBufLen() int { return len(c.wbBuf) }
+
+// MSHRInUse returns the number of allocated MSHR entries (telemetry
+// gauge).
+func (c *Ctrl) MSHRInUse() int { return c.mshr.Len() }
+
 // State returns the protocol state of a line (test hook).
 func (c *Ctrl) State(a memsys.Addr) State {
 	st, _, ok := c.l2.Probe(a)
@@ -181,6 +197,55 @@ func (c *Ctrl) Ver(a memsys.Addr) uint64 { return c.ver[memsys.LineAlign(a)] }
 func (c *Ctrl) AttachDirectStore(link interconnect.DirectPort, target func(memsys.Addr) *Ctrl) {
 	c.directLink = link
 	c.pushTarget = target
+}
+
+// AttachObserver connects the controller to the observability layer:
+// protocol sends, state transitions and pushes record against the
+// controller's component; demand accesses on the arrays flow through
+// cache access hooks. gpuSide marks GPU L2 slices, whose accesses feed
+// the sampler's miss-rate window and the push-to-first-use histogram.
+func (c *Ctrl) AttachObserver(o *obs.Observer, gpuSide bool) {
+	if o == nil {
+		return
+	}
+	c.obs = o
+	c.obsID = o.Component(c.name)
+	c.obsMem = o.Component(c.mem.Name())
+	o.SetStateNamer(func(s uint8) string { return StateName(State(s)) })
+	c.l2.SetAccessHook(func(a memsys.Addr, hit bool) {
+		o.CacheAccess(c.engine.Now(), c.obsID, a, 2, hit, gpuSide)
+	})
+	if c.l1 != nil {
+		c.l1.SetAccessHook(func(a memsys.Addr, hit bool) {
+			o.CacheAccess(c.engine.Now(), c.obsID, a, 1, hit, gpuSide)
+		})
+	}
+}
+
+// msgClassFor maps a protocol request type to its obs message class.
+func msgClassFor(t ReqType) obs.MsgClass {
+	switch t {
+	case GETS:
+		return obs.MsgGETS
+	case GETX:
+		return obs.MsgGETX
+	case WB:
+		return obs.MsgWB
+	default:
+		return obs.MsgRemoteLoad
+	}
+}
+
+// obsSend records a request-message send to the memory controller.
+func (c *Ctrl) obsSend(msg ReqMsg) {
+	c.obs.Msg(c.engine.Now(), c.obsID, msgClassFor(msg.Type), msg.Addr, c.obsMem)
+}
+
+// obsState records a protocol state transition on a line.
+func (c *Ctrl) obsState(line memsys.Addr, from, to State) {
+	if from != to {
+		c.obs.StateChange(c.engine.Now(), c.obsID, line, uint8(from), uint8(to))
+	}
 }
 
 // Access submits a demand load or store. The controller's single port
@@ -244,6 +309,7 @@ func (c *Ctrl) processReq(req *memsys.Request, quiet bool) {
 			// holds a copy, so the controller upgrades locally).
 			if out.Next != st {
 				c.l2.SetState(line, out.Next)
+				c.obsState(line, st, out.Next)
 			}
 			c.localWrite(line, req)
 		case hit: // S or O: must invalidate other copies first
@@ -319,6 +385,7 @@ func (c *Ctrl) missPath(req *memsys.Request, line memsys.Addr, wantX bool) {
 		rtype = GETX
 	}
 	msg := ReqMsg{Type: rtype, Addr: line, From: c.name}
+	c.obsSend(msg)
 	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
 		c.mem.ReceiveRequest(msg)
 	})
@@ -345,6 +412,7 @@ func (c *Ctrl) Prefetch(line memsys.Addr) {
 	e, _ := c.mshr.Allocate(line)
 	_ = e
 	msg := ReqMsg{Type: GETS, Addr: line, From: c.name}
+	c.obsSend(msg)
 	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
 		c.mem.ReceiveRequest(msg)
 	})
@@ -369,6 +437,7 @@ func (c *Ctrl) RemoteLoad(req *memsys.Request) {
 			return // request already in flight
 		}
 		msg := ReqMsg{Type: RemoteLoad, Addr: line, From: c.name}
+		c.obsSend(msg)
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
@@ -397,6 +466,10 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 		c.l1.Invalidate(line)
 	}
 	if c.l2.Contains(line) {
+		if c.obs != nil {
+			st, _, _ := c.l2.Probe(line)
+			c.obsState(line, st, I)
+		}
 		c.l2.Invalidate(line)
 		delete(c.ver, line)
 	}
@@ -405,6 +478,12 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 		panic(fmt.Sprintf("coherence %s: no push target for %#x", c.name, uint64(line)))
 	}
 	p := PutxMsg{Addr: line, Ver: req.Ver, From: c.name}
+	if c.obs != nil {
+		to := c.obs.Component(target.name)
+		now := c.engine.Now()
+		c.obs.Push(now, c.obsID, line, to)
+		c.obs.Msg(now, c.obsID, obs.MsgPutx, line, to)
+	}
 	if c.res.Enabled {
 		// Resilient push (chaos runs): sequence-numbered, acknowledged,
 		// retried with exponential backoff on loss or NACK. The store
@@ -462,6 +541,7 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 		c.pushOverflow.Inc()
 		c.bufferWriteback(line, p.Ver)
 		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
+		c.obsSend(msg)
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
@@ -476,23 +556,28 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 		// Ablation: pushes write through to memory and install
 		// exclusive-clean, so evictions are silent.
 		c.installLine(line, st, dirty, p.Ver)
+		c.obs.PushInstalled(c.engine.Now(), line)
 		c.bufferWriteback(line, p.Ver)
 		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
+		c.obsSend(msg)
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
 		return
 	}
 	c.installLine(line, st, dirty, p.Ver)
+	c.obs.PushInstalled(c.engine.Now(), line)
 }
 
 // installLine allocates a line, handling victim writeback.
 func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 	v, evicted := c.l2.Insert(line, st, dirty)
 	c.ver[line] = ver
+	c.obsState(line, I, st)
 	if !evicted {
 		return
 	}
+	c.obsState(v.Addr, State(v.State), I)
 	if c.l1 != nil {
 		c.l1.Invalidate(v.Addr)
 	}
@@ -502,6 +587,7 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 		c.bufferWriteback(v.Addr, vv)
 		c.wbSent.Inc()
 		msg := ReqMsg{Type: WB, Addr: v.Addr, From: c.name, Ver: vv}
+		c.obsSend(msg)
 		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 			c.mem.ReceiveRequest(msg)
 		})
@@ -596,8 +682,10 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 		}
 		c.l2.Invalidate(line)
 		delete(c.ver, line)
+		c.obsState(line, st, I)
 	default:
 		c.l2.SetState(line, out.Next)
+		c.obsState(line, st, out.Next)
 	}
 	if ack.HadData {
 		// 3-hop transfer: the owner sends the line straight to the
@@ -624,12 +712,16 @@ func (c *Ctrl) supplyToRequester(p ProbeMsg, ver uint64, dirty bool) {
 	}
 	d := DataMsg{Addr: p.Addr, Ver: ver, Grant: grant, Owned: owned}
 	requester := p.Requester
+	if c.obs != nil {
+		c.obs.Msg(c.engine.Now(), c.obsID, obs.MsgData, p.Addr, c.obs.Component(requester))
+	}
 	c.xbar.Send(c.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
 		c.mem.peers[requester].receiveData(d)
 	})
 }
 
 func (c *Ctrl) sendAck(ack AckMsg) {
+	c.obs.Msg(c.engine.Now(), c.obsID, obs.MsgAck, ack.Addr, c.obsMem)
 	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
 		c.mem.ReceiveAck(ack)
 	})
@@ -689,6 +781,7 @@ func (c *Ctrl) receiveData(d DataMsg) {
 		case ok && (st == MM || st == M):
 			if st == M {
 				c.l2.SetState(line, MM)
+				c.obsState(line, M, MM)
 			}
 			c.l2.SetDirty(line, true)
 			c.ver[line] = w.Ver
@@ -707,6 +800,7 @@ func (c *Ctrl) receiveData(d DataMsg) {
 			fillVer = w.Ver
 			c.bufferWriteback(line, w.Ver)
 			msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: w.Ver}
+			c.obsSend(msg)
 			c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
 				c.mem.ReceiveRequest(msg)
 			})
@@ -720,6 +814,7 @@ func (c *Ctrl) receiveData(d DataMsg) {
 }
 
 func (c *Ctrl) unblock(line memsys.Addr) {
+	c.obs.Msg(c.engine.Now(), c.obsID, obs.MsgUnblock, line, c.obsMem)
 	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
 		c.mem.ReceiveUnblock(line)
 	})

@@ -8,6 +8,7 @@ import (
 	"dstore/internal/dram"
 	"dstore/internal/interconnect"
 	"dstore/internal/memsys"
+	"dstore/internal/obs"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -47,12 +48,20 @@ type MemCtrl struct {
 	wdArmed    bool
 	wdTripped  bool
 
-	counters *stats.Set
-	requests *stats.Counter
-	probes   *stats.Counter
-	wbs      *stats.Counter
-	fromPeer *stats.Counter
-	fromDRAM *stats.Counter
+	// Observability (AttachObserver): nil in normal operation.
+	obs   *obs.Observer
+	obsID obs.CompID
+
+	counters  *stats.Set
+	requests  *stats.Counter
+	reqGETS   *stats.Counter
+	reqGETX   *stats.Counter
+	reqWB     *stats.Counter
+	reqRemote *stats.Counter
+	probes    *stats.Counter
+	wbs       *stats.Counter
+	fromPeer  *stats.Counter
+	fromDRAM  *stats.Counter
 }
 
 type txn struct {
@@ -92,6 +101,10 @@ func NewMemCtrl(engine *sim.Engine, name string, xbar interconnect.Network, d *d
 		counters:     stats.NewSet(),
 	}
 	m.requests = m.counters.Counter("requests")
+	m.reqGETS = m.counters.Counter("requests_gets")
+	m.reqGETX = m.counters.Counter("requests_getx")
+	m.reqWB = m.counters.Counter("requests_wb")
+	m.reqRemote = m.counters.Counter("requests_remote_load")
 	m.probes = m.counters.Counter("probes_sent")
 	m.wbs = m.counters.Counter("writebacks")
 	m.fromPeer = m.counters.Counter("data_from_peer")
@@ -112,6 +125,16 @@ func (m *MemCtrl) AddPeer(c *Ctrl) { m.peers[c.name] = c }
 // AttachRegionDirectory enables HSC-style probe filtering.
 func (m *MemCtrl) AttachRegionDirectory(r *RegionDirectory) { m.regions = r }
 
+// AttachObserver connects the ordering point to the observability
+// layer: probe, grant and data sends record against its component.
+func (m *MemCtrl) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	m.obs = o
+	m.obsID = o.Component(m.name)
+}
+
 // MemVer returns the version memory holds for a line (the oracle's view
 // of DRAM contents).
 func (m *MemCtrl) MemVer(a memsys.Addr) uint64 { return m.dramVer[memsys.LineAlign(a)] }
@@ -120,6 +143,16 @@ func (m *MemCtrl) MemVer(a memsys.Addr) uint64 { return m.dramVer[memsys.LineAli
 // has already paid the network delay).
 func (m *MemCtrl) ReceiveRequest(req ReqMsg) {
 	m.requests.Inc()
+	switch req.Type {
+	case GETS:
+		m.reqGETS.Inc()
+	case GETX:
+		m.reqGETX.Inc()
+	case WB:
+		m.reqWB.Inc()
+	case RemoteLoad:
+		m.reqRemote.Inc()
+	}
 	line := memsys.LineAlign(req.Addr)
 	req.Addr = line
 	if m.busy[line] != nil {
@@ -184,6 +217,9 @@ func (m *MemCtrl) start(req ReqMsg) {
 	for _, tgt := range targets {
 		tgt := tgt
 		m.probes.Inc()
+		if m.obs != nil {
+			m.obs.Msg(m.engine.Now(), m.obsID, obs.MsgProbe, line, m.obs.Component(tgt))
+		}
 		m.xbar.Send(m.name, tgt, interconnect.CtrlMsgBytes, func(sim.Tick) {
 			m.peers[tgt].receiveProbe(ProbeMsg{Kind: kind, Addr: line, Requester: req.From})
 		})
@@ -239,6 +275,9 @@ func (m *MemCtrl) ReceiveAck(a AckMsg) {
 func (m *MemCtrl) sendGrant(t *txn, ver uint64) {
 	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: GrantState(GETX, false, false)}
 	requester := t.req.From
+	if m.obs != nil {
+		m.obs.Msg(m.engine.Now(), m.obsID, obs.MsgGrant, d.Addr, m.obs.Component(requester))
+	}
 	m.xbar.Send(m.name, requester, interconnect.CtrlMsgBytes, func(sim.Tick) {
 		m.peers[requester].receiveData(d)
 	})
@@ -266,6 +305,9 @@ func (m *MemCtrl) sendData(t *txn, ver uint64) {
 	grant := GrantState(t.req.Type, false, m.anySharer(t))
 	d := DataMsg{Addr: t.req.Addr, Ver: ver, Grant: grant}
 	requester := t.req.From
+	if m.obs != nil {
+		m.obs.Msg(m.engine.Now(), m.obsID, obs.MsgData, d.Addr, m.obs.Component(requester))
+	}
 	m.xbar.Send(m.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
 		m.peers[requester].receiveData(d)
 	})

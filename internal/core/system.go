@@ -20,6 +20,7 @@ import (
 	"dstore/internal/memalloc"
 	"dstore/internal/memsys"
 	"dstore/internal/mmu"
+	"dstore/internal/obs"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -140,6 +141,11 @@ type Config struct {
 	// ever see — leaves every component byte-identical to the
 	// fault-free build.
 	Chaos *ChaosConfig `json:"-"`
+	// Obs attaches the observability layer (internal/obs): tracing,
+	// latency histograms, interval time series. Nil — the default —
+	// leaves every hot path with at most a never-taken predictable
+	// branch, and simulation Results are byte-identical either way.
+	Obs *obs.Observer `json:"-"`
 }
 
 // ChaosConfig is the set of fault-injection attachment points NewSystem
@@ -420,6 +426,40 @@ func NewSystem(cfg Config) *System {
 	}, gpuTLB, s.Vers, func(a memsys.Addr) *coherence.Ctrl {
 		return s.Slices[memsys.SliceFor(a, cfg.GPUL2Slices)]
 	})
+
+	if o := cfg.Obs; o != nil {
+		// Attachment order fixes the component IDs, so identical wiring
+		// yields identical traces run-to-run.
+		s.Mem.AttachObserver(o)
+		s.CPUCtrl.AttachObserver(o, false)
+		for _, sl := range s.Slices {
+			sl.AttachObserver(o, true)
+		}
+		s.Core.AttachObserver(o)
+		s.GPU.AttachObserver(o)
+		o.RegisterGauge("cpu_wbbuf_occupancy", func() uint64 { return uint64(s.CPUCtrl.WBBufLen()) })
+		o.RegisterGauge("cpu_mshr_occupancy", func() uint64 { return uint64(s.CPUCtrl.MSHRInUse()) })
+		o.RegisterGauge("gpu_l2_wbbuf_occupancy", func() uint64 {
+			var n uint64
+			for _, sl := range s.Slices {
+				n += uint64(sl.WBBufLen())
+			}
+			return n
+		})
+		o.RegisterGauge("gpu_l2_mshr_occupancy", func() uint64 {
+			var n uint64
+			for _, sl := range s.Slices {
+				n += uint64(sl.MSHRInUse())
+			}
+			return n
+		})
+		o.RegisterGauge("gpu_l1_mshr_occupancy", func() uint64 { return uint64(s.GPU.MSHRInUse()) })
+		if o.Options().TimeSeries {
+			// The sampler only observes clock advances; it never
+			// schedules events, so the event sequence is untouched.
+			engine.SetAdvanceHook(o.Tick)
+		}
+	}
 	return s
 }
 

@@ -17,6 +17,7 @@ import (
 	"dstore/internal/coherence"
 	"dstore/internal/memsys"
 	"dstore/internal/mmu"
+	"dstore/internal/obs"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -91,6 +92,10 @@ type Core struct {
 	sbInFlight int
 	sbWaiting  bool
 
+	// Observability (AttachObserver): nil in normal operation.
+	obs   *obs.Observer
+	obsID obs.CompID
+
 	stream OpStream
 	onDone func()
 
@@ -130,6 +135,17 @@ func New(engine *sim.Engine, cfg Config, tlb *mmu.TLB, ctrl *coherence.Ctrl, ver
 
 // Counters exposes the core's statistics.
 func (c *Core) Counters() *stats.Set { return c.counters }
+
+// AttachObserver connects the core to the observability layer: store
+// completions (issue to coherence completion, including the direct-
+// store push round) feed the CPU store-latency histogram.
+func (c *Core) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	c.obs = o
+	c.obsID = o.Component(c.cfg.Name)
+}
 
 // FinishedAt returns the tick the last run completed.
 func (c *Core) FinishedAt() sim.Tick { return c.finishedAt }
@@ -212,8 +228,10 @@ func (c *Core) execute(op Op, pa memsys.Addr, direct bool) {
 		} else {
 			c.storesC.Inc()
 		}
-		req := &memsys.Request{Type: ty, Addr: pa, Ver: ver, Issued: c.engine.Now(),
-			Done: func(sim.Tick) {
+		issued := c.engine.Now()
+		req := &memsys.Request{Type: ty, Addr: pa, Ver: ver, Issued: issued,
+			Done: func(now sim.Tick) {
+				c.obs.Latency(now, c.obsID, obs.HistCPUStoreLat, pa, now-issued)
 				c.sbInFlight--
 				if c.sbWaiting && c.sbInFlight == 0 {
 					c.sbWaiting = false

@@ -23,6 +23,7 @@ import (
 	"dstore/internal/cpu"
 	"dstore/internal/memsys"
 	"dstore/internal/mmu"
+	"dstore/internal/obs"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -116,6 +117,10 @@ type GPU struct {
 	kernelDone        func()
 	barrierWaiters    []*warpCtx
 
+	// Observability (AttachObserver): nil in normal operation.
+	obs   *obs.Observer
+	obsID obs.CompID
+
 	counters     *stats.Set
 	kernels      *stats.Counter
 	globalLoads  *stats.Counter
@@ -190,6 +195,34 @@ func New(engine *sim.Engine, cfg Config, tlb *mmu.TLB, vers *cpu.VersionSource,
 
 // Counters exposes the GPU's statistics.
 func (g *GPU) Counters() *stats.Set { return g.counters }
+
+// AttachObserver connects the SM array to the observability layer:
+// global-load completions feed the GPU load-latency histogram, and
+// per-SM L1 demand accesses flow through cache access hooks.
+func (g *GPU) AttachObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	g.obs = o
+	g.obsID = o.Component(g.cfg.Name)
+	for _, s := range g.sms {
+		s := s
+		id := o.Component(s.l1.Name())
+		s.l1.SetAccessHook(func(a memsys.Addr, hit bool) {
+			o.CacheAccess(g.engine.Now(), id, a, 1, hit, false)
+		})
+	}
+}
+
+// MSHRInUse returns the allocated L1 MSHR entries across all SMs
+// (telemetry gauge).
+func (g *GPU) MSHRInUse() int {
+	n := 0
+	for _, s := range g.sms {
+		n += s.mshr.Len()
+	}
+	return n
+}
 
 // L1Caches returns the per-SM L1 arrays (for aggregate statistics).
 func (g *GPU) L1Caches() []*cache.Cache {
@@ -387,6 +420,7 @@ func (s *sm) lookupLoad(w *warpCtx, line memsys.Addr, retry bool) {
 		_, hit = s.l1.Lookup(line)
 	}
 	if hit {
+		g.obs.Latency(g.engine.Now(), g.obsID, obs.HistGPULoadLat, line, g.cfg.L1HitLat)
 		g.engine.Schedule(g.cfg.L1HitLat, w.lineDone)
 		return
 	}
@@ -403,8 +437,10 @@ func (s *sm) lookupLoad(w *warpCtx, line memsys.Addr, retry bool) {
 	e, _ := s.mshr.Allocate(line)
 	e.Waiters = append(e.Waiters, &memsys.Request{Type: memsys.Load, Addr: line,
 		Done: func(sim.Tick) { w.lineDone() }})
-	fill := &memsys.Request{Type: memsys.Load, Addr: line, Issued: g.engine.Now(),
-		Done: func(sim.Tick) {
+	issued := g.engine.Now()
+	fill := &memsys.Request{Type: memsys.Load, Addr: line, Issued: issued,
+		Done: func(now sim.Tick) {
+			g.obs.Latency(now, g.obsID, obs.HistGPULoadLat, line, now-issued)
 			s.l1.Insert(line, 1, false)
 			waiters := s.mshr.Free(line)
 			for _, wr := range waiters {

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a log2-bucketed latency histogram: observation v lands
+// in bucket bits.Len64(v), so bucket 0 holds only zero, bucket i holds
+// [2^(i-1), 2^i). Power-of-two buckets cover the full tick range in 65
+// fixed counters with no configuration, and the geometric resolution
+// matches what the latency distributions actually need: telling a
+// 20-tick L1 hit from a 600-tick DRAM miss, not a 601-tick one.
+//
+// All methods are safe on a nil *Histogram (no-ops / zeros), so callers
+// can use Observer.Hist(id) unconditionally.
+type Histogram struct {
+	name    string
+	buckets [65]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// NewHistogram returns an empty histogram with the given name.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.MaxUint64}
+}
+
+// Name returns the histogram's name (nil-safe).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value (nil-safe).
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations (nil-safe).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observations (nil-safe).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest observation, or 0 when empty (nil-safe).
+func (h *Histogram) Min() uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (nil-safe).
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean, or 0 when empty (nil-safe).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket is one non-empty histogram bucket covering [Lo, Hi].
+type Bucket struct {
+	Lo, Hi uint64
+	Count  uint64
+}
+
+// bucketBounds returns the inclusive [lo, hi] range of bucket i.
+func bucketBounds(i int) (uint64, uint64) {
+	switch {
+	case i == 0:
+		return 0, 0
+	case i >= 64:
+		return 1 << 63, math.MaxUint64
+	default:
+		return 1 << (i - 1), 1<<i - 1
+	}
+}
+
+// Buckets returns the non-empty buckets in ascending range order
+// (nil-safe).
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return out
+}
+
+// Merge folds other into h (nil-safe on both sides). Used by the serve
+// daemon to aggregate per-run histograms into process totals.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// WriteText renders the histogram as an aligned text table with scaled
+// count bars, in ascending bucket order (nil-safe).
+func (h *Histogram) WriteText(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "%s: count=%d mean=%.1f min=%d max=%d\n",
+		h.name, h.Count(), h.Mean(), h.Min(), h.Max())
+	bs := h.Buckets()
+	if len(bs) == 0 {
+		return
+	}
+	var peak uint64
+	for _, b := range bs {
+		if b.Count > peak {
+			peak = b.Count
+		}
+	}
+	const barWidth = 40
+	for _, b := range bs {
+		n := int(b.Count * barWidth / peak)
+		fmt.Fprintf(w, "  [%10d, %10d] %10d %s\n", b.Lo, b.Hi, b.Count, strings.Repeat("#", n))
+	}
+}

@@ -34,6 +34,12 @@ type JobSpec struct {
 	Mode   string          `json:"mode,omitempty"`
 	Input  string          `json:"input,omitempty"`
 	Config *ConfigOverride `json:"config,omitempty"`
+	// Trace additionally records a Chrome trace-event capture of the
+	// run, retrievable from GET /v1/runs/{id}/trace. Tracing never
+	// changes the simulated result, but a traced job hashes to a
+	// different ID than its untraced twin because the artifact set
+	// differs.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ConfigOverride selects the configuration knobs the API exposes on

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strings"
 
+	"dstore/internal/obs"
 	"dstore/internal/stats"
 )
 
@@ -29,12 +30,25 @@ var metricDefs = []struct {
 	{"dstore_chaos_faults_injected_total", "counter"},
 	{"dstore_coherence_nacks_total", "counter"},
 	{"dstore_coherence_retries_total", "counter"},
+	{"dstore_sim_gpu_load_latency_ticks", "histogram"},
+	{"dstore_sim_cpu_store_latency_ticks", "histogram"},
+	{"dstore_sim_push_to_first_use_ticks", "histogram"},
+}
+
+// histMetricIndex maps a histogram metric name to its obs.HistID slot
+// in the server aggregates.
+var histMetricIndex = map[string]int{
+	"dstore_sim_gpu_load_latency_ticks":  int(obs.HistGPULoadLat),
+	"dstore_sim_cpu_store_latency_ticks": int(obs.HistCPUStoreLat),
+	"dstore_sim_push_to_first_use_ticks": int(obs.HistPushToUse),
 }
 
 // snapshot materializes the current metric values as a stats.Set in
-// metricDefs order.
+// metricDefs order. Histogram metrics appear as their sample counts —
+// the full bucket breakdown is a /metrics-only rendering.
 func (s *Server) snapshot() *stats.Set {
 	hits, misses, evictions, size := s.cache.stats()
+	hists := s.histSnapshot()
 	s.mu.Lock()
 	inflight := len(s.inflight)
 	s.mu.Unlock()
@@ -55,6 +69,9 @@ func (s *Server) snapshot() *stats.Set {
 		"dstore_coherence_nacks_total":       s.chaosNacks.Load(),
 		"dstore_coherence_retries_total":     s.chaosRetries.Load(),
 	}
+	for name, idx := range histMetricIndex { //dstore:allow-maprange values land in a map keyed identically
+		values[name] = hists[idx].Count()
+	}
 	set := stats.NewSet()
 	for _, d := range metricDefs {
 		set.Counter(d.name).Add(values[d.name]) //dstore:allow-statskey Prometheus names from metricDefs
@@ -63,16 +80,39 @@ func (s *Server) snapshot() *stats.Set {
 }
 
 // handleMetrics implements GET /metrics in the Prometheus text
-// exposition format.
+// exposition format. Counter and gauge metrics render one sample each;
+// histogram metrics render the full cumulative bucket series plus
+// _sum and _count, aggregated over every job the server has executed.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	set := s.snapshot()
+	hists := s.histSnapshot()
 	var b strings.Builder
 	for _, d := range metricDefs {
+		if d.kind == "histogram" {
+			writeHistogram(&b, d.name, hists[histMetricIndex[d.name]])
+			continue
+		}
 		//dstore:allow-statskey Prometheus names from metricDefs
 		fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", d.name, d.kind, d.name, set.Get(d.name))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders one histogram in the Prometheus exposition
+// format: cumulative le-labelled buckets (upper bounds from the
+// log2-bucketed observation histogram), the +Inf catch-all, then _sum
+// and _count.
+func writeHistogram(b *strings.Builder, name string, h *obs.Histogram) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, bk := range h.Buckets() {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Hi, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
 }
 
 // handleStats implements GET /v1/stats: the same metrics as a JSON

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 
 	"dstore/internal/bench"
 	"dstore/internal/core"
+	"dstore/internal/obs"
 )
 
 // Options configures a Server. The zero value gets sensible defaults.
@@ -86,6 +88,13 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Observability artifacts, filled by the run function and consumed
+	// by runJob on success: the Chrome trace body (Trace jobs only) and
+	// the run's latency histograms, merged into the server aggregates
+	// behind /metrics.
+	traceBody []byte
+	hists     []*obs.Histogram
 }
 
 // maxFailures bounds the recently-failed map; older failures fall off
@@ -100,7 +109,15 @@ type Server struct {
 	opt   Options
 	mux   *http.ServeMux
 	cache *resultCache
-	runFn func(ctx context.Context, j *job) ([]byte, error)
+	// traces holds Chrome trace bodies for Trace jobs, keyed like the
+	// result cache and bounded the same way.
+	traces *resultCache
+	runFn  func(ctx context.Context, j *job) ([]byte, error)
+
+	// histMu guards aggHists, the server-lifetime latency histograms
+	// merged from every executed job (rendered by /metrics).
+	histMu   sync.Mutex
+	aggHists [obs.NumHists]*obs.Histogram
 
 	// baseCtx parents every job context; cancel aborts in-flight
 	// simulations (hard stop — graceful Shutdown does not cancel it
@@ -135,11 +152,27 @@ func New(opt Options) *Server {
 }
 
 // runBench executes a job for real: one private system per run, the
-// canonical encoding as the stored body.
+// canonical encoding as the stored body. Every run carries a histogram
+// observer (feeding the /metrics latency aggregates); Trace jobs also
+// record the event ring and serialize it as a Chrome trace artifact.
+// Observation never changes a Result, so cached bodies stay
+// byte-identical to untraced runs.
 func runBench(ctx context.Context, j *job) ([]byte, error) {
+	o := obs.New(obs.Options{Trace: j.spec.Trace, Hist: true})
+	j.cfg.Obs = o
 	res, err := bench.RunWithConfigContext(ctx, j.spec.Bench, j.cfg, j.spec.input())
 	if err != nil {
 		return nil, err
+	}
+	for id := obs.HistID(0); id < obs.NumHists; id++ {
+		j.hists = append(j.hists, o.Hist(id))
+	}
+	if j.spec.Trace {
+		var buf bytes.Buffer
+		if err := o.WriteTrace(&buf); err != nil {
+			return nil, err
+		}
+		j.traceBody = buf.Bytes()
 	}
 	return EncodeResult(res)
 }
@@ -151,6 +184,7 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *
 	s := &Server{
 		opt:      opt,
 		cache:    newResultCache(opt.CacheEntries),
+		traces:   newResultCache(opt.CacheEntries),
 		runFn:    runFn,
 		baseCtx:  ctx,
 		cancel:   cancel,
@@ -158,10 +192,14 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *
 		failures: make(map[string]*job),
 		queue:    make(chan *job, opt.QueueDepth),
 	}
+	for i := range s.aggHists {
+		s.aggHists[i] = obs.NewHistogram(obs.HistID(i).String())
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/chaos", s.handleChaos)
@@ -226,6 +264,37 @@ func (s *Server) runJob(j *job) {
 	j.status = statusDone
 	s.executed.Add(1)
 	s.cache.put(j.id, body)
+	if j.traceBody != nil {
+		s.traces.put(j.id, j.traceBody)
+	}
+	s.mergeHists(j.hists)
+}
+
+// mergeHists folds one run's latency histograms into the server
+// aggregates. Safe with nil or short slices (test run functions fill
+// none).
+func (s *Server) mergeHists(hists []*obs.Histogram) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	for i, h := range hists {
+		if i < len(s.aggHists) {
+			s.aggHists[i].Merge(h)
+		}
+	}
+}
+
+// histSnapshot returns an isolated copy of the aggregate histograms so
+// /metrics can render without holding histMu.
+func (s *Server) histSnapshot() []*obs.Histogram {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	out := make([]*obs.Histogram, len(s.aggHists))
+	for i, h := range s.aggHists {
+		c := obs.NewHistogram(h.Name())
+		c.Merge(h)
+		out[i] = c
+	}
+	return out
 }
 
 // safeRun executes the job's simulation with per-job panic isolation: a
@@ -368,8 +437,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if body, ok := s.cache.get(id); ok {
-		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
-		return
+		// A Trace job is only answerable from cache while its trace
+		// artifact survives too; if the trace was evicted, fall through
+		// and rerun to regenerate it.
+		_, traceOK := s.traces.lookup(id)
+		if !norm.Trace || traceOK {
+			writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
+			return
+		}
 	}
 	//dstore:allow-wallclock job metadata only, never in a Result
 	j := &job{id: id, spec: norm, cfg: cfg, status: statusQueued, submitted: time.Now()}
@@ -431,6 +506,32 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	if j, ok := s.failures[id]; ok {
 		writeJSON(w, http.StatusConflict, runResponse{ID: id, Status: j.status, Error: j.errMsg})
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown run %q", id)
+}
+
+// handleTrace implements GET /v1/runs/{id}/trace: the Chrome
+// trace-event capture of a job submitted with "trace": true, loadable
+// in Perfetto or chrome://tracing. Traces are deterministic in the
+// spec, so repeated identical trace jobs serve identical bytes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if body, ok := s.traces.lookup(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		return
+	}
+	s.mu.Lock()
+	if j, ok := s.inflight[id]; ok {
+		resp := runResponse{ID: id, Status: j.status}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	s.mu.Unlock()
+	if _, ok := s.cache.lookup(id); ok {
+		writeError(w, http.StatusNotFound, "run %q has no stored trace (submit with \"trace\": true)", id)
 		return
 	}
 	writeError(w, http.StatusNotFound, "unknown run %q", id)

@@ -1,0 +1,100 @@
+package sim
+
+import "testing"
+
+// TestAdvanceHook proves the hook observes every clock advance with the
+// correct (prev, now) pair, before the first event of the new tick
+// runs, and never fires for same-tick FIFO events.
+func TestAdvanceHook(t *testing.T) {
+	e := NewEngine()
+	type adv struct{ prev, now Tick }
+	var got []adv
+	e.SetAdvanceHook(func(prev, now Tick) {
+		got = append(got, adv{prev, now})
+		if e.Now() != prev {
+			t.Errorf("hook at advance %d->%d sees Now()=%d, want pre-advance %d", prev, now, e.Now(), prev)
+		}
+	})
+	fn := func() {}
+	e.Schedule(5, fn)
+	e.Schedule(5, fn) // same tick: one advance, two events
+	e.Schedule(12, fn)
+	e.Schedule(12, func() {
+		e.Schedule(0, fn) // zero-delay: FIFO path, no advance
+	})
+	e.Run()
+	want := []adv{{0, 5}, {5, 12}}
+	if len(got) != len(want) {
+		t.Fatalf("advances = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("advance %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Removing the hook stops the callbacks.
+	e.SetAdvanceHook(nil)
+	e.Schedule(3, fn)
+	e.Run()
+	if len(got) != len(want) {
+		t.Errorf("hook fired after removal: %v", got)
+	}
+}
+
+// TestScheduleStepZeroAllocs is the observability overhead guard: with
+// no advance hook installed (telemetry disabled), the schedule/step hot
+// path must allocate nothing in steady state, on both the heap and the
+// same-tick FIFO fast path. This pins PR 1's headline property against
+// regression by the obs wiring.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Pre-warm so slice growth is out of the picture.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Tick(i%97+1), fn)
+	}
+	for i := 0; i < 1024; i++ {
+		e.Step()
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	}); allocs != 0 {
+		t.Errorf("heap path: %v allocs/op with hook disabled, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(0, fn)
+		e.Step()
+	}); allocs != 0 {
+		t.Errorf("FIFO path: %v allocs/op with hook disabled, want 0", allocs)
+	}
+
+	// And the hook itself must not allocate on the engine side: with a
+	// trivial hook installed, the path stays allocation-free.
+	e.SetAdvanceHook(func(prev, now Tick) {})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(1, fn)
+		e.Step()
+	}); allocs != 0 {
+		t.Errorf("heap path: %v allocs/op with trivial hook, want 0", allocs)
+	}
+}
+
+// BenchmarkScheduleStepHookDisabled is FutureMix with the advance-hook
+// field explicitly cleared — compare against BenchmarkScheduleStepFutureMix
+// to see the cost of the disabled-hook branch (it should be noise).
+func BenchmarkScheduleStepHookDisabled(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	e.SetAdvanceHook(nil)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Tick(i%97+1), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Tick(i%97+1), fn)
+		e.Step()
+	}
+}

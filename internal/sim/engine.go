@@ -79,6 +79,11 @@ type Engine struct {
 	guardLimit uint64
 	guardTick  Tick
 	guardCount uint64
+
+	// advanceHook, when non-nil, observes every clock advance
+	// (SetAdvanceHook). nil disables it at the cost of one predictable
+	// branch on the heap-pop path.
+	advanceHook func(prev, now Tick)
 }
 
 // NewEngine returns an engine at tick zero with an empty event queue.
@@ -108,6 +113,21 @@ func (e *Engine) SetStallGuard(limit uint64) {
 	e.guardLimit = limit
 	e.guardTick = e.now
 	e.guardCount = 0
+}
+
+// SetAdvanceHook installs fn to be called on every clock advance with
+// the previous and new tick, immediately before the first event of the
+// new tick runs. The hook observes time only — it must not schedule
+// events or mutate simulation state, so an engine with a hook installed
+// executes the identical event sequence as one without (same contract
+// as RunInterruptible's stop function). The interval sampler in
+// internal/obs is the intended client: epoch boundaries fall on clock
+// advances, never on events of their own, so enabling telemetry cannot
+// perturb results. A nil fn removes the hook; a removed hook costs one
+// predictable branch on the heap-pop path and nothing on the same-tick
+// FIFO path (the clock cannot advance there).
+func (e *Engine) SetAdvanceHook(fn func(prev, now Tick)) {
+	e.advanceHook = fn
 }
 
 // Schedule queues fn to run delay ticks from now. A delay of zero runs fn
@@ -173,6 +193,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.heapPop()
+	if e.advanceHook != nil && ev.when != e.now {
+		e.advanceHook(e.now, ev.when)
+	}
 	e.now = ev.when
 	e.executed++
 	if e.guardLimit != 0 {

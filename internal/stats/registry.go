@@ -23,26 +23,30 @@ var knownKeys = map[string]bool{
 	"writes":    true,
 
 	// coherence controllers (internal/coherence)
-	"probes_received":     true,
-	"writebacks_sent":     true,
-	"pushes_received":     true,
-	"direct_stores":       true,
-	"remote_loads":        true,
-	"mshr_stalls":         true,
-	"upgrades":            true,
-	"pushes_overflowed":   true,
-	"fill_bypasses":       true,
-	"push_nacks":          true,
-	"push_retries":        true,
-	"requests":            true,
-	"probes_sent":         true,
-	"writebacks":          true,
-	"data_from_peer":      true,
-	"data_from_dram":      true,
-	"probes_filtered":     true,
-	"regions_claimed":     true,
-	"region_downgrades":   true,
-	"skipped_invalidates": true,
+	"probes_received":      true,
+	"writebacks_sent":      true,
+	"pushes_received":      true,
+	"direct_stores":        true,
+	"remote_loads":         true,
+	"mshr_stalls":          true,
+	"upgrades":             true,
+	"pushes_overflowed":    true,
+	"fill_bypasses":        true,
+	"push_nacks":           true,
+	"push_retries":         true,
+	"requests":             true,
+	"requests_gets":        true,
+	"requests_getx":        true,
+	"requests_wb":          true,
+	"requests_remote_load": true,
+	"probes_sent":          true,
+	"writebacks":           true,
+	"data_from_peer":       true,
+	"data_from_dram":       true,
+	"probes_filtered":      true,
+	"regions_claimed":      true,
+	"region_downgrades":    true,
+	"skipped_invalidates":  true,
 
 	// cores and GPU (internal/cpu, internal/gpu)
 	"loads":                      true,
