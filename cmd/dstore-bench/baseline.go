@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dstore/internal/bench"
+	"dstore/internal/benchfmt"
+	"dstore/internal/core"
+)
+
+// baselineDoc is the machine-readable performance baseline
+// (BENCH_coherence.json): the Fig. 4 sweep measured as a whole-system
+// throughput number, plus the event-kernel microbenchmarks lifted from
+// BENCH_sim_engine.txt. `make baseline-json` regenerates it; `make
+// bench-diff` guards the microbenchmark half.
+type baselineDoc struct {
+	Schema string `json:"schema"`
+	// Fig4 is the full Fig. 4 sweep (every Table II benchmark, both
+	// inputs, CCSM and direct-store modes), run sequentially so
+	// wall-clock and events/sec mean one core's throughput.
+	Fig4 fig4Baseline `json:"fig4"`
+	// SeedReference, when present, is the same sweep measured on the
+	// growth seed's binary, back-to-back on the same machine (passed in
+	// via -seed-fig4-wall; this tool cannot rebuild the seed itself).
+	SeedReference *seedReference `json:"seed_reference,omitempty"`
+	// EngineBenchmarks mirrors BENCH_sim_engine.txt: ns/op, B/op and
+	// allocs/op per event-kernel microbenchmark.
+	EngineBenchmarks []engineBench `json:"engine_benchmarks,omitempty"`
+}
+
+type fig4Baseline struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Runs         int     `json:"runs"`
+}
+
+type seedReference struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"wall_speedup"`
+	Note        string  `json:"note"`
+}
+
+type engineBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// writeBaselineJSON runs the Fig. 4 sweep sequentially with the event
+// counter on, merges in the microbenchmark baseline when engineTxt
+// exists, and writes the JSON document to path.
+func writeBaselineJSON(ctx context.Context, path, engineTxt string, seedWall float64) error {
+	var doc baselineDoc
+	doc.Schema = "dstore-baseline/1"
+
+	var events uint64
+	runs := 0
+	start := time.Now()
+	for _, in := range []bench.Input{bench.Small, bench.Big} {
+		for _, job := range bench.StandardJobs(in) {
+			for _, cfg := range []core.Config{job.Base, job.DS} {
+				sys := core.NewSystem(cfg)
+				w, err := bench.Build(sys, job.Code, job.In)
+				if err != nil {
+					return err
+				}
+				if _, _, err := w.RunPhasesContext(ctx, sys); err != nil {
+					return fmt.Errorf("baseline %s (%s, %s): %w", job.Code, cfg.Mode, job.In, err)
+				}
+				if err := sys.CheckCoherence(); err != nil {
+					return fmt.Errorf("baseline %s (%s, %s): %w", job.Code, cfg.Mode, job.In, err)
+				}
+				events += sys.Engine.Executed()
+				runs++
+			}
+		}
+	}
+	wall := time.Since(start).Seconds()
+	doc.Fig4 = fig4Baseline{
+		WallSeconds:  wall,
+		Events:       events,
+		EventsPerSec: float64(events) / wall,
+		Runs:         runs,
+	}
+	if seedWall > 0 {
+		doc.SeedReference = &seedReference{
+			WallSeconds: seedWall,
+			Speedup:     seedWall / wall,
+			Note:        "seed binary, same sweep, same machine, measured back-to-back",
+		}
+	}
+
+	if f, err := os.Open(engineTxt); err == nil {
+		entries, perr := benchfmt.Parse(f)
+		f.Close()
+		if perr != nil {
+			return fmt.Errorf("%s: %w", engineTxt, perr)
+		}
+		for _, e := range entries {
+			ns, _ := e.Value("ns/op")
+			b, _ := e.Value("B/op")
+			allocs, _ := e.Value("allocs/op")
+			doc.EngineBenchmarks = append(doc.EngineBenchmarks, engineBench{
+				Name: e.Name, NsPerOp: ns, BytesPerOp: b, AllocsPerOp: allocs,
+			})
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "dstore-bench: %s not found; writing baseline without engine microbenchmarks\n", engineTxt)
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d runs, %.2fs wall, %.3gM events/sec\n",
+		path, runs, wall, doc.Fig4.EventsPerSec/1e6)
+	return nil
+}

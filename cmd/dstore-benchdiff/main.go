@@ -1,0 +1,129 @@
+// Command dstore-benchdiff compares two `go test -bench` outputs and
+// flags regressions: the repo's benchstat-style guard for the
+// event-kernel microbenchmark baseline.
+//
+// Usage:
+//
+//	dstore-benchdiff [-threshold 10] [-fail] OLD NEW
+//
+// OLD is typically the committed BENCH_sim_engine.txt, NEW a fresh
+// `make bench` capture (`make bench-diff` wires the two together). For
+// every benchmark present in both files it prints old, new and delta
+// per metric, then a WARNING line for each metric that regressed by
+// more than the threshold. Timing metrics (ns/op) are warn-only by
+// default — wall clock on a shared box is noisy — but -fail turns any
+// warning into exit status 1 for use as a hard CI gate. Allocation
+// metrics (B/op, allocs/op) are deterministic, so a regression there
+// is real however noisy the machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"dstore/internal/benchfmt"
+)
+
+// metrics are compared in this order when both sides carry them.
+var metrics = []string{"ns/op", "B/op", "allocs/op"}
+
+func parseFile(path string) map[string]benchfmt.Entry {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	es, err := benchfmt.Parse(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	m := make(map[string]benchfmt.Entry, len(es))
+	for _, e := range es {
+		if _, dup := m[e.Name]; dup {
+			fail(fmt.Errorf("%s: duplicate benchmark %s (merge runs before diffing)", path, e.Name))
+		}
+		m[e.Name] = e
+	}
+	return m
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	failOnRegress := flag.Bool("fail", false, "exit 1 on regression instead of warning")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dstore-benchdiff [-threshold PCT] [-fail] OLD NEW")
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldE := parseFile(oldPath)
+
+	// Re-parse NEW as a slice to keep its ordering for the report.
+	nf, err := os.Open(newPath)
+	if err != nil {
+		fail(err)
+	}
+	newList, err := benchfmt.Parse(nf)
+	nf.Close()
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", newPath, err))
+	}
+
+	fmt.Printf("%-34s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	var warnings []string
+	compared := 0
+	for _, ne := range newList {
+		oe, ok := oldE[ne.Name]
+		if !ok {
+			fmt.Printf("%-34s %-10s %14s %14s %9s\n", ne.Name, "-", "(absent)", "-", "new")
+			continue
+		}
+		compared++
+		for _, unit := range metrics {
+			ov, okOld := oe.Value(unit)
+			nv, okNew := ne.Value(unit)
+			if !okOld || !okNew {
+				continue
+			}
+			delta := deltaPct(ov, nv)
+			fmt.Printf("%-34s %-10s %14.4g %14.4g %+8.1f%%\n", ne.Name, unit, ov, nv, delta)
+			if delta > *threshold {
+				warnings = append(warnings, fmt.Sprintf(
+					"WARNING: %s %s regressed %+.1f%% (%.4g -> %.4g, threshold %.1f%%)",
+					ne.Name, unit, delta, ov, nv, *threshold))
+			}
+		}
+	}
+	if compared == 0 {
+		fail(fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath))
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, w)
+	}
+	if len(warnings) == 0 {
+		fmt.Printf("bench-diff: %d benchmarks within %.1f%% of baseline\n", compared, *threshold)
+	} else if *failOnRegress {
+		os.Exit(1)
+	}
+}
+
+// deltaPct is the relative change from old to new in percent; higher
+// is worse for every metric this tool compares. A zero baseline with a
+// non-zero measurement (an allocation-free path starting to allocate)
+// is an unbounded regression.
+func deltaPct(ov, nv float64) float64 {
+	if ov == 0 {
+		if nv == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (nv - ov) / ov * 100
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dstore-benchdiff:", err)
+	os.Exit(1)
+}

@@ -24,7 +24,7 @@ func main() {
 	list := flag.Bool("list", false, "list available analyzers and exit")
 	flag.Parse()
 
-	all := []*analysis.Analyzer{analysis.Determinism, analysis.StatsKey, analysis.EventSafety}
+	all := []*analysis.Analyzer{analysis.Determinism, analysis.StatsKey, analysis.EventSafety, analysis.AllocFree}
 	if *list {
 		for _, a := range all {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)

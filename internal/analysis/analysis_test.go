@@ -8,7 +8,7 @@ import (
 // all is the production analyzer set, in the order dstore-lint runs
 // them.
 func all() []*Analyzer {
-	return []*Analyzer{Determinism, StatsKey, EventSafety}
+	return []*Analyzer{Determinism, StatsKey, EventSafety, AllocFree}
 }
 
 // TestFixtureViolations loads the seeded-violation fixture by its
@@ -34,6 +34,10 @@ func TestFixtureViolations(t *testing.T) {
 		{"statskey", 102, `unknown stats counter key "requests_getz"`},
 		{"eventsafety", 70, "event callback calls Engine.Step"},
 		{"eventsafety", 87, `event callback captures loop variable "i"`},
+		{"allocfree", 114, "map allocation in hot-path package"},
+		{"allocfree", 115, "map literal in hot-path package"},
+		{"allocfree", 125, "new(FakeMsg) allocates a message"},
+		{"allocfree", 126, "&FakeMsg{} allocates a message"},
 	}
 	if len(diags) != len(want) {
 		t.Errorf("got %d diagnostics, want %d:", len(diags), len(want))

@@ -101,3 +101,37 @@ func LoopCapture(eng *sim.Engine, xs []int) {
 func BadKeyTyped(s *stats.Set) {
 	s.Counter("requests_getz").Inc()
 }
+
+// FakeMsg looks like a protocol message type to the allocfree
+// analyzer (named struct, "Msg" suffix).
+type FakeMsg struct {
+	Addr uint64
+}
+
+// HotMap allocates a map outside a constructor: allocfree finding on
+// the make, another on the literal; the annotated twin is clean.
+func HotMap() map[uint64]int {
+	m := make(map[uint64]int)
+	_ = map[string]bool{"x": true}
+	m2 := make(map[uint64]int) //dstore:allow-alloc fixture: annotated twin
+	_ = m2
+	return m
+}
+
+// HotMsg allocates messages on the heap outside a constructor:
+// allocfree findings on new and on the address-of literal; the
+// annotated twin is clean.
+func HotMsg() *FakeMsg {
+	a := new(FakeMsg)
+	b := &FakeMsg{Addr: 1}
+	_ = b
+	c := &FakeMsg{Addr: 2} //dstore:allow-alloc fixture: annotated twin
+	_ = c
+	return a
+}
+
+// NewTable is a constructor: map and message allocation here is the
+// job, no finding.
+func NewTable() (map[uint64]int, *FakeMsg) {
+	return make(map[uint64]int), &FakeMsg{}
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dstore/internal/core"
+)
+
+// mapStore is a trivial SnapshotStore for tests.
+type mapStore struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	puts int
+	gets int
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
+
+func (s *mapStore) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if ok {
+		s.gets++
+	}
+	return b, ok
+}
+
+func (s *mapStore) Put(key string, snapshot []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), snapshot...)
+	s.puts++
+}
+
+// TestSnapshotRoundTripGolden is the golden round-trip guarantee: a
+// run resumed from a post-produce snapshot produces a byte-identical
+// Result to the uninterrupted run, across benchmarks, modes and
+// configurations.
+func TestSnapshotRoundTripGolden(t *testing.T) {
+	cases := []struct {
+		code string
+		mode core.Mode
+		tune func(*core.Config)
+	}{
+		{"MM", core.ModeDirectStore, nil},
+		{"MM", core.ModeCCSM, nil},
+		{"BF", core.ModeDirectStore, nil},
+		{"NW", core.ModeCCSM, func(c *core.Config) { c.GPUL2Policy = "srrip" }},
+		{"MM", core.ModeDirectStore, func(c *core.Config) { c.NoC = "ring" }},
+		{"MM", core.ModeDirectStore, func(c *core.Config) { c.RegionDirectory = true }},
+	}
+	for _, tc := range cases {
+		cfg := core.DefaultConfig(tc.mode)
+		if tc.tune != nil {
+			tc.tune(&cfg)
+		}
+		name := tc.code + "/" + tc.mode.String()
+
+		cold, err := RunWithConfig(tc.code, cfg, Small)
+		if err != nil {
+			t.Fatalf("%s: cold run: %v", name, err)
+		}
+
+		store := newMapStore()
+		first, hit, err := RunWithSnapshotContext(context.Background(), tc.code, cfg, Small, store)
+		if err != nil {
+			t.Fatalf("%s: first memoized run: %v", name, err)
+		}
+		if hit {
+			t.Fatalf("%s: first run reported a snapshot hit", name)
+		}
+		if store.puts != 1 {
+			t.Fatalf("%s: first run stored %d snapshots, want 1", name, store.puts)
+		}
+		if !reflect.DeepEqual(cold, first) {
+			t.Fatalf("%s: cold-path memoized result diverged:\ncold: %+v\nmemo: %+v", name, cold, first)
+		}
+
+		warm, hit, err := RunWithSnapshotContext(context.Background(), tc.code, cfg, Small, store)
+		if err != nil {
+			t.Fatalf("%s: warm run: %v", name, err)
+		}
+		if !hit {
+			t.Fatalf("%s: warm run did not restore from snapshot", name)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("%s: resumed result diverged from uninterrupted run:\ncold: %+v\nwarm: %+v", name, cold, warm)
+		}
+	}
+}
+
+// TestSnapshotPrefixSharedAcrossGPUConfigs checks the point of the
+// scheme: jobs differing only in GPU-pipeline knobs share one
+// produce-prefix snapshot, and the restored runs still match their
+// own uninterrupted twins exactly.
+func TestSnapshotPrefixSharedAcrossGPUConfigs(t *testing.T) {
+	base := core.DefaultConfig(core.ModeDirectStore)
+	varied := base
+	varied.SMs = 8
+	varied.MaxWarpsPerSM = base.MaxWarpsPerSM / 2
+	varied.GPUL1Bytes = base.GPUL1Bytes * 2
+
+	kb, okb := PrefixKey("MM", base, Small)
+	kv, okv := PrefixKey("MM", varied, Small)
+	if !okb || !okv {
+		t.Fatal("MM/small should be memoizable")
+	}
+	if kb != kv {
+		t.Fatalf("GPU-pipeline-only config change altered the prefix key:\n%s\n%s", kb, kv)
+	}
+	if kd, _ := PrefixKey("MM", base, Big); kd == kb {
+		t.Fatal("input change did not alter the prefix key")
+	}
+	slice := base
+	slice.GPUL2Bytes = base.GPUL2Bytes / 2
+	if ks, _ := PrefixKey("MM", slice, Small); ks == kb {
+		t.Fatal("L2 slice geometry change did not alter the prefix key (slices participate in produce)")
+	}
+
+	store := newMapStore()
+	if _, hit, err := RunWithSnapshotContext(context.Background(), "MM", base, Small, store); err != nil || hit {
+		t.Fatalf("seed run: hit=%v err=%v", hit, err)
+	}
+
+	coldVaried, err := RunWithConfig("MM", varied, Small)
+	if err != nil {
+		t.Fatalf("cold varied run: %v", err)
+	}
+	warmVaried, hit, err := RunWithSnapshotContext(context.Background(), "MM", varied, Small, store)
+	if err != nil {
+		t.Fatalf("warm varied run: %v", err)
+	}
+	if !hit {
+		t.Fatal("varied-GPU job did not reuse the shared produce prefix")
+	}
+	if !reflect.DeepEqual(coldVaried, warmVaried) {
+		t.Fatalf("cross-config resume diverged:\ncold: %+v\nwarm: %+v", coldVaried, warmVaried)
+	}
+}
+
+// TestSnapshotIneligible pins the bypass conditions: unknown phase
+// structure (GPU-initialised benchmarks) and chaos runs never
+// memoize.
+func TestSnapshotIneligible(t *testing.T) {
+	cfg := core.DefaultConfig(core.ModeDirectStore)
+	for _, code := range Codes() {
+		p, ok := find(code)
+		if !ok {
+			t.Fatalf("unknown code %s", code)
+		}
+		_, eligible := PrefixKey(code, cfg, Small)
+		if eligible != p.cpuProduces {
+			t.Errorf("%s: eligible=%v, cpuProduces=%v", code, eligible, p.cpuProduces)
+		}
+	}
+	chaotic := cfg
+	chaotic.Chaos = &core.ChaosConfig{}
+	if _, ok := PrefixKey("MM", chaotic, Small); ok {
+		t.Error("chaos run reported memoizable")
+	}
+}

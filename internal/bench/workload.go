@@ -164,9 +164,10 @@ func regraph(g *trace.Graph, nodeBase, edgeBase memsys.Addr) *trace.Graph {
 // self-initialisation: the CPU never produces the data).
 func buildInitKernel(code string, lines []memsys.Addr) gpu.Kernel {
 	warps := autoWarps(len(lines))
-	var ws []gpu.Warp
-	for _, chunk := range trace.Chunk(lines, warps) {
-		var ops []gpu.WarpOp
+	chunks := trace.Chunk(lines, warps)
+	ws := make([]gpu.Warp, 0, len(chunks))
+	for _, chunk := range chunks {
+		ops := make([]gpu.WarpOp, 0, len(chunk))
 		for _, a := range chunk {
 			ops = append(ops, gpu.WarpOp{Kind: gpu.OpGlobalStore, Addr: a, Lines: 1})
 		}
@@ -190,9 +191,29 @@ func buildKernel(p profile, in Input, k, passes int, readLines, outLines []memsy
 	sharedOps := p.sharedOpsPerLine[in]
 	gap := p.computePerLine[in]
 
-	var ws []gpu.Warp
+	// Per-read-line op footprint, for exact preallocation: the load
+	// itself, the scratchpad staging ops, and the trailing compute gap.
+	perLine := 1
+	if p.stage {
+		perLine += sharedOps
+	}
+	if gap > 0 {
+		perLine++
+	}
+
+	ws := make([]gpu.Warp, 0, warps)
 	for wi := 0; wi < warps; wi++ {
-		var ops []gpu.WarpOp
+		nops := 0
+		for pass := 0; pass < passes; pass++ {
+			nops += len(chunks[(wi+pass)%warps]) * perLine
+		}
+		switch {
+		case len(outLines) > 0:
+			nops += len(outChunks[wi])
+		case p.writeFrac > 0:
+			nops += len(chunks[wi]) * p.writeFrac / 256
+		}
+		ops := make([]gpu.WarpOp, 0, nops)
 		for pass := 0; pass < passes; pass++ {
 			chunk := chunks[(wi+pass)%warps]
 			for _, a := range chunk {
@@ -244,10 +265,22 @@ func (w *Workload) RunPhases(sys *core.System) (sim.Tick, []sim.Tick) {
 // cancelled system is torn mid-transaction and must be discarded.
 func (w *Workload) RunPhasesContext(ctx context.Context, sys *core.System) (sim.Tick, []sim.Tick, error) {
 	start := sys.Now()
+	per, err := w.RunPhaseRangeContext(ctx, sys, 0, len(w.phases))
+	return sys.Now() - start, per, err
+}
+
+// RunPhaseRangeContext executes phases [lo, hi) in order, returning
+// per-phase tick counts for the range. It is the resume entry point
+// for snapshot-restored systems: a system restored from a snapshot
+// taken after phase k continues with lo = k+1, and the resulting
+// event sequence is byte-identical to a run that never stopped
+// (phase boundaries are quiescent — the engine is fully drained — so
+// no in-flight state spans them).
+func (w *Workload) RunPhaseRangeContext(ctx context.Context, sys *core.System, lo, hi int) ([]sim.Tick, error) {
 	var per []sim.Tick
-	for _, ph := range w.phases {
+	for _, ph := range w.phases[lo:hi] {
 		if err := ctx.Err(); err != nil {
-			return sys.Now() - start, per, err
+			return per, err
 		}
 		p0 := sys.Now()
 		var err error
@@ -257,9 +290,9 @@ func (w *Workload) RunPhasesContext(ctx context.Context, sys *core.System) (sim.
 			_, err = sys.RunCPUContext(ctx, ph.ops)
 		}
 		if err != nil {
-			return sys.Now() - start, per, err
+			return per, err
 		}
 		per = append(per, sys.Now()-p0)
 	}
-	return sys.Now() - start, per, nil
+	return per, nil
 }

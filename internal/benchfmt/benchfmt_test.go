@@ -1,0 +1,59 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `# Event-kernel microbenchmark baseline (internal/sim).
+#   BenchmarkRunDrain            1186641   ns/op 550888 B/op 8207 allocs/op
+goos: linux
+goarch: amd64
+pkg: dstore/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleStepZeroDelay 	186085377	         6.467 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRunDrain              	    1597	    771493 ns/op	  355920 B/op	      21 allocs/op
+PASS
+ok  	dstore/internal/sim	7.568s
+`
+
+func TestParse(t *testing.T) {
+	es, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The commented reference line must not parse as a result.
+	if len(es) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %+v", len(es), es)
+	}
+	zd := es[0]
+	if zd.Name != "BenchmarkScheduleStepZeroDelay" || zd.Iters != 186085377 {
+		t.Fatalf("bad first entry: %+v", zd)
+	}
+	if v, ok := zd.Value("ns/op"); !ok || v != 6.467 {
+		t.Fatalf("ns/op = %v, %v", v, ok)
+	}
+	rd := es[1]
+	if v, ok := rd.Value("allocs/op"); !ok || v != 21 {
+		t.Fatalf("allocs/op = %v, %v", v, ok)
+	}
+	if v, ok := rd.Value("B/op"); !ok || v != 355920 {
+		t.Fatalf("B/op = %v, %v", v, ok)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\t12\t34 ns/op\textra",
+		"BenchmarkX\tnotanumber\t34 ns/op",
+		"BenchmarkX\t12\tNaNope ns/op",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// Non-Benchmark noise is skipped, not an error.
+	if es, err := Parse(strings.NewReader("hello\nworld 1 2\n")); err != nil || len(es) != 0 {
+		t.Errorf("noise parse: %v, %v", es, err)
+	}
+}

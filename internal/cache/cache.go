@@ -75,7 +75,12 @@ type Cache struct {
 	numSets int
 	setMask uint64
 	lines   []Line // numSets * Ways, flattened
-	policy  replacementPolicy
+	// tags mirrors lines for the way scan: tags[i] is lines[i].Tag when
+	// the line is valid and tagInvalid otherwise, so find touches 8
+	// packed bytes per way instead of a 24-byte Line. Every valid<->
+	// invalid transition and every tag write must keep it in sync.
+	tags   []uint64
+	policy replacementPolicy
 
 	counters *stats.Set
 	accesses *stats.Counter
@@ -111,7 +116,11 @@ func New(cfg Config) *Cache {
 		numSets:  numSets,
 		setMask:  uint64(numSets - 1),
 		lines:    make([]Line, numSets*cfg.Ways),
+		tags:     make([]uint64, numSets*cfg.Ways),
 		counters: stats.NewSet(),
+	}
+	for i := range c.tags {
+		c.tags[i] = tagInvalid
 	}
 	switch cfg.Policy {
 	case PolicyLRU:
@@ -157,12 +166,18 @@ func (c *Cache) line(set, way int) *Line {
 	return &c.lines[set*c.cfg.Ways+way]
 }
 
+// tagInvalid marks an empty way in the packed tag array. Tags are full
+// line numbers (physical address >> line shift), which can never reach
+// all-ones.
+const tagInvalid = ^uint64(0)
+
 func (c *Cache) find(a memsys.Addr) (set, way int, ok bool) {
 	set = c.setOf(a)
 	tag := memsys.LineNum(a)
-	for w := 0; w < c.cfg.Ways; w++ {
-		l := c.line(set, w)
-		if l.Valid() && l.Tag == tag {
+	base := set * c.cfg.Ways
+	ts := c.tags[base : base+c.cfg.Ways]
+	for w := range ts {
+		if ts[w] == tag {
 			return set, w, true
 		}
 	}
@@ -237,6 +252,7 @@ func (c *Cache) SetState(a memsys.Addr, state uint8) {
 	l := c.line(set, way)
 	if state == 0 {
 		*l = Line{}
+		c.tags[set*c.cfg.Ways+way] = tagInvalid
 		return
 	}
 	l.State = state
@@ -334,6 +350,7 @@ func (c *Cache) Insert(a memsys.Addr, state uint8, dirty bool) (v Victim, evicte
 		}
 	}
 	*c.line(set, way) = Line{Tag: memsys.LineNum(a), State: state, Dirty: dirty}
+	c.tags[set*c.cfg.Ways+way] = memsys.LineNum(a)
 	c.policy.insert(set, way)
 	return v, evicted
 }
@@ -349,6 +366,7 @@ func (c *Cache) Invalidate(a memsys.Addr) (wasDirty, wasPresent bool) {
 	l := c.line(set, way)
 	wasDirty = l.Dirty
 	*l = Line{}
+	c.tags[set*c.cfg.Ways+way] = tagInvalid
 	return wasDirty, true
 }
 
@@ -362,6 +380,7 @@ func (c *Cache) InvalidateAll() int {
 			n++
 			c.lines[i] = Line{}
 		}
+		c.tags[i] = tagInvalid
 	}
 	return n
 }

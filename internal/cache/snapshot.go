@@ -1,0 +1,140 @@
+package cache
+
+import "dstore/internal/snap"
+
+// Policy discriminants in the snapshot stream. These are part of the
+// serialised format (DESIGN.md §11): renumbering them is a snapshot
+// version bump.
+const (
+	snapPolicyLRU      = 1
+	snapPolicyTreePLRU = 2
+	snapPolicySRRIP    = 3
+	snapPolicyRandom   = 4
+)
+
+// SnapshotTo serialises the array contents (valid lines, sparse), the
+// replacement-policy state and the counters. The tags mirror is not
+// serialised: RestoreFrom rebuilds it from the lines, so the mirror
+// invariant holds by construction on the restored side.
+func (c *Cache) SnapshotTo(w *snap.Writer) {
+	w.Tag("cache")
+	w.String(c.cfg.Name)
+	w.U32(uint32(c.numSets))
+	w.U32(uint32(c.cfg.Ways))
+
+	valid := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			valid++
+		}
+	}
+	w.U32(uint32(valid))
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.Valid() {
+			continue
+		}
+		w.U32(uint32(i))
+		w.U64(l.Tag)
+		w.U8(l.State)
+		w.Bool(l.Dirty)
+	}
+
+	switch p := c.policy.(type) {
+	case *lru:
+		w.U8(snapPolicyLRU)
+		w.U64(p.clock)
+		for _, v := range p.last {
+			w.U64(v)
+		}
+	case *treePLRU:
+		w.U8(snapPolicyTreePLRU)
+		for _, b := range p.bits {
+			w.Bool(b)
+		}
+	case *srrip:
+		w.U8(snapPolicySRRIP)
+		for _, v := range p.rrpv {
+			w.U8(v)
+		}
+	case *randomPolicy:
+		w.U8(snapPolicyRandom)
+		w.U64(p.rng.State())
+	}
+	c.counters.SnapshotTo(w)
+}
+
+// RestoreFrom overwrites the array from a snapshot. Geometry and
+// policy kind must match the configured cache; a mismatch fails the
+// reader and leaves the cache partially overwritten — callers discard
+// the whole system on restore failure.
+func (c *Cache) RestoreFrom(r *snap.Reader) {
+	r.Tag("cache")
+	name := r.String()
+	sets := r.U32()
+	ways := r.U32()
+	if r.Err() != nil {
+		return
+	}
+	if name != c.cfg.Name || int(sets) != c.numSets || int(ways) != c.cfg.Ways {
+		r.Failf("cache %s: snapshot geometry %s/%dx%d does not match %dx%d",
+			c.cfg.Name, name, sets, ways, c.numSets, c.cfg.Ways)
+		return
+	}
+	for i := range c.lines {
+		c.lines[i] = Line{}
+		c.tags[i] = tagInvalid
+	}
+	valid := r.U32()
+	for n := uint32(0); n < valid && r.Err() == nil; n++ {
+		i := r.U32()
+		tag := r.U64()
+		state := r.U8()
+		dirty := r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		if int(i) >= len(c.lines) || state == 0 {
+			r.Failf("cache %s: invalid snapshot line entry (idx %d, state %d)", c.cfg.Name, i, state)
+			return
+		}
+		c.lines[i] = Line{Tag: tag, State: state, Dirty: dirty}
+		c.tags[i] = tag
+	}
+
+	kind := r.U8()
+	switch p := c.policy.(type) {
+	case *lru:
+		if kind != snapPolicyLRU {
+			r.Failf("cache %s: snapshot policy %d, configured lru", c.cfg.Name, kind)
+			return
+		}
+		p.clock = r.U64()
+		for i := range p.last {
+			p.last[i] = r.U64()
+		}
+	case *treePLRU:
+		if kind != snapPolicyTreePLRU {
+			r.Failf("cache %s: snapshot policy %d, configured plru", c.cfg.Name, kind)
+			return
+		}
+		for i := range p.bits {
+			p.bits[i] = r.Bool()
+		}
+	case *srrip:
+		if kind != snapPolicySRRIP {
+			r.Failf("cache %s: snapshot policy %d, configured srrip", c.cfg.Name, kind)
+			return
+		}
+		for i := range p.rrpv {
+			p.rrpv[i] = r.U8()
+		}
+	case *randomPolicy:
+		if kind != snapPolicyRandom {
+			r.Failf("cache %s: snapshot policy %d, configured random", c.cfg.Name, kind)
+			return
+		}
+		p.rng.SetState(r.U64())
+	}
+	c.counters.RestoreFrom(r)
+}

@@ -272,6 +272,15 @@ func (n *chaosNet) Send(src, dst string, size int, deliver func(now sim.Tick)) s
 	})
 }
 
+// SendArg funnels through Send: chaos wrapping is cold, so the adapter
+// closure it allocates per message is irrelevant.
+func (n *chaosNet) SendArg(src, dst string, size int, fn func(arg any, now sim.Tick), arg any) sim.Tick {
+	if fn == nil {
+		return n.Send(src, dst, size, nil)
+	}
+	return n.Send(src, dst, size, func(now sim.Tick) { fn(arg, now) })
+}
+
 // chaosDirect wraps the dedicated push link with message loss,
 // duplication and jitter. Unlike the shared network, reordering IS
 // allowed here: the resilient push protocol must tolerate a retried
@@ -307,4 +316,13 @@ func (d *chaosDirect) Send(size int, deliver func(now sim.Tick)) sim.Tick {
 		d.inner.Send(size, wrapped)
 	}
 	return arrival
+}
+
+// SendArg funnels through Send: chaos wrapping is cold, so the adapter
+// closure it allocates per message is irrelevant.
+func (d *chaosDirect) SendArg(size int, fn func(arg any, now sim.Tick), arg any) sim.Tick {
+	if fn == nil {
+		return d.Send(size, nil)
+	}
+	return d.Send(size, func(now sim.Tick) { fn(arg, now) })
 }

@@ -74,9 +74,9 @@ func (c *Ctrl) AttachChaos(h *ChaosHooks) { c.hooks = h }
 func (c *Ctrl) EnableResilience(r ResilienceConfig) {
 	r.Enabled = true
 	c.res = r.withDefaults()
-	c.pushPending = make(map[uint64]*pendingPush)
-	c.appliedPush = make(map[uint64]bool)
-	c.lastPushVer = make(map[memsys.Addr]uint64)
+	c.pushPending = make(map[uint64]*pendingPush) //dstore:allow-alloc chaos setup, once per run
+	c.appliedPush = make(map[uint64]bool)         //dstore:allow-alloc chaos setup, once per run
+	c.lastPushVer = make(map[memsys.Addr]uint64)  //dstore:allow-alloc chaos setup, once per run
 }
 
 // SetFailureHandler routes fatal protocol failures (push retry

@@ -65,21 +65,14 @@ type Ctrl struct {
 	l1   *cache.Cache
 	l2   *cache.Cache
 	mshr *cache.MSHR
-	// ver tracks the data version of every resident L2 line (the
-	// functional oracle standing in for data values).
-	ver map[memsys.Addr]uint64
-	// wbBuf holds dirty evicted lines until the memory controller
-	// acknowledges their writeback; probes hitting it supply data from
-	// here, closing the eviction race.
-	wbBuf map[memsys.Addr]uint64
-	// wbStale marks wbBuf entries whose line has since been granted
-	// exclusively to another agent (the entry answered an invalidating
-	// probe): the writeback itself must still reach memory, but the
-	// buffered data is no longer current, so it must neither satisfy
-	// local loads nor supply later probes. Found by the model checker:
-	// without the mark, a load after the remote store returns the
+	// lines is the dense per-line protocol state: the resident data
+	// version plus the in-flight writeback buffer and its staleness
+	// mark (see lineState). The staleness mark was found by the model
+	// checker: without it, a load after a remote store returns the
 	// pre-store data.
-	wbStale map[memsys.Addr]bool
+	lines lineTab[lineState]
+	// wbCount tracks the number of lsWB entries (telemetry gauge).
+	wbCount int
 	// remotePending holds uncacheable direct-region loads awaiting
 	// data.
 	remotePending map[memsys.Addr][]*memsys.Request
@@ -135,9 +128,6 @@ func NewCtrl(engine *sim.Engine, cfg CtrlConfig, xbar interconnect.Network, mem 
 		mem:           mem,
 		l2:            cache.New(cfg.L2),
 		mshr:          cache.NewMSHR(cfg.MSHRs),
-		ver:           make(map[memsys.Addr]uint64),
-		wbBuf:         make(map[memsys.Addr]uint64),
-		wbStale:       make(map[memsys.Addr]bool),
 		remotePending: make(map[memsys.Addr][]*memsys.Request),
 		counters:      stats.NewSet(),
 	}
@@ -174,7 +164,7 @@ func (c *Ctrl) L1Cache() *cache.Cache { return c.l1 }
 
 // WBBufLen returns the number of in-flight buffered writebacks
 // (telemetry gauge).
-func (c *Ctrl) WBBufLen() int { return len(c.wbBuf) }
+func (c *Ctrl) WBBufLen() int { return c.wbCount }
 
 // MSHRInUse returns the number of allocated MSHR entries (telemetry
 // gauge).
@@ -190,7 +180,7 @@ func (c *Ctrl) State(a memsys.Addr) State {
 }
 
 // Ver returns the resident version of a line, or 0 (test hook).
-func (c *Ctrl) Ver(a memsys.Addr) uint64 { return c.ver[memsys.LineAlign(a)] }
+func (c *Ctrl) Ver(a memsys.Addr) uint64 { return c.lines.at(memsys.LineAlign(a)).ver }
 
 // AttachDirectStore wires the CPU-side push path: the dedicated link
 // and the slice-routing function (paper §III-G).
@@ -259,7 +249,9 @@ func (c *Ctrl) Access(req *memsys.Request) {
 	}
 	start += c.stallTicks()
 	c.portFree = start + 1
-	c.engine.ScheduleAt(start, func() { c.process(req) })
+	pk := c.mem.pkt(pkProcess)
+	pk.c, pk.req = c, req
+	c.engine.ScheduleArgAt(start, runPkt, pk)
 }
 
 // process runs a newly submitted access against the arrays, counting
@@ -288,14 +280,14 @@ func (c *Ctrl) processReq(req *memsys.Request, quiet bool) {
 				_, hit = c.l1.Lookup(line)
 			}
 			if hit {
-				req.Ver = c.ver[line]
+				req.Ver = c.lines.at(line).ver
 				c.complete(req, c.cfg.L1HitLat)
 				return
 			}
 		}
 		if st, hit := lookupL2(line); hit && CanRead(st) {
 			c.fillL1(line)
-			req.Ver = c.ver[line]
+			req.Ver = c.lines.at(line).ver
 			c.complete(req, c.cfg.L1HitLat+c.cfg.L2HitLat)
 			return
 		}
@@ -328,7 +320,7 @@ func (c *Ctrl) processReq(req *memsys.Request, quiet bool) {
 // localWrite commits a store that already has MM permission.
 func (c *Ctrl) localWrite(line memsys.Addr, req *memsys.Request) {
 	c.l2.SetDirty(line, true)
-	c.ver[line] = req.Ver
+	c.lines.at(line).ver = req.Ver
 	if c.l1 != nil && c.l1.Contains(line) {
 		c.l1.SetDirty(line, true)
 	}
@@ -345,12 +337,21 @@ func (c *Ctrl) fillL1(line memsys.Addr) {
 }
 
 func (c *Ctrl) complete(req *memsys.Request, lat sim.Tick) {
-	c.engine.Schedule(lat, func() { req.Complete(c.engine.Now()) })
+	c.engine.ScheduleArg(lat, completeReq, req)
+}
+
+// sendReq ships a request message to the memory controller over the
+// shared network via a pooled packet.
+func (c *Ctrl) sendReq(msg ReqMsg, size int) {
+	c.obsSend(msg)
+	pk := c.mem.pkt(pkRecvReq)
+	pk.rmsg = msg
+	c.xbar.SendArg(c.name, c.mem.Name(), size, runPkt, pk)
 }
 
 // missPath sends the demand miss into the protocol.
 func (c *Ctrl) missPath(req *memsys.Request, line memsys.Addr, wantX bool) {
-	if ver, ok := c.wbBuf[line]; ok && !wantX && !c.wbStale[line] {
+	if ls := c.lines.at(line); ls.flags&lsWB != 0 && !wantX && ls.flags&lsWBStale == 0 {
 		// The line is in our own writeback buffer (dirty eviction or
 		// overflowed push still in flight to memory): loads are served
 		// locally — we are still the data source until memory
@@ -361,7 +362,7 @@ func (c *Ctrl) missPath(req *memsys.Request, line memsys.Addr, wantX bool) {
 		// violation found by the model checker). Stale entries (the
 		// line was since granted exclusively elsewhere) fall through
 		// for loads too.
-		req.Ver = ver
+		req.Ver = ls.wbVer
 		c.complete(req, c.cfg.L2HitLat)
 		return
 	}
@@ -384,11 +385,7 @@ func (c *Ctrl) missPath(req *memsys.Request, line memsys.Addr, wantX bool) {
 	if wantX {
 		rtype = GETX
 	}
-	msg := ReqMsg{Type: rtype, Addr: line, From: c.name}
-	c.obsSend(msg)
-	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
-		c.mem.ReceiveRequest(msg)
-	})
+	c.sendReq(ReqMsg{Type: rtype, Addr: line, From: c.name}, interconnect.CtrlMsgBytes)
 	if c.cfg.OnDemandMiss != nil && req.Done != nil {
 		c.cfg.OnDemandMiss(line)
 	}
@@ -411,11 +408,7 @@ func (c *Ctrl) Prefetch(line memsys.Addr) {
 	}
 	e, _ := c.mshr.Allocate(line)
 	_ = e
-	msg := ReqMsg{Type: GETS, Addr: line, From: c.name}
-	c.obsSend(msg)
-	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
-		c.mem.ReceiveRequest(msg)
-	})
+	c.sendReq(ReqMsg{Type: GETS, Addr: line, From: c.name}, interconnect.CtrlMsgBytes)
 }
 
 // RemoteLoad submits an uncacheable load to the direct-store region
@@ -428,20 +421,21 @@ func (c *Ctrl) RemoteLoad(req *memsys.Request) {
 		start = c.portFree
 	}
 	c.portFree = start + 1
-	c.engine.ScheduleAt(start, func() {
-		line := memsys.LineAlign(req.Addr)
-		c.remoteLoads.Inc()
-		waiting := c.remotePending[line]
-		c.remotePending[line] = append(waiting, req)
-		if len(waiting) > 0 {
-			return // request already in flight
-		}
-		msg := ReqMsg{Type: RemoteLoad, Addr: line, From: c.name}
-		c.obsSend(msg)
-		c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
-			c.mem.ReceiveRequest(msg)
-		})
-	})
+	pk := c.mem.pkt(pkRemoteLoad)
+	pk.c, pk.req = c, req
+	c.engine.ScheduleArgAt(start, runPkt, pk)
+}
+
+// remoteLoadStart runs a remote load once its port slot arrives.
+func (c *Ctrl) remoteLoadStart(req *memsys.Request) {
+	line := memsys.LineAlign(req.Addr)
+	c.remoteLoads.Inc()
+	waiting := c.remotePending[line]
+	c.remotePending[line] = append(waiting, req)
+	if len(waiting) > 0 {
+		return // request already in flight
+	}
+	c.sendReq(ReqMsg{Type: RemoteLoad, Addr: line, From: c.name}, interconnect.CtrlMsgBytes)
 }
 
 // processDirectStore performs the remote-store transition of Fig. 3:
@@ -471,7 +465,7 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 			c.obsState(line, st, I)
 		}
 		c.l2.Invalidate(line)
-		delete(c.ver, line)
+		c.lines.at(line).ver = 0
 	}
 	target := c.pushTarget(line)
 	if target == nil {
@@ -491,15 +485,15 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 		c.sendResilientPush(p, req, target)
 		return
 	}
+	pk := c.mem.pkt(pkRecvPutx)
+	pk.c, pk.putx, pk.req = target, p, req
 	if c.cfg.DirectOverXbar {
 		// Ablation: no dedicated network — the push rides the shared
 		// coherence crossbar and contends with everything else.
 		if c.cfg.DirectGetx {
 			c.xbar.Send(c.name, target.name, interconnect.CtrlMsgBytes, nil)
 		}
-		c.xbar.Send(c.name, target.name, interconnect.DataMsgBytes, func(sim.Tick) {
-			target.ReceivePutx(p, req)
-		})
+		c.xbar.SendArg(c.name, target.name, interconnect.DataMsgBytes, runPkt, pk)
 		return
 	}
 	if c.cfg.DirectGetx {
@@ -508,9 +502,7 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 		// ahead of the PUTX.
 		c.directLink.Send(interconnect.CtrlMsgBytes, nil)
 	}
-	c.directLink.Send(interconnect.DataMsgBytes, func(sim.Tick) {
-		target.ReceivePutx(p, req)
-	})
+	c.directLink.SendArg(interconnect.DataMsgBytes, runPkt, pk)
 }
 
 // ReceivePutx installs a pushed line (GPU L2 slice side): the blue
@@ -540,11 +532,7 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 	if !pending && c.l2.SetFull(line) {
 		c.pushOverflow.Inc()
 		c.bufferWriteback(line, p.Ver)
-		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
-		c.obsSend(msg)
-		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
-			c.mem.ReceiveRequest(msg)
-		})
+		c.sendReq(ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}, interconnect.DataMsgBytes)
 		return
 	}
 	if pending {
@@ -558,11 +546,7 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 		c.installLine(line, st, dirty, p.Ver)
 		c.obs.PushInstalled(c.engine.Now(), line)
 		c.bufferWriteback(line, p.Ver)
-		msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}
-		c.obsSend(msg)
-		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
-			c.mem.ReceiveRequest(msg)
-		})
+		c.sendReq(ReqMsg{Type: WB, Addr: line, From: c.name, Ver: p.Ver}, interconnect.DataMsgBytes)
 		return
 	}
 	c.installLine(line, st, dirty, p.Ver)
@@ -572,7 +556,7 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 // installLine allocates a line, handling victim writeback.
 func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 	v, evicted := c.l2.Insert(line, st, dirty)
-	c.ver[line] = ver
+	c.lines.at(line).ver = ver
 	c.obsState(line, I, st)
 	if !evicted {
 		return
@@ -581,16 +565,13 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 	if c.l1 != nil {
 		c.l1.Invalidate(v.Addr)
 	}
-	vv := c.ver[v.Addr]
-	delete(c.ver, v.Addr)
+	vls := c.lines.at(v.Addr)
+	vv := vls.ver
+	vls.ver = 0
 	if v.Dirty {
 		c.bufferWriteback(v.Addr, vv)
 		c.wbSent.Inc()
-		msg := ReqMsg{Type: WB, Addr: v.Addr, From: c.name, Ver: vv}
-		c.obsSend(msg)
-		c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
-			c.mem.ReceiveRequest(msg)
-		})
+		c.sendReq(ReqMsg{Type: WB, Addr: v.Addr, From: c.name, Ver: vv}, interconnect.DataMsgBytes)
 	}
 }
 
@@ -600,9 +581,10 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 // second bypassed store), the commit notice of the older one must not
 // strip the line's probe protection.
 func (c *Ctrl) writebackDone(line memsys.Addr, ver uint64) {
-	if v, ok := c.wbBuf[line]; ok && v == ver {
-		delete(c.wbBuf, line)
-		delete(c.wbStale, line)
+	if ls := c.lines.at(line); ls.flags&lsWB != 0 && ls.wbVer == ver {
+		ls.flags = 0
+		ls.wbVer = 0
+		c.wbCount--
 	}
 }
 
@@ -610,31 +592,38 @@ func (c *Ctrl) writebackDone(line memsys.Addr, ver uint64) {
 // older entry (re-fetch and re-evict) also clears any staleness: the
 // new data is current again.
 func (c *Ctrl) bufferWriteback(line memsys.Addr, ver uint64) {
-	c.wbBuf[line] = ver
-	delete(c.wbStale, line)
+	ls := c.lines.at(line)
+	if ls.flags&lsWB == 0 {
+		c.wbCount++
+	}
+	ls.flags = lsWB
+	ls.wbVer = ver
 }
 
 // receiveProbe answers the memory controller's probe after the array
 // lookup delay, plus any injected controller stall.
 func (c *Ctrl) receiveProbe(p ProbeMsg) {
 	c.probesRecv.Inc()
-	c.engine.Schedule(c.cfg.L2HitLat+c.stallTicks(), func() { c.answerProbe(p) })
+	pk := c.mem.pkt(pkAnswerProbe)
+	pk.c, pk.probe = c, p
+	c.engine.ScheduleArg(c.cfg.L2HitLat+c.stallTicks(), runPkt, pk)
 }
 
 func (c *Ctrl) answerProbe(p ProbeMsg) {
 	line := p.Addr
 	ack := AckMsg{Addr: line, From: c.name}
 
-	if ver, ok := c.wbBuf[line]; ok && !c.wbStale[line] {
+	if ls := c.lines.at(line); ls.flags&lsWB != 0 && ls.flags&lsWBStale == 0 {
+		ver := ls.wbVer
 		st, _, hit := c.l2.Probe(line)
 		owned := hit && (st == MM || st == M || st == O)
-		if !owned || c.ver[line] < ver {
+		if !owned || ls.ver < ver {
 			// Dirty eviction still in flight: we remain the data source.
 			// An invalidating probe hands that role to the requester, so
 			// the entry goes stale: it must not supply anyone else (the
 			// new owner has newer data) nor satisfy local loads.
 			if p.Kind == PrbInv {
-				c.wbStale[line] = true
+				ls.flags |= lsWBStale
 			}
 			ack.HadData = true
 			ack.Dirty = true
@@ -662,7 +651,7 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 	if out.Data != NoData {
 		ack.HadData = true
 		ack.Dirty = DataDirty(out.Data, dirty)
-		ack.Ver = c.ver[line]
+		ack.Ver = c.lines.at(line).ver
 	}
 	switch {
 	case out.Next == st:
@@ -681,7 +670,7 @@ func (c *Ctrl) answerProbe(p ProbeMsg) {
 			c.l1.Invalidate(line)
 		}
 		c.l2.Invalidate(line)
-		delete(c.ver, line)
+		c.lines.at(line).ver = 0
 		c.obsState(line, st, I)
 	default:
 		c.l2.SetState(line, out.Next)
@@ -715,16 +704,16 @@ func (c *Ctrl) supplyToRequester(p ProbeMsg, ver uint64, dirty bool) {
 	if c.obs != nil {
 		c.obs.Msg(c.engine.Now(), c.obsID, obs.MsgData, p.Addr, c.obs.Component(requester))
 	}
-	c.xbar.Send(c.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
-		c.mem.peers[requester].receiveData(d)
-	})
+	pk := c.mem.pkt(pkRecvData)
+	pk.c, pk.data = c.mem.peers[requester], d
+	c.xbar.SendArg(c.name, requester, interconnect.DataMsgBytes, runPkt, pk)
 }
 
 func (c *Ctrl) sendAck(ack AckMsg) {
 	c.obs.Msg(c.engine.Now(), c.obsID, obs.MsgAck, ack.Addr, c.obsMem)
-	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
-		c.mem.ReceiveAck(ack)
-	})
+	pk := c.mem.pkt(pkRecvAck)
+	pk.ack = ack
+	c.xbar.SendArg(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, runPkt, pk)
 }
 
 // receiveData completes an outstanding miss (or remote load).
@@ -767,28 +756,27 @@ func (c *Ctrl) receiveData(d DataMsg) {
 	// upgrades; stores on a bypassed fill write through to memory.
 	fillVer := d.Ver
 	for _, w := range waiters {
-		w := w
 		st, _, ok := c.l2.Probe(line)
 		switch {
 		case w.Type == memsys.Load || w.Type == memsys.IFetch:
 			if ok {
-				w.Ver = c.ver[line]
+				w.Ver = c.lines.at(line).ver
 				c.fillL1(line)
 			} else {
 				w.Ver = fillVer
 			}
-			c.engine.Schedule(0, func() { w.Complete(c.engine.Now()) })
+			c.engine.ScheduleArg(0, completeReq, w)
 		case ok && (st == MM || st == M):
 			if st == M {
 				c.l2.SetState(line, MM)
 				c.obsState(line, M, MM)
 			}
 			c.l2.SetDirty(line, true)
-			c.ver[line] = w.Ver
+			c.lines.at(line).ver = w.Ver
 			if c.l1 != nil && c.l1.Contains(line) {
 				c.l1.SetDirty(line, true)
 			}
-			c.engine.Schedule(0, func() { w.Complete(c.engine.Now()) })
+			c.engine.ScheduleArg(0, completeReq, w)
 		case bypassed && grant == MM:
 			// Exclusive permission held but no copy installed: the
 			// store writes through to memory (nobody else caches the
@@ -799,15 +787,13 @@ func (c *Ctrl) receiveData(d DataMsg) {
 			// without the entry it would read stale DRAM.
 			fillVer = w.Ver
 			c.bufferWriteback(line, w.Ver)
-			msg := ReqMsg{Type: WB, Addr: line, From: c.name, Ver: w.Ver}
-			c.obsSend(msg)
-			c.xbar.Send(c.name, c.mem.Name(), interconnect.DataMsgBytes, func(sim.Tick) {
-				c.mem.ReceiveRequest(msg)
-			})
-			c.engine.Schedule(0, func() { w.Complete(c.engine.Now()) })
+			c.sendReq(ReqMsg{Type: WB, Addr: line, From: c.name, Ver: w.Ver}, interconnect.DataMsgBytes)
+			c.engine.ScheduleArg(0, completeReq, w)
 		default:
 			// Vanished line or insufficient grant: replay.
-			c.engine.Schedule(0, func() { c.processQuiet(w) })
+			pk := c.mem.pkt(pkProcessQuiet)
+			pk.c, pk.req = c, w
+			c.engine.ScheduleArg(0, runPkt, pk)
 		}
 	}
 	c.drainStalled()
@@ -815,9 +801,9 @@ func (c *Ctrl) receiveData(d DataMsg) {
 
 func (c *Ctrl) unblock(line memsys.Addr) {
 	c.obs.Msg(c.engine.Now(), c.obsID, obs.MsgUnblock, line, c.obsMem)
-	c.xbar.Send(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, func(sim.Tick) {
-		c.mem.ReceiveUnblock(line)
-	})
+	pk := c.mem.pkt(pkRecvUnblock)
+	pk.line = line
+	c.xbar.SendArg(c.name, c.mem.Name(), interconnect.CtrlMsgBytes, runPkt, pk)
 }
 
 // drainStalled releases stalled requests only while they can make
@@ -834,7 +820,8 @@ func (c *Ctrl) drainStalled() {
 			return
 		}
 		c.stalled = c.stalled[1:]
-		r := req
-		c.engine.Schedule(0, func() { c.processQuiet(r) })
+		pk := c.mem.pkt(pkProcessQuiet)
+		pk.c, pk.req = c, req
+		c.engine.ScheduleArg(0, runPkt, pk)
 	}
 }

@@ -18,7 +18,7 @@ import (
 // the simulator; a non-nil error means a protocol bug.
 func (m *MemCtrl) CheckInvariants(lines []memsys.Addr) error {
 	if !m.Idle() {
-		return fmt.Errorf("coherence: %d transactions still in flight\n%s", len(m.busy), m.TransactionDump())
+		return fmt.Errorf("coherence: %d transactions still in flight\n%s", m.busyCount, m.TransactionDump())
 	}
 	names := make([]string, 0, len(m.peers))
 	for name := range m.peers { //dstore:allow-maprange keys sorted below

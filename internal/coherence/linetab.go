@@ -1,0 +1,60 @@
+package coherence
+
+import "dstore/internal/memsys"
+
+// lineTab is a dense per-line table indexed by physical line number.
+// The page table allocates physical frames sequentially from zero, so
+// the line numbers a workload touches form a compact prefix and a flat
+// slice replaces the per-address hash maps on the protocol hot path:
+// a lookup is one bounds check and an index instead of a hash probe,
+// and steady state allocates nothing.
+//
+// The zero value of T must mean "absent" (version 0, no flags, nil
+// transaction): clearing an entry writes the zero value, exactly
+// mirroring the map-delete semantics it replaces.
+type lineTab[T any] struct{ v []T }
+
+// at returns the entry for a line, growing the table to cover it. The
+// returned pointer is invalidated by the next at() call on the same
+// table (growth reallocates), so callers must not hold it across one.
+func (t *lineTab[T]) at(line memsys.Addr) *T {
+	i := memsys.LineNum(line)
+	if i >= uint64(len(t.v)) {
+		t.grow(i)
+	}
+	return &t.v[i]
+}
+
+func (t *lineTab[T]) grow(i uint64) {
+	n := uint64(1024)
+	for n <= i {
+		n *= 2
+	}
+	nv := make([]T, n)
+	copy(nv, t.v)
+	t.v = nv
+}
+
+// lineState is a Ctrl's per-line protocol bookkeeping, packing what
+// used to live in three separate maps (ver, wbBuf, wbStale).
+type lineState struct {
+	// ver is the resident data version (the functional oracle standing
+	// in for data values); 0 means no version recorded.
+	ver uint64
+	// wbVer is the version of the in-flight buffered writeback, valid
+	// only while lsWB is set.
+	wbVer uint64
+	flags uint8
+}
+
+const (
+	// lsWB marks a dirty evicted line buffered until the memory
+	// controller acknowledges its writeback; probes hitting it supply
+	// data from the buffer, closing the eviction race.
+	lsWB uint8 = 1 << iota
+	// lsWBStale marks a buffered writeback whose line has since been
+	// granted exclusively to another agent: the writeback must still
+	// reach memory, but the buffered data must neither satisfy local
+	// loads nor supply later probes.
+	lsWBStale
+)

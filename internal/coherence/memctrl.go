@@ -2,7 +2,7 @@ package coherence
 
 import (
 	"fmt"
-	"sort"
+
 	"strings"
 
 	"dstore/internal/dram"
@@ -31,9 +31,17 @@ type MemCtrl struct {
 	// slice owning the address.
 	probeTargets func(addr memsys.Addr, requester string) []string
 
-	busy    map[memsys.Addr]*txn
-	queued  map[memsys.Addr][]ReqMsg
-	dramVer map[memsys.Addr]uint64
+	// busy and dramVer are dense per-line tables (see lineTab); queued
+	// stays a map — it only holds lines with a transaction collision.
+	busy      lineTab[*txn]
+	busyCount int
+	queued    map[memsys.Addr][]ReqMsg
+	dramVer   lineTab[uint64]
+
+	// pkts is the shared coherence packet pool (see pkt.go); txnPool
+	// recycles transactions.
+	pkts    []*pkt
+	txnPool []*txn
 
 	// regions, when non-nil, filters probes HSC-style (see
 	// RegionDirectory).
@@ -69,6 +77,10 @@ type txn struct {
 	started    sim.Tick
 	acksWanted int
 	acks       []AckMsg
+	// gen is bumped when the transaction is recycled, so a speculative
+	// DRAM read that outlives its transaction (pkDramDone) can detect
+	// that its txn pointer is stale and fizzle.
+	gen uint64
 	// Speculative-fetch bookkeeping: Hammer launches the DRAM read in
 	// parallel with the probes and discards it if an owner responds.
 	probesClean bool // all acks in, no owner
@@ -95,9 +107,7 @@ func NewMemCtrl(engine *sim.Engine, name string, xbar interconnect.Network, d *d
 		dram:         d,
 		peers:        make(map[string]*Ctrl),
 		probeTargets: probeTargets,
-		busy:         make(map[memsys.Addr]*txn),
 		queued:       make(map[memsys.Addr][]ReqMsg),
-		dramVer:      make(map[memsys.Addr]uint64),
 		counters:     stats.NewSet(),
 	}
 	m.requests = m.counters.Counter("requests")
@@ -137,7 +147,7 @@ func (m *MemCtrl) AttachObserver(o *obs.Observer) {
 
 // MemVer returns the version memory holds for a line (the oracle's view
 // of DRAM contents).
-func (m *MemCtrl) MemVer(a memsys.Addr) uint64 { return m.dramVer[memsys.LineAlign(a)] }
+func (m *MemCtrl) MemVer(a memsys.Addr) uint64 { return *m.dramVer.at(memsys.LineAlign(a)) }
 
 // ReceiveRequest is invoked when a request message arrives (the caller
 // has already paid the network delay).
@@ -155,32 +165,53 @@ func (m *MemCtrl) ReceiveRequest(req ReqMsg) {
 	}
 	line := memsys.LineAlign(req.Addr)
 	req.Addr = line
-	if m.busy[line] != nil {
+	if *m.busy.at(line) != nil {
 		m.queued[line] = append(m.queued[line], req)
 		return
 	}
 	m.start(req)
 }
 
+// newTxn draws a transaction from the pool; the generation survives
+// recycling (see txn.gen).
+func (m *MemCtrl) newTxn(req ReqMsg) *txn {
+	var t *txn
+	if n := len(m.txnPool); n > 0 {
+		t = m.txnPool[n-1]
+		m.txnPool = m.txnPool[:n-1]
+		t.req = req
+		t.started = m.engine.Now()
+		t.acksWanted = 0
+		t.acks = t.acks[:0]
+		t.probesClean, t.dramDone, t.dataSent, t.unblocked = false, false, false, false
+	} else {
+		t = &txn{req: req, started: m.engine.Now()}
+	}
+	return t
+}
+
+// specFetch launches the DRAM read racing the probes; the completion
+// packet pins the transaction generation so a read outliving its
+// transaction fizzles instead of corrupting the txn's successor.
+func (m *MemCtrl) specFetch(line memsys.Addr, t *txn) {
+	pk := m.pkt(pkDramDone)
+	pk.t, pk.gen = t, t.gen
+	m.dram.AccessArg(line, false, runPkt, pk)
+}
+
 func (m *MemCtrl) start(req ReqMsg) {
 	line := req.Addr
-	t := &txn{req: req, started: m.engine.Now()}
-	m.busy[line] = t
+	t := m.newTxn(req)
+	*m.busy.at(line) = t
+	m.busyCount++
 	m.armWatchdog()
 
 	if req.Type == WB {
 		m.wbs.Inc()
-		m.dramVer[line] = req.Ver
-		m.dram.Access(line, true, func(now sim.Tick) {
-			// Tell the writer its writeback committed so it can clear
-			// its writeback buffer, then move on.
-			m.xbar.Send(m.name, req.From, interconnect.CtrlMsgBytes, func(sim.Tick) {
-				if p := m.peers[req.From]; p != nil {
-					p.writebackDone(line, req.Ver)
-				}
-			})
-			m.finish(line)
-		})
+		*m.dramVer.at(line) = req.Ver
+		pk := m.pkt(pkWBDone)
+		pk.rmsg = req
+		m.dram.AccessArg(line, true, runPkt, pk)
 		return
 	}
 
@@ -191,13 +222,10 @@ func (m *MemCtrl) start(req ReqMsg) {
 	if len(targets) == 0 {
 		t.probesClean = true
 		if req.Type == GETX {
-			m.sendGrant(t, m.dramVer[line])
+			m.sendGrant(t, *m.dramVer.at(line))
 			return
 		}
-		m.dram.Access(line, false, func(sim.Tick) {
-			t.dramDone = true
-			m.maybeSendFromMemory(t)
-		})
+		m.specFetch(line, t)
 		return
 	}
 	t.acksWanted = len(targets)
@@ -209,21 +237,28 @@ func (m *MemCtrl) start(req ReqMsg) {
 		// Speculative memory fetch (the Opteron/Hammer hallmark): the
 		// DRAM read races the probes; an owner response wins and the
 		// memory data is dropped — bandwidth spent either way.
-		m.dram.Access(line, false, func(sim.Tick) {
-			t.dramDone = true
-			m.maybeSendFromMemory(t)
-		})
+		m.specFetch(line, t)
 	}
 	for _, tgt := range targets {
-		tgt := tgt
 		m.probes.Inc()
 		if m.obs != nil {
 			m.obs.Msg(m.engine.Now(), m.obsID, obs.MsgProbe, line, m.obs.Component(tgt))
 		}
-		m.xbar.Send(m.name, tgt, interconnect.CtrlMsgBytes, func(sim.Tick) {
-			m.peers[tgt].receiveProbe(ProbeMsg{Kind: kind, Addr: line, Requester: req.From})
-		})
+		pk := m.pkt(pkRecvProbe)
+		pk.c = m.peers[tgt]
+		pk.probe = ProbeMsg{Kind: kind, Addr: line, Requester: req.From}
+		m.xbar.SendArg(m.name, tgt, interconnect.CtrlMsgBytes, runPkt, pk)
 	}
+}
+
+// writebackCommitted fires when DRAM has committed a writeback: it
+// notifies the writer (so its writeback buffer entry clears) and closes
+// the transaction.
+func (m *MemCtrl) writebackCommitted(req ReqMsg) {
+	pk := m.pkt(pkWBCommit)
+	pk.rmsg = req
+	m.xbar.SendArg(m.name, req.From, interconnect.CtrlMsgBytes, runPkt, pk)
+	m.finish(req.Addr)
 }
 
 // maybeSendFromMemory forwards DRAM data once both the probes have come
@@ -234,7 +269,7 @@ func (m *MemCtrl) maybeSendFromMemory(t *txn) {
 	}
 	t.dataSent = true
 	m.fromDRAM.Inc()
-	m.sendData(t, m.dramVer[t.req.Addr])
+	m.sendData(t, *m.dramVer.at(t.req.Addr))
 }
 
 // ReceiveAck collects a probe acknowledgement. Hammer is 3-hop: an
@@ -242,7 +277,7 @@ func (m *MemCtrl) maybeSendFromMemory(t *txn) {
 // controller only sources DRAM when nobody owned the line.
 func (m *MemCtrl) ReceiveAck(a AckMsg) {
 	line := memsys.LineAlign(a.Addr)
-	t := m.busy[line]
+	t := *m.busy.at(line)
 	if t == nil {
 		panic(fmt.Sprintf("coherence: ack for idle line %#x", uint64(line)))
 	}
@@ -265,7 +300,7 @@ func (m *MemCtrl) ReceiveAck(a AckMsg) {
 		// write fully overwrites the line and a fetch-on-write would
 		// be wasted bandwidth (write-combining / WriteInvalidate
 		// semantics); the grant travels as a control message.
-		m.sendGrant(t, m.dramVer[t.req.Addr])
+		m.sendGrant(t, *m.dramVer.at(t.req.Addr))
 		return
 	}
 	m.maybeSendFromMemory(t)
@@ -278,9 +313,9 @@ func (m *MemCtrl) sendGrant(t *txn, ver uint64) {
 	if m.obs != nil {
 		m.obs.Msg(m.engine.Now(), m.obsID, obs.MsgGrant, d.Addr, m.obs.Component(requester))
 	}
-	m.xbar.Send(m.name, requester, interconnect.CtrlMsgBytes, func(sim.Tick) {
-		m.peers[requester].receiveData(d)
-	})
+	pk := m.pkt(pkRecvData)
+	pk.c, pk.data = m.peers[requester], d
+	m.xbar.SendArg(m.name, requester, interconnect.CtrlMsgBytes, runPkt, pk)
 }
 
 // anySharer reports whether a probe ack showed a surviving shared copy
@@ -308,16 +343,16 @@ func (m *MemCtrl) sendData(t *txn, ver uint64) {
 	if m.obs != nil {
 		m.obs.Msg(m.engine.Now(), m.obsID, obs.MsgData, d.Addr, m.obs.Component(requester))
 	}
-	m.xbar.Send(m.name, requester, interconnect.DataMsgBytes, func(sim.Tick) {
-		m.peers[requester].receiveData(d)
-	})
+	pk := m.pkt(pkRecvData)
+	pk.c, pk.data = m.peers[requester], d
+	m.xbar.SendArg(m.name, requester, interconnect.DataMsgBytes, runPkt, pk)
 }
 
 // ReceiveUnblock records the requester's completion notice and closes
 // the transaction once every expected ack has also arrived.
 func (m *MemCtrl) ReceiveUnblock(a memsys.Addr) {
 	line := memsys.LineAlign(a)
-	t := m.busy[line]
+	t := *m.busy.at(line)
 	if t == nil {
 		panic(fmt.Sprintf("coherence: unblock for idle line %#x", uint64(line)))
 	}
@@ -332,10 +367,17 @@ func (m *MemCtrl) maybeFinish(line memsys.Addr, t *txn) {
 }
 
 func (m *MemCtrl) finish(line memsys.Addr) {
-	if m.busy[line] == nil {
+	tp := m.busy.at(line)
+	t := *tp
+	if t == nil {
 		panic(fmt.Sprintf("coherence: finish on idle line %#x", uint64(line)))
 	}
-	delete(m.busy, line)
+	*tp = nil
+	m.busyCount--
+	// Invalidate any speculative-fetch packet still in flight for this
+	// transaction, then recycle it.
+	t.gen++
+	m.txnPool = append(m.txnPool, t)
 	if q := m.queued[line]; len(q) > 0 {
 		next := q[0]
 		if len(q) == 1 {
@@ -344,12 +386,14 @@ func (m *MemCtrl) finish(line memsys.Addr) {
 			m.queued[line] = q[1:]
 		}
 		// Start in a fresh event so completion cascades settle first.
-		m.engine.Schedule(0, func() { m.start(next) })
+		pk := m.pkt(pkStart)
+		pk.rmsg = next
+		m.engine.ScheduleArg(0, runPkt, pk)
 	}
 }
 
 // Idle reports whether no transaction is in flight (test hook).
-func (m *MemCtrl) Idle() bool { return len(m.busy) == 0 }
+func (m *MemCtrl) Idle() bool { return m.busyCount == 0 }
 
 // EnableWatchdog arms the per-transaction watchdog: every interval
 // ticks (while transactions are in flight) the controller scans its
@@ -370,7 +414,7 @@ func (m *MemCtrl) EnableWatchdog(interval, limit sim.Tick, onStuck func(error)) 
 }
 
 func (m *MemCtrl) armWatchdog() {
-	if m.wdInterval == 0 || m.wdArmed || m.wdTripped || len(m.busy) == 0 {
+	if m.wdInterval == 0 || m.wdArmed || m.wdTripped || m.busyCount == 0 {
 		return
 	}
 	m.wdArmed = true
@@ -379,12 +423,12 @@ func (m *MemCtrl) armWatchdog() {
 
 func (m *MemCtrl) watchdogScan() {
 	m.wdArmed = false
-	if m.wdTripped || len(m.busy) == 0 {
+	if m.wdTripped || m.busyCount == 0 {
 		return
 	}
 	now := m.engine.Now()
 	for _, line := range m.busyLines() {
-		t := m.busy[line]
+		t := *m.busy.at(line)
 		if age := now - t.started; age > m.wdLimit {
 			m.wdTripped = true
 			err := fmt.Errorf(
@@ -401,13 +445,15 @@ func (m *MemCtrl) watchdogScan() {
 }
 
 // busyLines returns the in-flight lines in address order, so every dump
-// and scan is deterministic.
+// and scan is deterministic. The dense table scans in ascending line
+// number, which IS address order — no sort needed.
 func (m *MemCtrl) busyLines() []memsys.Addr {
-	lines := make([]memsys.Addr, 0, len(m.busy))
-	for line := range m.busy { //dstore:allow-maprange keys sorted below
-		lines = append(lines, line)
+	lines := make([]memsys.Addr, 0, m.busyCount)
+	for i, t := range m.busy.v {
+		if t != nil {
+			lines = append(lines, memsys.Addr(uint64(i)<<memsys.LineShift))
+		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
 	return lines
 }
 
@@ -417,9 +463,9 @@ func (m *MemCtrl) busyLines() []memsys.Addr {
 func (m *MemCtrl) TransactionDump() string {
 	var b strings.Builder
 	now := m.engine.Now()
-	fmt.Fprintf(&b, "transaction dump at tick %d: %d in flight\n", now, len(m.busy))
+	fmt.Fprintf(&b, "transaction dump at tick %d: %d in flight\n", now, m.busyCount)
 	for _, line := range m.busyLines() {
-		t := m.busy[line]
+		t := *m.busy.at(line)
 		fmt.Fprintf(&b,
 			"  line %#x: %s from %s, age %d, acks %d/%d, probesClean=%v dramDone=%v dataSent=%v, %d queued\n",
 			uint64(line), t.req.Type, t.req.From, now-t.started, len(t.acks), t.acksWanted,

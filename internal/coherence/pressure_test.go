@@ -91,8 +91,8 @@ func TestWriteBufferDrainUnderPressure(t *testing.T) {
 	if wb := r.cpu.Counters().Get("writebacks_sent"); wb == 0 {
 		t.Error("no writebacks with 32 stores through a 4-line cache")
 	}
-	if len(r.cpu.wbBuf) != 0 {
-		t.Errorf("%d writebacks still buffered after quiesce", len(r.cpu.wbBuf))
+	if r.cpu.WBBufLen() != 0 {
+		t.Errorf("%d writebacks still buffered after quiesce", r.cpu.WBBufLen())
 	}
 	// The peer must observe every second-pass version, wherever the line
 	// ended up (CPU cache, in-flight writeback, or memory).
@@ -136,7 +136,7 @@ func TestProbeDuringWritebackStorm(t *testing.T) {
 			t.Errorf("line %d: observed version %d, want 0 or %d", i, v, 1+i)
 		}
 	}
-	if len(r.cpu.wbBuf) != 0 || len(r.gpu.wbBuf) != 0 {
+	if r.cpu.WBBufLen() != 0 || r.gpu.WBBufLen() != 0 {
 		t.Error("writeback buffers not drained after quiesce")
 	}
 	r.checkExclusivity(func() []memsys.Addr {

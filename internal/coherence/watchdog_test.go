@@ -11,11 +11,12 @@ import (
 // no protocol event will ever finish — the shape of a lost unblock or
 // dropped ack — and arms the scan loop.
 func wedge(r *rig, line memsys.Addr, ty ReqType, from string) {
-	r.mem.busy[line] = &txn{
+	*r.mem.busy.at(line) = &txn{
 		req:        ReqMsg{Type: ty, Addr: line, From: from},
 		started:    r.e.Now(),
 		acksWanted: 1,
 	}
+	r.mem.busyCount++
 	r.mem.armWatchdog()
 }
 

@@ -101,6 +101,24 @@ type Core struct {
 
 	running bool
 
+	// In-order pipeline state: exactly one operation moves through
+	// step → issue → execute at a time, so the current op and its
+	// translation live in fields and the stage callbacks are created
+	// once (stepFn et al), keeping the issue path allocation-free.
+	curOp     Op
+	curPA     memsys.Addr
+	curDirect bool
+	stepFn    func()
+	fenceFn   func()
+	issueFn   func()
+	executeFn func()
+
+	// loadReq is the single reusable load request — loads block the
+	// core, so at most one is outstanding. Stores retire into the store
+	// buffer and draw pooled carriers from storePool.
+	loadReq   memsys.Request
+	storePool []*cpuStore
+
 	counters     *stats.Set
 	loads        *stats.Counter
 	storesC      *stats.Counter
@@ -124,6 +142,12 @@ func New(engine *sim.Engine, cfg Config, tlb *mmu.TLB, ctrl *coherence.Ctrl, ver
 		vers:     vers,
 		counters: stats.NewSet(),
 	}
+	c.stepFn = c.step
+	c.fenceFn = c.fence
+	c.issueFn = c.issue
+	c.executeFn = c.execute
+	c.loadReq.Type = memsys.Load
+	c.loadReq.Done = func(sim.Tick) { c.step() }
 	c.loads = c.counters.Counter("loads")
 	c.storesC = c.counters.Counter("stores")
 	c.remoteStores = c.counters.Counter("remote_stores")
@@ -162,6 +186,26 @@ func (c *Core) Run(stream OpStream, done func()) {
 	c.engine.Schedule(0, c.step)
 }
 
+// cpuStore carries one store-buffer entry from issue to coherence
+// completion. Pooled per core; the Done callback is created once per
+// object.
+type cpuStore struct {
+	c   *Core
+	req memsys.Request
+}
+
+// done retires a store-buffer entry and recycles its carrier.
+func (s *cpuStore) done(now sim.Tick) {
+	c := s.c
+	c.obs.Latency(now, c.obsID, obs.HistCPUStoreLat, s.req.Addr, now-s.req.Issued)
+	c.sbInFlight--
+	c.storePool = append(c.storePool, s)
+	if c.sbWaiting && c.sbInFlight == 0 {
+		c.sbWaiting = false
+		c.finishWhenDrained()
+	}
+}
+
 // step fetches and executes the next operation.
 func (c *Core) step() {
 	op, ok := c.stream.Next()
@@ -170,53 +214,56 @@ func (c *Core) step() {
 		return
 	}
 	if op.Fence {
-		c.engine.Schedule(op.Gap, func() { c.fence() })
+		c.engine.Schedule(op.Gap, c.fenceFn)
 		return
 	}
-	c.engine.Schedule(op.Gap, func() { c.issue(op) })
+	c.curOp = op
+	c.engine.Schedule(op.Gap, c.issueFn)
 }
 
 // fence stalls until the store buffer drains, then proceeds.
 func (c *Core) fence() {
 	if c.sbInFlight > 0 {
 		c.fences.Inc()
-		c.engine.Schedule(1, c.fence)
+		c.engine.Schedule(1, c.fenceFn)
 		return
 	}
 	c.step()
 }
 
-func (c *Core) issue(op Op) {
-	pa, lat, direct, err := c.tlb.Translate(op.Addr)
+func (c *Core) issue() {
+	pa, lat, direct, err := c.tlb.Translate(c.curOp.Addr)
 	if err != nil {
 		panic(fmt.Sprintf("cpu %s: translation failed: %v", c.cfg.Name, err))
 	}
-	c.engine.Schedule(lat, func() { c.execute(op, pa, direct) })
+	c.curPA, c.curDirect = pa, direct
+	c.engine.Schedule(lat, c.executeFn)
 }
 
-// execute runs op against the hierarchy using the physical address pa;
-// the whole memory system below the TLBs operates on physical
+// execute runs the current op against the hierarchy using its physical
+// address; the whole memory system below the TLBs operates on physical
 // addresses.
-func (c *Core) execute(op Op, pa memsys.Addr, direct bool) {
+func (c *Core) execute() {
+	op, pa, direct := c.curOp, c.curPA, c.curDirect
 	switch op.Type {
 	case memsys.Load:
+		// Loads block the core, so the single reusable request is free.
+		c.loadReq.Addr = pa
+		c.loadReq.Issued = c.engine.Now()
+		c.loadReq.Ver = 0
 		if direct {
 			// Uncacheable read from the GPU-homed region.
 			c.remoteLoadsC.Inc()
-			req := &memsys.Request{Type: memsys.Load, Addr: pa, Issued: c.engine.Now(),
-				Done: func(sim.Tick) { c.step() }}
-			c.ctrl.RemoteLoad(req)
+			c.ctrl.RemoteLoad(&c.loadReq)
 			return
 		}
 		c.loads.Inc()
-		req := &memsys.Request{Type: memsys.Load, Addr: pa, Issued: c.engine.Now(),
-			Done: func(sim.Tick) { c.step() }}
-		c.ctrl.Access(req)
+		c.ctrl.Access(&c.loadReq)
 	case memsys.Store:
 		if c.sbInFlight >= c.cfg.StoreBufferEntries {
 			// Store buffer full: retry each tick until a slot frees.
 			c.sbStallTicks.Inc()
-			c.engine.Schedule(1, func() { c.execute(op, pa, direct) })
+			c.engine.Schedule(1, c.executeFn)
 			return
 		}
 		c.sbInFlight++
@@ -228,19 +275,19 @@ func (c *Core) execute(op Op, pa memsys.Addr, direct bool) {
 		} else {
 			c.storesC.Inc()
 		}
-		issued := c.engine.Now()
-		req := &memsys.Request{Type: ty, Addr: pa, Ver: ver, Issued: issued,
-			Done: func(now sim.Tick) {
-				c.obs.Latency(now, c.obsID, obs.HistCPUStoreLat, pa, now-issued)
-				c.sbInFlight--
-				if c.sbWaiting && c.sbInFlight == 0 {
-					c.sbWaiting = false
-					c.finishWhenDrained()
-				}
-			}}
-		c.ctrl.Access(req)
+		var s *cpuStore
+		if n := len(c.storePool); n > 0 {
+			s = c.storePool[n-1]
+			c.storePool = c.storePool[:n-1]
+		} else {
+			s = &cpuStore{c: c}
+			s.req.Done = s.done
+		}
+		s.req.Type, s.req.Addr, s.req.Ver = ty, pa, ver
+		s.req.Issued = c.engine.Now()
+		c.ctrl.Access(&s.req)
 		// Stores retire immediately; the next instruction proceeds.
-		c.engine.Schedule(1, c.step)
+		c.engine.Schedule(1, c.stepFn)
 	default:
 		panic(fmt.Sprintf("cpu %s: unsupported op type %v", c.cfg.Name, op.Type))
 	}

@@ -121,20 +121,34 @@ func (d *DRAM) mapAddr(a memsys.Addr) (channel, bankIdx int, row uint64) {
 	return
 }
 
+// callDone adapts a plain completion closure to the (fn, arg) form used
+// internally; boxing a func value allocates nothing.
+func callDone(arg any, now sim.Tick) { arg.(func(sim.Tick))(now) }
+
 // Access schedules a line read or write and invokes done when the data
 // burst completes. Under the simple scheduler the returned tick is the
 // completion time; under FR-FCFS the request is queued and the return
 // value is 0 (completion arrives via done).
 func (d *DRAM) Access(a memsys.Addr, write bool, done func(now sim.Tick)) sim.Tick {
+	if done == nil {
+		return d.AccessArg(a, write, nil, nil)
+	}
+	return d.AccessArg(a, write, callDone, done)
+}
+
+// AccessArg is the allocation-free variant of Access: fn(arg, finish)
+// fires when the burst completes, so hot callers can pass a static
+// function plus a pooled argument instead of a fresh closure.
+func (d *DRAM) AccessArg(a memsys.Addr, write bool, fn func(arg any, now sim.Tick), arg any) sim.Tick {
 	if d.sched != nil {
-		d.sched.enqueue(a, write, done)
+		d.sched.enqueue(a, write, fn, arg)
 		return 0
 	}
-	return d.serviceNow(a, write, done)
+	return d.serviceNow(a, write, fn, arg)
 }
 
 // serviceNow runs a request against the bank/bus timing immediately.
-func (d *DRAM) serviceNow(a memsys.Addr, write bool, done func(now sim.Tick)) sim.Tick {
+func (d *DRAM) serviceNow(a memsys.Addr, write bool, fn func(arg any, now sim.Tick), arg any) sim.Tick {
 	channel, bankIdx, row := d.mapAddr(a)
 	b := &d.banks[bankIdx]
 	now := d.engine.Now()
@@ -176,8 +190,8 @@ func (d *DRAM) serviceNow(a memsys.Addr, write bool, done func(now sim.Tick)) si
 	}
 	d.totalLat.Add(uint64(finish - now))
 
-	if done != nil {
-		d.engine.ScheduleAt(finish, func() { done(finish) })
+	if fn != nil {
+		d.engine.ScheduleArgAt(finish, fn, arg)
 	}
 	return finish
 }

@@ -27,7 +27,8 @@ type queued struct {
 	write   bool
 	arrival sim.Tick
 	seq     uint64
-	done    func(sim.Tick)
+	fn      func(arg any, now sim.Tick)
+	arg     any
 }
 
 // frfcfs implements the queued scheduler over the same bank/bus timing
@@ -52,9 +53,9 @@ const (
 )
 
 // enqueue admits a request and kicks the scheduler.
-func (f *frfcfs) enqueue(a memsys.Addr, write bool, done func(sim.Tick)) {
+func (f *frfcfs) enqueue(a memsys.Addr, write bool, fn func(arg any, now sim.Tick), arg any) {
 	f.seq++
-	q := queued{addr: a, write: write, arrival: f.d.engine.Now(), seq: f.seq, done: done}
+	q := queued{addr: a, write: write, arrival: f.d.engine.Now(), seq: f.seq, fn: fn, arg: arg}
 	if write {
 		f.writes = append(f.writes, q)
 	} else {
@@ -139,7 +140,7 @@ func (f *frfcfs) service() {
 
 	r := (*q)[best]
 	*q = append((*q)[:best], (*q)[best+1:]...)
-	f.d.serviceNow(r.addr, r.write, r.done)
+	f.d.serviceNow(r.addr, r.write, r.fn, r.arg)
 	// Keep issuing while something may be ready this tick.
 	f.kick()
 }

@@ -135,18 +135,68 @@ type sm struct {
 	g              *GPU
 	id             int
 	l1             *cache.Cache
-	mshr           *cache.MSHR
 	issueFree      sim.Tick
 	queue          []*warpCtx
 	active         int
 	storesInFlight int
+
+	// fills is the SM's L1 MSHR file: one entry per outstanding miss,
+	// linear-scanned (MSHRsPerSM is single digits). Entries and the
+	// in-flight load/store carriers below are drawn from per-SM pools so
+	// the steady-state memory path allocates nothing.
+	fills     []*fill
+	fillPool  []*fill
+	loadPool  []*loadReq
+	storePool []*storeReq
 }
 
 type warpCtx struct {
-	s            *sm
+	s *sm
+	// g duplicates s.g: exec is the hottest event in the simulator and
+	// the double pointer chase through a cold sm was measurable.
+	g            *GPU
 	ops          []WarpOp
 	pc           int
 	pendingLines int
+}
+
+// loadReq carries one line of a global load from TLB translation to the
+// L1 lookup (and through MSHR-full retries). Pooled per SM.
+type loadReq struct {
+	s    *sm
+	w    *warpCtx
+	line memsys.Addr
+}
+
+// fill is one outstanding L1 miss: the memory request sent to the L2
+// slice plus the warps waiting on the line. The request's Done callback
+// is created once, when the fill enters its pool, and reused for the
+// object's lifetime.
+type fill struct {
+	s       *sm
+	line    memsys.Addr
+	waiters []*warpCtx
+	req     memsys.Request
+}
+
+// storeReq carries one line of a write-through global store. Pooled per
+// SM; the Done callback is created once per object.
+type storeReq struct {
+	s   *sm
+	req memsys.Request
+}
+
+// Static event trampolines: scheduling these with a pooled or pinned
+// argument allocates nothing (pointer-shaped args box for free).
+func stepWarp(arg any, _ sim.Tick)     { arg.(*warpCtx).step() }
+func execWarp(arg any, _ sim.Tick)     { w := arg.(*warpCtx); w.exec(&w.ops[w.pc-1]) }
+func lineDoneWarp(arg any, _ sim.Tick) { arg.(*warpCtx).lineDone() }
+func loadLookup(arg any, _ sim.Tick)   { lr := arg.(*loadReq); lr.s.lookupLoad(lr, false) }
+func loadRetry(arg any, _ sim.Tick)    { lr := arg.(*loadReq); lr.s.lookupLoad(lr, true) }
+func storeLaunch(arg any, now sim.Tick) {
+	sr := arg.(*storeReq)
+	sr.req.Issued = now
+	sr.s.g.sliceFor(sr.req.Addr).Access(&sr.req)
 }
 
 // New builds a GPU. sliceFor must route any physical address to one of
@@ -177,10 +227,9 @@ func New(engine *sim.Engine, cfg Config, tlb *mmu.TLB, vers *cpu.VersionSource,
 		l1cfg := cfg.L1
 		l1cfg.Name = fmt.Sprintf("%s.sm%d.l1", cfg.Name, i)
 		g.sms = append(g.sms, &sm{
-			g:    g,
-			id:   i,
-			l1:   cache.New(l1cfg),
-			mshr: cache.NewMSHR(cfg.MSHRsPerSM),
+			g:  g,
+			id: i,
+			l1: cache.New(l1cfg),
 		})
 	}
 	g.kernels = g.counters.Counter("kernel_launches")
@@ -219,7 +268,7 @@ func (g *GPU) AttachObserver(o *obs.Observer) {
 func (g *GPU) MSHRInUse() int {
 	n := 0
 	for _, s := range g.sms {
-		n += s.mshr.Len()
+		n += len(s.fills)
 	}
 	return n
 }
@@ -258,10 +307,14 @@ func (g *GPU) Launch(k Kernel, done func()) {
 	for _, s := range g.sms {
 		g.flashed.Add(uint64(s.l1.InvalidateAll()))
 	}
+	// One contiguous arena for the kernel's warp contexts: warps step
+	// interleaved, so dense layout keeps the hot pc/pendingLines words
+	// of neighbouring warps on shared cache lines.
+	ctxs := make([]warpCtx, len(k.Warps))
 	for i := range k.Warps {
 		s := g.sms[i%len(g.sms)]
-		w := &warpCtx{s: s, ops: k.Warps[i].Ops}
-		s.queue = append(s.queue, w)
+		ctxs[i] = warpCtx{s: s, g: g, ops: k.Warps[i].Ops}
+		s.queue = append(s.queue, &ctxs[i])
 	}
 	for _, s := range g.sms {
 		s.fillActive()
@@ -286,17 +339,18 @@ func (s *sm) fillActive() {
 		w := s.queue[0]
 		s.queue = s.queue[1:]
 		s.active++
-		s.g.engine.Schedule(0, w.step)
+		s.g.engine.ScheduleArg(0, stepWarp, w)
 	}
 }
 
-// step advances a warp to its next operation.
+// step advances a warp to its next operation. The scheduled exec event
+// re-reads the operation from w.ops[w.pc-1], so no per-op closure is
+// needed; pc does not move again until the operation completes.
 func (w *warpCtx) step() {
 	if w.pc >= len(w.ops) {
 		w.done()
 		return
 	}
-	op := w.ops[w.pc]
 	w.pc++
 	s := w.s
 	now := s.g.engine.Now()
@@ -305,17 +359,17 @@ func (w *warpCtx) step() {
 		slot = s.issueFree
 	}
 	s.issueFree = slot + s.g.cfg.IssueInterval
-	s.g.engine.ScheduleAt(slot, func() { w.exec(op) })
+	s.g.engine.ScheduleArgAt(slot, execWarp, w)
 }
 
-func (w *warpCtx) exec(op WarpOp) {
-	g := w.s.g
+func (w *warpCtx) exec(op *WarpOp) {
+	g := w.g
 	switch op.Kind {
 	case OpCompute:
-		g.engine.Schedule(op.Gap, w.step)
+		g.engine.ScheduleArg(op.Gap, stepWarp, w)
 	case OpShared:
 		g.sharedOps.Inc()
-		g.engine.Schedule(g.cfg.SharedLat, w.step)
+		g.engine.ScheduleArg(g.cfg.SharedLat, stepWarp, w)
 	case OpGlobalLoad:
 		lines := op.Lines
 		if lines < 1 {
@@ -333,7 +387,8 @@ func (w *warpCtx) exec(op WarpOp) {
 	case OpGlobalStore:
 		if w.s.storesInFlight >= g.cfg.MaxStoresPerSM {
 			// Store pipeline full: the warp stalls until a slot frees.
-			g.engine.Schedule(g.cfg.MSHRRetry, func() { w.exec(op) })
+			// pc already points past op, so the retry re-executes it.
+			g.engine.ScheduleArg(g.cfg.MSHRRetry, execWarp, w)
 			return
 		}
 		lines := op.Lines
@@ -345,7 +400,7 @@ func (w *warpCtx) exec(op WarpOp) {
 			w.s.issueStore(op.Addr + memsys.Addr(i)*memsys.LineSize)
 		}
 		// Write-through stores do not block the warp once accepted.
-		g.engine.Schedule(g.cfg.IssueInterval, w.step)
+		g.engine.ScheduleArg(g.cfg.IssueInterval, stepWarp, w)
 	default:
 		panic(fmt.Sprintf("gpu: unknown warp op kind %d", op.Kind))
 	}
@@ -379,8 +434,7 @@ func (g *GPU) checkBarrierRelease() {
 	ws := g.barrierWaiters
 	g.barrierWaiters = nil
 	for _, w := range ws {
-		w := w
-		g.engine.Schedule(1, w.step)
+		g.engine.ScheduleArg(1, stepWarp, w)
 	}
 }
 
@@ -404,15 +458,26 @@ func (s *sm) serveLoad(w *warpCtx, va memsys.Addr) {
 	if err != nil {
 		panic(fmt.Sprintf("gpu %s: translation failed: %v", g.cfg.Name, err))
 	}
-	line := memsys.LineAlign(pa)
-	g.engine.Schedule(tlbLat, func() { s.lookupLoad(w, line, false) })
+	var lr *loadReq
+	if n := len(s.loadPool); n > 0 {
+		lr = s.loadPool[n-1]
+		s.loadPool = s.loadPool[:n-1]
+	} else {
+		lr = &loadReq{}
+	}
+	lr.s, lr.w, lr.line = s, w, memsys.LineAlign(pa)
+	g.engine.ScheduleArg(tlbLat, loadLookup, lr)
 }
 
 // lookupLoad runs one line through the L1. retry marks an access that
 // was already counted and then stalled on a full MSHR file — retries
-// refresh replacement state but stay invisible to the statistics.
-func (s *sm) lookupLoad(w *warpCtx, line memsys.Addr, retry bool) {
+// refresh replacement state but stay invisible to the statistics. The
+// loadReq returns to its pool as soon as the line's fate is settled
+// (hit, merged, or handed to a fill); a stalled miss keeps it for the
+// retry.
+func (s *sm) lookupLoad(lr *loadReq, retry bool) {
 	g := s.g
+	w, line := lr.w, lr.line
 	var hit bool
 	if retry {
 		_, hit = s.l1.Touch(line)
@@ -420,34 +485,59 @@ func (s *sm) lookupLoad(w *warpCtx, line memsys.Addr, retry bool) {
 		_, hit = s.l1.Lookup(line)
 	}
 	if hit {
+		s.loadPool = append(s.loadPool, lr)
 		g.obs.Latency(g.engine.Now(), g.obsID, obs.HistGPULoadLat, line, g.cfg.L1HitLat)
-		g.engine.Schedule(g.cfg.L1HitLat, w.lineDone)
+		g.engine.ScheduleArg(g.cfg.L1HitLat, lineDoneWarp, w)
 		return
 	}
-	if e, ok := s.mshr.Lookup(line); ok {
-		e.Waiters = append(e.Waiters, &memsys.Request{Type: memsys.Load, Addr: line,
-			Done: func(sim.Tick) { w.lineDone() }})
-		return
+	for _, f := range s.fills {
+		if f.line == line {
+			s.loadPool = append(s.loadPool, lr)
+			f.waiters = append(f.waiters, w)
+			return
+		}
 	}
-	if s.mshr.Full() {
+	if len(s.fills) >= g.cfg.MSHRsPerSM {
 		g.mshrStalls.Inc()
-		g.engine.Schedule(g.cfg.MSHRRetry, func() { s.lookupLoad(w, line, true) })
+		g.engine.ScheduleArg(g.cfg.MSHRRetry, loadRetry, lr)
 		return
 	}
-	e, _ := s.mshr.Allocate(line)
-	e.Waiters = append(e.Waiters, &memsys.Request{Type: memsys.Load, Addr: line,
-		Done: func(sim.Tick) { w.lineDone() }})
-	issued := g.engine.Now()
-	fill := &memsys.Request{Type: memsys.Load, Addr: line, Issued: issued,
-		Done: func(now sim.Tick) {
-			g.obs.Latency(now, g.obsID, obs.HistGPULoadLat, line, now-issued)
-			s.l1.Insert(line, 1, false)
-			waiters := s.mshr.Free(line)
-			for _, wr := range waiters {
-				wr.Complete(g.engine.Now())
-			}
-		}}
-	g.sliceFor(line).Access(fill)
+	s.loadPool = append(s.loadPool, lr)
+	var f *fill
+	if n := len(s.fillPool); n > 0 {
+		f = s.fillPool[n-1]
+		s.fillPool = s.fillPool[:n-1]
+	} else {
+		f = &fill{s: s}
+		f.req.Done = f.done
+	}
+	f.line = line
+	f.waiters = append(f.waiters[:0], w)
+	f.req.Type, f.req.Addr, f.req.Ver = memsys.Load, line, 0
+	f.req.Issued = g.engine.Now()
+	s.fills = append(s.fills, f)
+	g.sliceFor(line).Access(&f.req)
+}
+
+// done retires an outstanding miss: the line is installed, the MSHR
+// entry freed before the waiters resume (matching the allocate path's
+// view of a full file), and the fill recycled.
+func (f *fill) done(now sim.Tick) {
+	s := f.s
+	g := s.g
+	g.obs.Latency(now, g.obsID, obs.HistGPULoadLat, f.line, now-f.req.Issued)
+	s.l1.Insert(f.line, 1, false)
+	for i, x := range s.fills {
+		if x == f {
+			s.fills = append(s.fills[:i], s.fills[i+1:]...)
+			break
+		}
+	}
+	for _, w := range f.waiters {
+		w.lineDone()
+	}
+	f.waiters = f.waiters[:0]
+	s.fillPool = append(s.fillPool, f)
 }
 
 // issueStore sends one line of a global store through the write-through
@@ -463,16 +553,27 @@ func (s *sm) issueStore(va memsys.Addr) {
 	g.outstandingStores++
 	s.storesInFlight++
 	ver := g.vers.Next()
-	g.engine.Schedule(tlbLat, func() {
-		// Write-through, write-no-allocate L1: a resident copy is
-		// freshened in place (no state change — data is not modelled),
-		// an absent line is not allocated.
-		req := &memsys.Request{Type: memsys.Store, Addr: line, Ver: ver, Issued: g.engine.Now(),
-			Done: func(sim.Tick) {
-				g.outstandingStores--
-				s.storesInFlight--
-				g.checkKernelDone()
-			}}
-		g.sliceFor(line).Access(req)
-	})
+	// Write-through, write-no-allocate L1: a resident copy is freshened
+	// in place (no state change — data is not modelled), an absent line
+	// is not allocated.
+	var sr *storeReq
+	if n := len(s.storePool); n > 0 {
+		sr = s.storePool[n-1]
+		s.storePool = s.storePool[:n-1]
+	} else {
+		sr = &storeReq{s: s}
+		sr.req.Done = sr.done
+	}
+	sr.req.Type, sr.req.Addr, sr.req.Ver = memsys.Store, line, ver
+	g.engine.ScheduleArg(tlbLat, storeLaunch, sr)
+}
+
+// done retires a write-through store and recycles its carrier.
+func (sr *storeReq) done(sim.Tick) {
+	s := sr.s
+	g := s.g
+	g.outstandingStores--
+	s.storesInFlight--
+	s.storePool = append(s.storePool, sr)
+	g.checkKernelDone()
 }

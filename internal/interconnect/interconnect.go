@@ -33,6 +33,10 @@ type DirectPort interface {
 	// Send transmits size bytes and invokes deliver at arrival,
 	// returning the arrival tick.
 	Send(size int, deliver func(now sim.Tick)) sim.Tick
+	// SendArg is the allocation-free variant: fn(arg, arrival) fires at
+	// arrival. Hot senders pass a static function and a pooled argument
+	// instead of capturing state in a fresh closure per message.
+	SendArg(size int, fn func(arg any, now sim.Tick), arg any) sim.Tick
 	Counters() *stats.Set
 }
 
@@ -82,24 +86,39 @@ func serialisation(size, bytesPerTick int) sim.Tick {
 	return sim.Tick((size + bytesPerTick - 1) / bytesPerTick)
 }
 
-// Send transmits size bytes and invokes deliver at arrival. It returns
-// the arrival tick.
-func (l *Link) Send(size int, deliver func(now sim.Tick)) sim.Tick {
+// reserve books the serialisation slot for a message and returns its
+// arrival tick.
+func (l *Link) reserve(size int) sim.Tick {
 	if size <= 0 {
 		panic(fmt.Sprintf("interconnect %s: non-positive message size %d", l.name, size))
 	}
-	now := l.engine.Now()
-	start := now
+	start := l.engine.Now()
 	if l.nextFree > start {
 		start = l.nextFree
 	}
 	occ := serialisation(size, l.bytesPerTick)
 	l.nextFree = start + occ
-	arrival := start + occ + l.latency
 	l.messages.Inc()
 	l.bytes.Add(uint64(size))
+	return start + occ + l.latency
+}
+
+// Send transmits size bytes and invokes deliver at arrival. It returns
+// the arrival tick.
+func (l *Link) Send(size int, deliver func(now sim.Tick)) sim.Tick {
+	arrival := l.reserve(size)
 	if deliver != nil {
-		l.engine.ScheduleAt(arrival, func() { deliver(arrival) })
+		l.engine.ScheduleTickAt(arrival, deliver)
+	}
+	return arrival
+}
+
+// SendArg transmits size bytes and fires fn(arg, arrival) at arrival
+// without allocating a delivery closure.
+func (l *Link) SendArg(size int, fn func(arg any, now sim.Tick), arg any) sim.Tick {
+	arrival := l.reserve(size)
+	if fn != nil {
+		l.engine.ScheduleArgAt(arrival, fn, arg)
 	}
 	return arrival
 }
@@ -143,14 +162,13 @@ func (x *Crossbar) Name() string { return x.name }
 // Counters exposes messages/bytes counters.
 func (x *Crossbar) Counters() *stats.Set { return x.counters }
 
-// Send transmits size bytes from port src to port dst, invoking deliver
-// at arrival, and returns the arrival tick.
-func (x *Crossbar) Send(src, dst string, size int, deliver func(now sim.Tick)) sim.Tick {
+// reserve arbitrates the injection and ejection ports for a message and
+// returns its arrival tick.
+func (x *Crossbar) reserve(src, dst string, size int) sim.Tick {
 	if size <= 0 {
 		panic(fmt.Sprintf("interconnect %s: non-positive message size %d", x.name, size))
 	}
-	now := x.engine.Now()
-	start := now
+	start := x.engine.Now()
 	if t := x.inFree[src]; t > start {
 		start = t
 	}
@@ -161,11 +179,27 @@ func (x *Crossbar) Send(src, dst string, size int, deliver func(now sim.Tick)) s
 	busyUntil := start + occ
 	x.inFree[src] = busyUntil
 	x.outFree[dst] = busyUntil
-	arrival := busyUntil + x.latency
 	x.messages.Inc()
 	x.bytes.Add(uint64(size))
+	return busyUntil + x.latency
+}
+
+// Send transmits size bytes from port src to port dst, invoking deliver
+// at arrival, and returns the arrival tick.
+func (x *Crossbar) Send(src, dst string, size int, deliver func(now sim.Tick)) sim.Tick {
+	arrival := x.reserve(src, dst, size)
 	if deliver != nil {
-		x.engine.ScheduleAt(arrival, func() { deliver(arrival) })
+		x.engine.ScheduleTickAt(arrival, deliver)
+	}
+	return arrival
+}
+
+// SendArg transmits size bytes from src to dst and fires fn(arg,
+// arrival) at arrival without allocating a delivery closure.
+func (x *Crossbar) SendArg(src, dst string, size int, fn func(arg any, now sim.Tick), arg any) sim.Tick {
+	arrival := x.reserve(src, dst, size)
+	if fn != nil {
+		x.engine.ScheduleArgAt(arrival, fn, arg)
 	}
 	return arrival
 }

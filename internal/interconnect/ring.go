@@ -14,6 +14,10 @@ type Network interface {
 	// Send transmits size bytes from src to dst, invoking deliver at
 	// arrival, and returns the arrival tick.
 	Send(src, dst string, size int, deliver func(now sim.Tick)) sim.Tick
+	// SendArg is the allocation-free variant: fn(arg, arrival) fires at
+	// arrival, letting hot senders pass a static function plus a pooled
+	// argument instead of a fresh closure per message.
+	SendArg(src, dst string, size int, fn func(arg any, now sim.Tick), arg any) sim.Tick
 	Counters() *stats.Set
 	TotalBytes() uint64
 	TotalMessages() uint64
@@ -103,6 +107,26 @@ func (r *Ring) HopsBetween(src, dst string) int {
 
 // Send routes size bytes from src to dst the shorter way around.
 func (r *Ring) Send(src, dst string, size int, deliver func(now sim.Tick)) sim.Tick {
+	t := r.reserve(src, dst, size)
+	if deliver != nil {
+		r.engine.ScheduleTickAt(t, deliver)
+	}
+	return t
+}
+
+// SendArg routes size bytes from src to dst and fires fn(arg, arrival)
+// at arrival without allocating a delivery closure.
+func (r *Ring) SendArg(src, dst string, size int, fn func(arg any, now sim.Tick), arg any) sim.Tick {
+	t := r.reserve(src, dst, size)
+	if fn != nil {
+		r.engine.ScheduleArgAt(t, fn, arg)
+	}
+	return t
+}
+
+// reserve walks the path's directed links, booking each for the
+// message's serialisation time, and returns the arrival tick.
+func (r *Ring) reserve(src, dst string, size int) sim.Tick {
 	if size <= 0 {
 		panic(fmt.Sprintf("interconnect %s: non-positive message size %d", r.name, size))
 	}
@@ -147,8 +171,5 @@ func (r *Ring) Send(src, dst string, size int, deliver func(now sim.Tick)) sim.T
 	r.messages.Inc()
 	r.bytes.Add(uint64(size))
 	r.hops.Add(uint64(hopsLeft))
-	if deliver != nil {
-		r.engine.ScheduleAt(t, func() { deliver(t) })
-	}
 	return t
 }

@@ -1,0 +1,114 @@
+package interconnect
+
+import (
+	"sort"
+
+	"dstore/internal/sim"
+	"dstore/internal/snap"
+)
+
+// SnapshotTo serialises the link's serialisation cursor and counters.
+func (l *Link) SnapshotTo(w *snap.Writer) {
+	w.Tag("link")
+	w.String(l.name)
+	w.I64(int64(l.nextFree))
+	l.counters.SnapshotTo(w)
+}
+
+// RestoreFrom overwrites the link's state from a snapshot.
+func (l *Link) RestoreFrom(r *snap.Reader) {
+	r.Tag("link")
+	if name := r.String(); r.Err() == nil && name != l.name {
+		r.Failf("interconnect %s: snapshot of link %q", l.name, name)
+	}
+	if r.Err() != nil {
+		return
+	}
+	l.nextFree = sim.Tick(r.I64())
+	l.counters.RestoreFrom(r)
+}
+
+// snapshotPortMap serialises a port→free-time map with sorted keys so
+// the stream is deterministic.
+func snapshotPortMap(w *snap.Writer, m map[string]sim.Tick) {
+	keys := make([]string, 0, len(m))
+	for k := range m { //dstore:allow-maprange keys sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.I64(int64(m[k]))
+	}
+}
+
+func restorePortMap(r *snap.Reader, m map[string]sim.Tick) {
+	for k := range m { //dstore:allow-maprange keys sorted below
+		delete(m, k)
+	}
+	n := r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		k := r.String()
+		t := sim.Tick(r.I64())
+		if r.Err() == nil {
+			m[k] = t
+		}
+	}
+}
+
+// SnapshotTo serialises per-port arbitration state and counters.
+func (x *Crossbar) SnapshotTo(w *snap.Writer) {
+	w.Tag("xbar")
+	w.String(x.name)
+	snapshotPortMap(w, x.inFree)
+	snapshotPortMap(w, x.outFree)
+	x.counters.SnapshotTo(w)
+}
+
+// RestoreFrom overwrites the crossbar's state from a snapshot.
+func (x *Crossbar) RestoreFrom(r *snap.Reader) {
+	r.Tag("xbar")
+	if name := r.String(); r.Err() == nil && name != x.name {
+		r.Failf("interconnect %s: snapshot of crossbar %q", x.name, name)
+	}
+	if r.Err() != nil {
+		return
+	}
+	restorePortMap(r, x.inFree)
+	restorePortMap(r, x.outFree)
+	x.counters.RestoreFrom(r)
+}
+
+// SnapshotTo serialises per-directed-link arbitration state and
+// counters.
+func (g *Ring) SnapshotTo(w *snap.Writer) {
+	w.Tag("ring")
+	w.String(g.name)
+	w.U32(uint32(len(g.nodes)))
+	for i := range g.nodes {
+		w.I64(int64(g.cwFree[i]))
+		w.I64(int64(g.ccwFree[i]))
+	}
+	g.counters.SnapshotTo(w)
+}
+
+// RestoreFrom overwrites the ring's state from a snapshot taken on a
+// ring with the same node count.
+func (g *Ring) RestoreFrom(r *snap.Reader) {
+	r.Tag("ring")
+	if name := r.String(); r.Err() == nil && name != g.name {
+		r.Failf("interconnect %s: snapshot of ring %q", g.name, name)
+	}
+	if n := r.U32(); r.Err() == nil && int(n) != len(g.nodes) {
+		r.Failf("interconnect %s: snapshot has %d nodes, ring has %d", g.name, n, len(g.nodes))
+	}
+	if r.Err() != nil {
+		return
+	}
+	for i := range g.nodes {
+		g.cwFree[i] = sim.Tick(r.I64())
+		g.ccwFree[i] = sim.Tick(r.I64())
+	}
+	g.counters.RestoreFrom(r)
+}

@@ -97,7 +97,12 @@ type TLB struct {
 	cfg     Config
 	pt      *PageTable
 	entries []tlbEntry
-	clock   uint64
+	// index maps vpn → slot in entries, mirroring the linear contents:
+	// a 256-entry fully associative file is too big to scan per
+	// translation. Replacement decisions still use the used stamps, so
+	// hit/miss/eviction behaviour is unchanged.
+	index map[uint64]int32
+	clock uint64
 
 	counters *stats.Set
 	hits     *stats.Counter
@@ -113,7 +118,7 @@ func NewTLB(pt *PageTable, cfg Config) *TLB {
 	if cfg.DirectLimit < cfg.DirectBase {
 		panic(fmt.Sprintf("mmu %s: inverted direct-store range", cfg.Name))
 	}
-	t := &TLB{cfg: cfg, pt: pt, counters: stats.NewSet()}
+	t := &TLB{cfg: cfg, pt: pt, index: make(map[uint64]int32, cfg.Entries), counters: stats.NewSet()}
 	t.hits = t.counters.Counter("hits")
 	t.misses = t.counters.Counter("misses")
 	t.directs = t.counters.Counter("direct_detected")
@@ -131,10 +136,8 @@ func (t *TLB) IsDirect(va memsys.Addr) bool {
 }
 
 func (t *TLB) find(vpn uint64) int {
-	for i := range t.entries {
-		if t.entries[i].vpn == vpn {
-			return i
-		}
+	if i, ok := t.index[vpn]; ok {
+		return int(i)
 	}
 	return -1
 }
@@ -163,6 +166,7 @@ func (t *TLB) Translate(va memsys.Addr) (pa memsys.Addr, lat sim.Tick, direct bo
 	e := tlbEntry{vpn: vpn, pfn: uint64(pa) >> PageShift, used: t.clock}
 	if len(t.entries) < t.cfg.Entries {
 		t.entries = append(t.entries, e)
+		t.index[vpn] = int32(len(t.entries) - 1)
 	} else {
 		victim := 0
 		for i := range t.entries {
@@ -170,7 +174,9 @@ func (t *TLB) Translate(va memsys.Addr) (pa memsys.Addr, lat sim.Tick, direct bo
 				victim = i
 			}
 		}
+		delete(t.index, t.entries[victim].vpn)
 		t.entries[victim] = e
+		t.index[vpn] = int32(victim)
 	}
 	return pa, t.cfg.HitLatency + t.cfg.WalkLatency, direct, nil
 }

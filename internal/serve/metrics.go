@@ -19,6 +19,10 @@ var metricDefs = []struct {
 	{"dstore_serve_cache_misses_total", "counter"},
 	{"dstore_serve_cache_evictions_total", "counter"},
 	{"dstore_serve_cache_entries", "gauge"},
+	{"dstore_serve_snapshot_hits_total", "counter"},
+	{"dstore_serve_snapshot_misses_total", "counter"},
+	{"dstore_serve_snapshot_evictions_total", "counter"},
+	{"dstore_serve_snapshot_entries", "gauge"},
 	{"dstore_serve_coalesced_total", "counter"},
 	{"dstore_serve_rejected_total", "counter"},
 	{"dstore_serve_jobs_executed_total", "counter"},
@@ -48,26 +52,35 @@ var histMetricIndex = map[string]int{
 // the full bucket breakdown is a /metrics-only rendering.
 func (s *Server) snapshot() *stats.Set {
 	hits, misses, evictions, size := s.cache.stats()
+	var snapHits, snapMisses, snapEvictions uint64
+	var snapSize int
+	if s.snaps != nil {
+		snapHits, snapMisses, snapEvictions, snapSize = s.snaps.stats()
+	}
 	hists := s.histSnapshot()
 	s.mu.Lock()
 	inflight := len(s.inflight)
 	s.mu.Unlock()
 	values := map[string]uint64{
-		"dstore_serve_cache_hits_total":      hits,
-		"dstore_serve_cache_misses_total":    misses,
-		"dstore_serve_cache_evictions_total": evictions,
-		"dstore_serve_cache_entries":         uint64(size),
-		"dstore_serve_coalesced_total":       s.coalesced.Load(),
-		"dstore_serve_rejected_total":        s.rejected.Load(),
-		"dstore_serve_jobs_executed_total":   s.executed.Load(),
-		"dstore_serve_jobs_failed_total":     s.failed.Load(),
-		"dstore_serve_jobs_cancelled_total":  s.cancelled.Load(),
-		"dstore_serve_jobs_panicked_total":   s.panicked.Load(),
-		"dstore_serve_inflight_jobs":         uint64(inflight),
-		"dstore_serve_queue_capacity":        uint64(s.opt.QueueDepth),
-		"dstore_chaos_faults_injected_total": s.chaosFaults.Load(),
-		"dstore_coherence_nacks_total":       s.chaosNacks.Load(),
-		"dstore_coherence_retries_total":     s.chaosRetries.Load(),
+		"dstore_serve_cache_hits_total":         hits,
+		"dstore_serve_cache_misses_total":       misses,
+		"dstore_serve_cache_evictions_total":    evictions,
+		"dstore_serve_cache_entries":            uint64(size),
+		"dstore_serve_snapshot_hits_total":      snapHits,
+		"dstore_serve_snapshot_misses_total":    snapMisses,
+		"dstore_serve_snapshot_evictions_total": snapEvictions,
+		"dstore_serve_snapshot_entries":         uint64(snapSize),
+		"dstore_serve_coalesced_total":          s.coalesced.Load(),
+		"dstore_serve_rejected_total":           s.rejected.Load(),
+		"dstore_serve_jobs_executed_total":      s.executed.Load(),
+		"dstore_serve_jobs_failed_total":        s.failed.Load(),
+		"dstore_serve_jobs_cancelled_total":     s.cancelled.Load(),
+		"dstore_serve_jobs_panicked_total":      s.panicked.Load(),
+		"dstore_serve_inflight_jobs":            uint64(inflight),
+		"dstore_serve_queue_capacity":           uint64(s.opt.QueueDepth),
+		"dstore_chaos_faults_injected_total":    s.chaosFaults.Load(),
+		"dstore_coherence_nacks_total":          s.chaosNacks.Load(),
+		"dstore_coherence_retries_total":        s.chaosRetries.Load(),
 	}
 	for name, idx := range histMetricIndex { //dstore:allow-maprange values land in a map keyed identically
 		values[name] = hists[idx].Count()

@@ -44,6 +44,12 @@ type Options struct {
 	// stress harness synchronously for soak testing. Off by default:
 	// chaos runs are expensive and not content-addressable.
 	EnableChaos bool
+	// SnapshotCacheEntries bounds the warm-prefix snapshot cache: jobs
+	// sharing a (benchmark, input, prefix-relevant config) warm-up
+	// phase restore the post-produce machine state instead of
+	// re-simulating it (bench.RunWithSnapshotContext). Zero means 64;
+	// negative disables prefix memoization entirely.
+	SnapshotCacheEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StallGuardEvents == 0 {
 		o.StallGuardEvents = 10_000_000
+	}
+	if o.SnapshotCacheEntries == 0 {
+		o.SnapshotCacheEntries = 64
 	}
 	return o
 }
@@ -95,6 +104,11 @@ type job struct {
 	// behind /metrics.
 	traceBody []byte
 	hists     []*obs.Histogram
+	// snapRestored records that the run resumed from a warm-prefix
+	// snapshot instead of simulating its produce phase (surfaced in
+	// the status response for observability; the Result is
+	// byte-identical either way).
+	snapRestored bool
 }
 
 // maxFailures bounds the recently-failed map; older failures fall off
@@ -112,7 +126,11 @@ type Server struct {
 	// traces holds Chrome trace bodies for Trace jobs, keyed like the
 	// result cache and bounded the same way.
 	traces *resultCache
-	runFn  func(ctx context.Context, j *job) ([]byte, error)
+	// snaps is the warm-prefix snapshot cache: serialized post-produce
+	// machine states keyed by bench.PrefixKey. Nil when disabled. Its
+	// hit counter is the cache-answered half of every memoizable run.
+	snaps *resultCache
+	runFn func(ctx context.Context, j *job) ([]byte, error)
 
 	// histMu guards aggHists, the server-lifetime latency histograms
 	// merged from every executed job (rendered by /metrics).
@@ -148,8 +166,16 @@ type Server struct {
 
 // New starts a server: opt.Workers goroutines draining the job queue.
 func New(opt Options) *Server {
-	return newServer(opt, runBench)
+	return newServer(opt, nil)
 }
+
+// snapStore adapts the server's snapshot cache to bench.SnapshotStore.
+// resultCache is already concurrency-safe and LRU-bounded, and its
+// hit/miss counters give the memoization rate for free.
+type snapStore struct{ c *resultCache }
+
+func (st snapStore) Get(key string) ([]byte, bool) { return st.c.get(key) }
+func (st snapStore) Put(key string, b []byte)      { st.c.put(key, b) }
 
 // runBench executes a job for real: one private system per run, the
 // canonical encoding as the stored body. Every run carries a histogram
@@ -157,10 +183,24 @@ func New(opt Options) *Server {
 // record the event ring and serialize it as a Chrome trace artifact.
 // Observation never changes a Result, so cached bodies stay
 // byte-identical to untraced runs.
-func runBench(ctx context.Context, j *job) ([]byte, error) {
+//
+// Eligible jobs run through the warm-prefix snapshot cache: the CPU
+// produce phase simulates once per (benchmark, input, prefix config)
+// and later jobs resume from its stored machine state, with Results
+// byte-identical to cold runs. Traced jobs bypass the cache (a
+// resumed run records no prefix events), as do chaos runs and
+// benchmarks without a CPU produce phase — bench.PrefixKey gates
+// those; histogram-only observation rides along either way, so
+// /metrics latency aggregates simply lack the skipped prefix samples.
+func (s *Server) runBench(ctx context.Context, j *job) ([]byte, error) {
 	o := obs.New(obs.Options{Trace: j.spec.Trace, Hist: true})
 	j.cfg.Obs = o
-	res, err := bench.RunWithConfigContext(ctx, j.spec.Bench, j.cfg, j.spec.input())
+	var store bench.SnapshotStore
+	if s.snaps != nil && !j.spec.Trace {
+		store = snapStore{s.snaps}
+	}
+	res, restored, err := bench.RunWithSnapshotContext(ctx, j.spec.Bench, j.cfg, j.spec.input(), store)
+	j.snapRestored = restored
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +231,12 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *
 		inflight: make(map[string]*job),
 		failures: make(map[string]*job),
 		queue:    make(chan *job, opt.QueueDepth),
+	}
+	if opt.SnapshotCacheEntries > 0 {
+		s.snaps = newResultCache(opt.SnapshotCacheEntries)
+	}
+	if s.runFn == nil {
+		s.runFn = s.runBench
 	}
 	for i := range s.aggHists {
 		s.aggHists[i] = obs.NewHistogram(obs.HistID(i).String())

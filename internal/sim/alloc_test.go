@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// TestRunDrainSteadyStateAllocs pins the engine's zero-allocation
+// steady state: after one fill-drain cycle has grown the node arena
+// and FIFO to the working-set size, further cycles — the shape of
+// every subsequent kernel wavefront in a run — must not allocate at
+// all. A regression here (a forgotten freelist release, an event
+// container that reallocates per tick) multiplies across the hundreds
+// of millions of events in a figure sweep.
+func TestRunDrainSteadyStateAllocs(t *testing.T) {
+	fn := func() {}
+	cycle := func(e *Engine) {
+		for j := 0; j < 4096; j++ {
+			e.Schedule(Tick(j%251), fn)
+		}
+		e.Run()
+	}
+	e := NewEngine()
+	cycle(e) // grow arena, FIFO and wheel to working-set size
+	if allocs := testing.AllocsPerRun(10, func() { cycle(e) }); allocs != 0 {
+		t.Fatalf("steady-state fill-drain cycle allocates %.1f times, want 0", allocs)
+	}
+
+	// The mixed shape too: zero-delay cascades interleaved with future
+	// scheduling, the coherence controller's pattern.
+	mixed := func(e *Engine) {
+		for j := 0; j < 512; j++ {
+			e.Schedule(Tick(j%31+1), fn)
+		}
+		for e.Step() {
+			if e.Executed()%7 == 0 {
+				e.Schedule(0, fn)
+			}
+		}
+	}
+	e2 := NewEngine()
+	mixed(e2)
+	if allocs := testing.AllocsPerRun(10, func() { mixed(e2) }); allocs != 0 {
+		t.Fatalf("steady-state mixed cycle allocates %.1f times, want 0", allocs)
+	}
+}

@@ -3,7 +3,7 @@
 // queue with deterministic ordering, and a reproducible random number
 // source.
 //
-// The engine is deliberately minimal. Components schedule closures at
+// The engine is deliberately minimal. Components schedule callbacks at
 // future ticks; the engine executes them in (tick, insertion-order)
 // order, so two events scheduled for the same tick always run in the
 // order they were scheduled. Determinism is a hard requirement: every
@@ -11,40 +11,91 @@
 // run-to-run.
 //
 // The event queue is the simulator's hottest code: a full figure sweep
-// executes hundreds of millions of events. It is split into two
-// structures, both allocation-free in steady state:
+// executes hundreds of millions of events. It is a three-level
+// structure, allocation-free in steady state:
 //
-//   - a concrete 4-ary min-heap over []event ordered by (when, seq),
-//     with no heap.Interface indirection and no interface boxing on the
-//     push/pop path;
 //   - a same-tick FIFO that absorbs events scheduled for the current
 //     tick (Schedule(0, fn) chains — the dominant pattern in the
-//     coherence controllers' message hops), so zero-delay cascades
-//     bypass the heap entirely.
+//     coherence controllers' message hops) and doubles as the staging
+//     area into which each new tick's events are migrated in bulk;
+//   - a timing wheel of wheelSize one-tick slots for events less than
+//     wheelSize ticks out (every cache, link, DRAM and pipeline latency
+//     in the simulator). Each slot is a linked list of nodes drawn from
+//     a single recycled arena, and an occupancy bitmap makes finding
+//     the next non-empty tick a handful of word scans. Push and pop are
+//     O(1) — no heap sift, which previously dominated full-sweep
+//     profiles;
+//   - a small 4-ary min-heap for the rare far-future event (watchdogs,
+//     coarse timeouts) at wheelSize or more ticks out.
 //
-// The split preserves (tick, insertion-order) semantics exactly: a heap
-// entry at the current tick was necessarily scheduled before the clock
-// reached that tick, so its sequence number is smaller than that of any
-// FIFO entry, and the heap is always drained of current-tick events
-// before the FIFO.
+// The split preserves (tick, insertion-order) semantics exactly. Within
+// a wheel slot, list order is insertion order. An overflow-heap event
+// at tick T was scheduled at least wheelSize ticks before T, hence
+// strictly earlier than any wheel-resident event for T (which was
+// scheduled under wheelSize ticks out), so migrating heap events before
+// slot events at each clock advance reproduces global (tick, seq)
+// order. The FIFO preserves insertion order trivially, and events
+// scheduled for the current tick always append after everything already
+// migrated, which is exactly the old two-structure engine's contract.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Tick is the simulation time unit. One tick is one CPU-domain clock
 // cycle throughout the simulator; slower clock domains (GPU, DRAM) are
 // modelled by scaling their per-operation latencies into CPU ticks.
 type Tick uint64
 
-// event is a scheduled closure. seq breaks ties between events scheduled
-// for the same tick, preserving insertion order.
+// wheelBits sets the timing-wheel span: events under wheelSize ticks
+// out go to the wheel, the rest to the overflow heap. 1024 ticks covers
+// every component latency in the simulator (DRAM ~200, TLB walk 40,
+// crossbar 16) with an order of magnitude to spare; only watchdog-style
+// timeouts overflow.
+const wheelBits = 10
+
+const (
+	wheelSize  = Tick(1) << wheelBits
+	wheelMask  = wheelSize - 1
+	wheelWords = int(wheelSize) / 64
+)
+
+// slotEvent is the callback form every event is stored in: a static
+// (or at least long-lived) function plus one argument word. The
+// convenience Schedule variants box closures or pointer-shaped values
+// into arg, which allocates nothing for pointers, funcs, or interfaces.
+type slotEvent struct {
+	fn  func(arg any, now Tick)
+	arg any
+}
+
+// node is one wheel-slot list entry, drawn from the engine's arena and
+// recycled through a freelist — slot storage never allocates in steady
+// state regardless of how events distribute over ticks.
+type node struct {
+	ev   slotEvent
+	next int32
+}
+
+// slotList is a wheel slot: an intrusive singly-linked list of arena
+// node indices in insertion order. -1 means empty.
+type slotList struct {
+	head, tail int32
+}
+
+// event is an overflow-heap entry. seq breaks ties between heap events
+// scheduled for the same tick, preserving insertion order; wheel and
+// FIFO entries need no explicit seq because their containers are
+// insertion-ordered.
 type event struct {
 	when Tick
 	seq  uint64
-	fn   func()
+	ev   slotEvent
 }
 
-// eventLess orders events by (when, seq).
+// eventLess orders overflow events by (when, seq).
 func eventLess(a, b event) bool {
 	if a.when != b.when {
 		return a.when < b.when
@@ -52,26 +103,46 @@ func eventLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
-// heapArity is the branching factor of the event heap. A 4-ary heap
-// halves the tree depth of a binary heap, trading slightly more sibling
-// comparisons per level for fewer cache-missing levels — the right
-// trade for the small (24-byte) event records stored inline.
+// heapArity is the branching factor of the overflow heap. A 4-ary heap
+// halves the tree depth of a binary heap; the overflow heap is small
+// (watchdog-scale, not wavefront-scale) so this barely matters, but it
+// costs nothing.
 const heapArity = 4
 
 // Engine is the discrete-event simulator. The zero value is not ready to
 // use; construct one with NewEngine.
 type Engine struct {
 	now Tick
-	// heap is a 4-ary min-heap by (when, seq) holding events strictly
-	// after the current tick, plus current-tick events scheduled before
-	// the clock reached it.
-	heap []event
-	// fifo holds events scheduled for the current tick while the clock
-	// is already at it. fifoHead indexes the next entry to run; the
-	// backing array is reset (not reallocated) whenever it drains.
-	fifo     []event
+
+	// fifo holds the current tick's run queue in execution order as
+	// node-arena indices: events migrated from the wheel/heap when the
+	// clock advanced here, followed by any Schedule(0, fn) appends made
+	// while executing. Storing indices instead of slotEvents keeps the
+	// queue pointer-free (no write barriers on append, nothing for the
+	// GC to scan) and migrates a wheel slot without copying its events.
+	// fifoHead indexes the next entry to run; the backing array is
+	// reset (not reallocated) whenever it drains.
+	fifo     []int32
 	fifoHead int
-	seq      uint64
+
+	// Timing wheel: slot i holds events for the unique pending tick
+	// congruent to i mod wheelSize (all wheel events are in
+	// (now, now+wheelSize), so the slot index determines the tick).
+	// bits is the slot-occupancy bitmap; wheelCount the total events
+	// wheel-resident.
+	slots      [wheelSize]slotList
+	bits       [wheelWords]uint64
+	wheelCount int
+
+	// Node arena backing the wheel slots, recycled via freeNode.
+	nodes    []node
+	freeNode int32
+
+	// heap is the 4-ary overflow min-heap by (when, seq) for events
+	// wheelSize or more ticks out. heapSeq orders same-tick entries.
+	heap    []event
+	heapSeq uint64
+
 	executed uint64
 
 	// Stall-guard state (SetStallGuard): guardLimit 0 disables the
@@ -82,20 +153,41 @@ type Engine struct {
 
 	// advanceHook, when non-nil, observes every clock advance
 	// (SetAdvanceHook). nil disables it at the cost of one predictable
-	// branch on the heap-pop path.
+	// branch per clock advance.
 	advanceHook func(prev, now Tick)
 }
 
+// initialNodes pre-sizes the node arena and FIFO at construction.
+// Growing from zero under a wavefront of schedules churns every
+// power-of-two doubling below the working set through the allocator
+// (the dominant byte count in the fill-drain profile); one engine
+// serves an entire simulation, so paying 1024 slots up front is noise
+// there and removes the churn everywhere. Steady state allocates
+// nothing regardless — nodes recycle through the freelist and the FIFO
+// backing array is reused across ticks (pinned by
+// TestRunDrainSteadyStateAllocs).
+const initialNodes = 1024
+
 // NewEngine returns an engine at tick zero with an empty event queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{
+		freeNode: -1,
+		fifo:     make([]int32, 0, initialNodes),
+		nodes:    make([]node, 0, initialNodes),
+	}
+	for i := range e.slots {
+		e.slots[i] = slotList{head: -1, tail: -1}
+	}
+	return e
 }
 
 // Now returns the current simulation tick.
 func (e *Engine) Now() Tick { return e.now }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoHead }
+func (e *Engine) Pending() int {
+	return (len(e.fifo) - e.fifoHead) + e.wheelCount + len(e.heap)
+}
 
 // Executed returns the total number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -124,84 +216,223 @@ func (e *Engine) SetStallGuard(limit uint64) {
 // internal/obs is the intended client: epoch boundaries fall on clock
 // advances, never on events of their own, so enabling telemetry cannot
 // perturb results. A nil fn removes the hook; a removed hook costs one
-// predictable branch on the heap-pop path and nothing on the same-tick
+// predictable branch per clock advance and nothing on the same-tick
 // FIFO path (the clock cannot advance there).
 func (e *Engine) SetAdvanceHook(fn func(prev, now Tick)) {
 	e.advanceHook = fn
 }
 
+// callFn runs a boxed func() event. Boxing a func value into any stores
+// its pointer directly — no allocation.
+func callFn(arg any, _ Tick) { arg.(func())() }
+
+// callTickFn runs a boxed func(Tick) event, passing the current tick —
+// the delivery-callback shape used by the interconnect, scheduled
+// without a wrapper closure.
+func callTickFn(arg any, now Tick) { arg.(func(Tick))(now) }
+
 // Schedule queues fn to run delay ticks from now. A delay of zero runs fn
 // later in the current tick, after all previously scheduled events for
 // this tick.
 func (e *Engine) Schedule(delay Tick, fn func()) {
-	e.ScheduleAt(e.now+delay, fn)
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	e.scheduleEvent(e.now+delay, slotEvent{fn: callFn, arg: fn})
 }
 
 // ScheduleAt queues fn to run at the absolute tick when. Scheduling in
 // the past panics: it would silently corrupt causality.
 func (e *Engine) ScheduleAt(when Tick, fn func()) {
-	if when < e.now {
-		panic(fmt.Sprintf("sim: schedule at tick %d but now is %d", when, e.now))
-	}
 	if fn == nil {
 		panic("sim: schedule nil event function")
 	}
-	e.seq++
+	e.scheduleEvent(when, slotEvent{fn: callFn, arg: fn})
+}
+
+// ScheduleTick queues fn to run delay ticks from now, passing the tick
+// at which it runs. Boxing fn allocates nothing, so this is the
+// allocation-free way to schedule an existing delivery callback that a
+// plain Schedule would have to wrap in a fresh closure.
+func (e *Engine) ScheduleTick(delay Tick, fn func(now Tick)) {
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	e.scheduleEvent(e.now+delay, slotEvent{fn: callTickFn, arg: fn})
+}
+
+// ScheduleTickAt is ScheduleTick at an absolute tick.
+func (e *Engine) ScheduleTickAt(when Tick, fn func(now Tick)) {
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	e.scheduleEvent(when, slotEvent{fn: callTickFn, arg: fn})
+}
+
+// ScheduleArg queues fn(arg, now) to run delay ticks from now. With a
+// static fn and a pointer-shaped arg (the pooled-message pattern in the
+// coherence layer) the whole schedule/dispatch path allocates nothing.
+func (e *Engine) ScheduleArg(delay Tick, fn func(arg any, now Tick), arg any) {
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	e.scheduleEvent(e.now+delay, slotEvent{fn: fn, arg: arg})
+}
+
+// ScheduleArgAt is ScheduleArg at an absolute tick.
+func (e *Engine) ScheduleArgAt(when Tick, fn func(arg any, now Tick), arg any) {
+	if fn == nil {
+		panic("sim: schedule nil event function")
+	}
+	e.scheduleEvent(when, slotEvent{fn: fn, arg: arg})
+}
+
+// scheduleEvent routes ev to the FIFO (current tick), wheel (near
+// future) or overflow heap (far future).
+func (e *Engine) scheduleEvent(when Tick, ev slotEvent) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at tick %d but now is %d", when, e.now))
+	}
 	if when == e.now {
-		// Current-tick fast path: every event already in the heap at
-		// this tick has a smaller seq, so appending preserves global
-		// (when, seq) order.
-		e.fifo = append(e.fifo, event{when: when, seq: e.seq, fn: fn})
+		// Current-tick fast path: everything already queued for this
+		// tick is ahead of us in the FIFO, so appending preserves
+		// global insertion order.
+		n := e.allocNode()
+		e.nodes[n] = node{ev: ev, next: -1}
+		e.fifo = append(e.fifo, n)
 		return
 	}
-	e.heapPush(event{when: when, seq: e.seq, fn: fn})
+	if when-e.now < wheelSize {
+		slot := int(when & wheelMask)
+		n := e.allocNode()
+		e.nodes[n] = node{ev: ev, next: -1}
+		if s := &e.slots[slot]; s.head < 0 {
+			s.head, s.tail = n, n
+			e.bits[slot>>6] |= 1 << uint(slot&63)
+		} else {
+			e.nodes[s.tail].next = n
+			s.tail = n
+		}
+		e.wheelCount++
+		return
+	}
+	e.heapSeq++
+	e.heapPush(event{when: when, seq: e.heapSeq, ev: ev})
+}
+
+// allocNode returns a free arena node index, growing the arena only
+// when the freelist is empty.
+func (e *Engine) allocNode() int32 {
+	if n := e.freeNode; n >= 0 {
+		e.freeNode = e.nodes[n].next
+		return n
+	}
+	e.nodes = append(e.nodes, node{})
+	return int32(len(e.nodes) - 1)
+}
+
+// nextAdvance reports the earliest tick holding a wheel or heap event.
+// The caller has drained the FIFO.
+func (e *Engine) nextAdvance() (Tick, bool) {
+	var best Tick
+	have := false
+	if e.wheelCount > 0 {
+		best = e.wheelNext()
+		have = true
+	}
+	if len(e.heap) > 0 && (!have || e.heap[0].when < best) {
+		best = e.heap[0].when
+		have = true
+	}
+	return best, have
+}
+
+// wheelNext returns the earliest pending tick on the wheel. The caller
+// has checked wheelCount > 0. All wheel events lie in
+// (now, now+wheelSize), so a circular bitmap scan starting after now's
+// slot finds the minimum.
+func (e *Engine) wheelNext() Tick {
+	start := int((e.now + 1) & wheelMask)
+	w := start >> 6
+	word := e.bits[w] &^ (1<<uint(start&63) - 1)
+	for {
+		if word != 0 {
+			slot := w<<6 + bits.TrailingZeros64(word)
+			when := (e.now &^ wheelMask) + Tick(slot)
+			if when <= e.now {
+				when += wheelSize
+			}
+			return when
+		}
+		w++
+		if w == wheelWords {
+			w = 0
+		}
+		word = e.bits[w]
+	}
+}
+
+// advanceTo moves the clock to when and migrates every event pending at
+// that tick into the FIFO in global insertion order: overflow-heap
+// entries first (scheduled at least wheelSize ticks early, hence before
+// any wheel entry for the same tick), then the wheel slot's list. The
+// caller has drained the FIFO and established that at least one event
+// is pending at when.
+func (e *Engine) advanceTo(when Tick) {
+	if e.advanceHook != nil {
+		e.advanceHook(e.now, when)
+	}
+	e.now = when
+	for len(e.heap) > 0 && e.heap[0].when == when {
+		n := e.allocNode()
+		e.nodes[n] = node{ev: e.heapPop().ev, next: -1}
+		e.fifo = append(e.fifo, n)
+	}
+	slot := int(when & wheelMask)
+	s := &e.slots[slot]
+	if s.head < 0 {
+		return
+	}
+	// Migrate the slot by index: the nodes stay in the arena (released
+	// one by one at fifoPop) and their events are never copied here.
+	for n := s.head; n >= 0; n = e.nodes[n].next {
+		e.fifo = append(e.fifo, n)
+		e.wheelCount--
+	}
+	s.head, s.tail = -1, -1
+	e.bits[slot>>6] &^= 1 << uint(slot&63)
 }
 
 // next reports the (when, ok) of the earliest pending event without
 // removing it.
 func (e *Engine) next() (Tick, bool) {
 	if e.fifoHead < len(e.fifo) {
-		// FIFO entries are always at the current tick; a heap entry at
-		// the same tick has a smaller seq and is found by Step anyway,
-		// so the earliest pending time is e.now either way.
 		return e.now, true
 	}
-	if len(e.heap) > 0 {
-		return e.heap[0].when, true
+	return e.nextAdvance()
+}
+
+// runOne executes ev as the next event at the current tick, updating
+// the executed counter and stall guard.
+func (e *Engine) runOne(ev slotEvent) {
+	e.executed++
+	if e.guardLimit != 0 {
+		e.checkStall()
 	}
-	return 0, false
+	ev.fn(ev.arg, e.now)
 }
 
 // Step executes the single next event, advancing the clock to its tick.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.fifoHead < len(e.fifo) {
-		// The FIFO front is at the current tick. It runs now unless the
-		// heap still holds a current-tick event, which was necessarily
-		// scheduled earlier (smaller seq).
-		if len(e.heap) == 0 || e.heap[0].when > e.now {
-			ev := e.fifoPop()
-			e.executed++
-			if e.guardLimit != 0 {
-				e.checkStall()
-			}
-			ev.fn()
-			return true
+	if e.fifoHead >= len(e.fifo) {
+		when, ok := e.nextAdvance()
+		if !ok {
+			return false
 		}
+		e.advanceTo(when)
 	}
-	if len(e.heap) == 0 {
-		return false
-	}
-	ev := e.heapPop()
-	if e.advanceHook != nil && ev.when != e.now {
-		e.advanceHook(e.now, ev.when)
-	}
-	e.now = ev.when
-	e.executed++
-	if e.guardLimit != 0 {
-		e.checkStall()
-	}
-	ev.fn()
+	e.runOne(e.fifoPop())
 	return true
 }
 
@@ -221,13 +452,22 @@ func (e *Engine) checkStall() {
 }
 
 // Run executes events until the queue is empty and returns the final
-// tick. A simulation that schedules events unconditionally from within
-// events will never terminate; components must stop rescheduling when
-// idle.
+// tick. The inner loop drains the current tick's FIFO batch without
+// touching the wheel or heap, amortizing dispatch over same-tick
+// cascades. A simulation that schedules events unconditionally from
+// within events will never terminate; components must stop rescheduling
+// when idle.
 func (e *Engine) Run() Tick {
-	for e.Step() {
+	for {
+		for e.fifoHead < len(e.fifo) {
+			e.runOne(e.fifoPop())
+		}
+		when, ok := e.nextAdvance()
+		if !ok {
+			return e.now
+		}
+		e.advanceTo(when)
 	}
-	return e.now
 }
 
 // stopCheckEvents is how many events RunInterruptible executes between
@@ -247,15 +487,29 @@ func (e *Engine) RunInterruptible(stop func() bool) (Tick, bool) {
 	if stop == nil {
 		return e.Run(), true
 	}
+	budget := stopCheckEvents
 	for {
-		for i := 0; i < stopCheckEvents; i++ {
-			if !e.Step() {
-				return e.now, true
+		for e.fifoHead < len(e.fifo) {
+			if budget == 0 {
+				if stop() {
+					return e.now, false
+				}
+				budget = stopCheckEvents
 			}
+			budget--
+			e.runOne(e.fifoPop())
 		}
-		if stop() {
-			return e.now, false
+		when, ok := e.nextAdvance()
+		if !ok {
+			return e.now, true
 		}
+		if budget == 0 {
+			if stop() {
+				return e.now, false
+			}
+			budget = stopCheckEvents
+		}
+		e.advanceTo(when)
 	}
 }
 
@@ -265,7 +519,10 @@ func (e *Engine) RunInterruptible(stop func() bool) (Tick, bool) {
 // beyond the limit remain queued.
 func (e *Engine) RunUntil(limit Tick) bool {
 	for {
-		when, ok := e.next()
+		for e.fifoHead < len(e.fifo) {
+			e.runOne(e.fifoPop())
+		}
+		when, ok := e.nextAdvance()
 		if !ok {
 			return true
 		}
@@ -273,7 +530,7 @@ func (e *Engine) RunUntil(limit Tick) bool {
 			e.now = limit
 			return false
 		}
-		e.Step()
+		e.advanceTo(when)
 	}
 }
 
@@ -283,11 +540,15 @@ func (e *Engine) RunFor(d Tick) bool {
 	return e.RunUntil(e.now + d)
 }
 
-// fifoPop removes and returns the FIFO front. The caller has checked it
-// is non-empty.
-func (e *Engine) fifoPop() event {
-	ev := e.fifo[e.fifoHead]
-	e.fifo[e.fifoHead] = event{} // release the closure for GC
+// fifoPop removes and returns the FIFO front, releasing its arena node.
+// The caller has checked it is non-empty.
+func (e *Engine) fifoPop() slotEvent {
+	n := e.fifo[e.fifoHead]
+	nd := &e.nodes[n]
+	ev := nd.ev
+	nd.ev = slotEvent{} // release callback and arg for GC
+	nd.next = e.freeNode
+	e.freeNode = n
 	e.fifoHead++
 	if e.fifoHead == len(e.fifo) {
 		e.fifo = e.fifo[:0]
@@ -296,7 +557,7 @@ func (e *Engine) fifoPop() event {
 	return ev
 }
 
-// heapPush inserts ev into the 4-ary heap.
+// heapPush inserts ev into the 4-ary overflow heap.
 func (e *Engine) heapPush(ev event) {
 	h := append(e.heap, ev)
 	i := len(h) - 1
@@ -318,7 +579,7 @@ func (e *Engine) heapPop() event {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = event{} // release the closure for GC
+	h[n] = event{} // release the callback for GC
 	h = h[:n]
 	e.heap = h
 	i := 0

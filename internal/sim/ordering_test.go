@@ -43,14 +43,14 @@ func (e *refEngine) Now() Tick { return e.now }
 
 func (e *refEngine) Schedule(delay Tick, fn func()) {
 	e.seq++
-	heap.Push(&e.events, event{when: e.now + delay, seq: e.seq, fn: fn})
+	heap.Push(&e.events, event{when: e.now + delay, seq: e.seq, ev: slotEvent{fn: callFn, arg: fn}})
 }
 
 func (e *refEngine) run() Tick {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(event)
 		e.now = ev.when
-		ev.fn()
+		ev.ev.fn(ev.ev.arg, e.now)
 	}
 	return e.now
 }
@@ -111,6 +111,57 @@ func TestEngineMatchesContainerHeapReference(t *testing.T) {
 		got, gotEnd := runScenario(eng, eng.Run, seed)
 		ref := &refEngine{}
 		want, wantEnd := runScenario(ref, ref.run, seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: engine ran %d events, reference ran %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at event %d: engine fired %+v, reference fired %+v",
+					seed, i, got[i], want[i])
+			}
+		}
+		if gotEnd != wantEnd {
+			t.Fatalf("seed %d: engine ended at tick %d, reference at %d", seed, gotEnd, wantEnd)
+		}
+	}
+}
+
+// TestEngineMatchesReferenceAcrossWheelBoundary drives schedules whose
+// delays straddle the timing-wheel span: same-tick chains, in-wheel
+// latencies, delays right at the wheelSize cliff, and far-future
+// overflow events that land on the same tick as wheel events. The
+// reference container/heap engine is the ordering oracle.
+func TestEngineMatchesReferenceAcrossWheelBoundary(t *testing.T) {
+	delays := []Tick{0, 1, 7, wheelSize - 1, wheelSize, wheelSize + 1, 3 * wheelSize, 0, wheelSize}
+	scenario := func(e scheduler, run func() Tick, seed uint64) ([]firing, Tick) {
+		r := NewRand(seed)
+		var trace []firing
+		nextID := 0
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			id := nextID
+			nextID++
+			return func() {
+				trace = append(trace, firing{id: id, tick: e.Now()})
+				if depth >= 3 {
+					return
+				}
+				for i, n := 0, r.Intn(3); i < n; i++ {
+					e.Schedule(delays[r.Intn(len(delays))], spawn(depth+1))
+				}
+			}
+		}
+		for i := 0; i < 48; i++ {
+			e.Schedule(delays[r.Intn(len(delays))]+Tick(r.Intn(5)), spawn(0))
+		}
+		end := run()
+		return trace, end
+	}
+	for seed := uint64(0); seed < 30; seed++ {
+		eng := NewEngine()
+		got, gotEnd := scenario(eng, eng.Run, seed)
+		ref := &refEngine{}
+		want, wantEnd := scenario(ref, ref.run, seed)
 		if len(got) != len(want) {
 			t.Fatalf("seed %d: engine ran %d events, reference ran %d", seed, len(got), len(want))
 		}

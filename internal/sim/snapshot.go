@@ -1,0 +1,52 @@
+package sim
+
+import "dstore/internal/snap"
+
+// SnapshotTo serialises the engine clock. Snapshots are only taken at
+// quiescent points — the event queue fully drained — so the entire
+// dynamic engine state reduces to the clock, the executed-event count
+// and the heap tiebreak sequence; the wheel, node arena and FIFO are
+// all empty by construction. A non-empty queue is unserialisable
+// (events are closures) and is reported as an error.
+func (e *Engine) SnapshotTo(w *snap.Writer) {
+	w.Tag("engine")
+	w.Bool(e.Pending() == 0)
+	w.I64(int64(e.now))
+	w.U64(e.executed)
+	w.U64(e.heapSeq)
+}
+
+// RestoreFrom loads the clock into an idle engine. The guard window
+// restarts at the restored clock; an engine with pending events
+// cannot be restored into.
+func (e *Engine) RestoreFrom(r *snap.Reader) {
+	r.Tag("engine")
+	if !r.Bool() {
+		r.Failf("sim: snapshot was taken with events pending")
+	}
+	now := Tick(r.I64())
+	executed := r.U64()
+	heapSeq := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	if e.Pending() != 0 {
+		r.Failf("sim: restore into an engine with %d pending events", e.Pending())
+		return
+	}
+	if now < e.now {
+		r.Failf("sim: restore would move the clock backwards (%d -> %d)", e.now, now)
+		return
+	}
+	e.now = now
+	e.executed = executed
+	e.heapSeq = heapSeq
+	e.guardTick = now
+	e.guardCount = 0
+}
+
+// State exposes the generator's raw state for snapshots.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the generator's raw state from a snapshot.
+func (r *Rand) SetState(s uint64) { r.state = s }

@@ -1,0 +1,95 @@
+package snap
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.Tag("hdr")
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.String("hello")
+	w.String("")
+	w.Tag("tail")
+
+	r := NewReader(w.Bytes())
+	r.Tag("hdr")
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatalf("Bool round-trip failed")
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	r.Tag("tail")
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	var w Writer
+	w.Tag("engine")
+	r := NewReader(w.Bytes())
+	r.Tag("dram")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), `"dram"`) {
+		t.Fatalf("want tag mismatch error, got %v", err)
+	}
+}
+
+func TestTruncatedSticky(t *testing.T) {
+	var w Writer
+	w.U32(5)
+	r := NewReader(w.Bytes())
+	r.U64() // truncated
+	if r.Err() == nil {
+		t.Fatal("want truncation error")
+	}
+	// Sticky: further reads return zero values, error is preserved.
+	first := r.Err()
+	if got := r.U64(); got != 0 {
+		t.Fatalf("post-error read = %d", got)
+	}
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	var w Writer
+	w.U64(1)
+	w.U8(9)
+	r := NewReader(w.Bytes())
+	r.U64()
+	if err := r.Done(); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("want invalid bool error")
+	}
+}

@@ -1,0 +1,32 @@
+package stats
+
+import "dstore/internal/snap"
+
+// SnapshotTo serialises every counter (name and value) in creation
+// order, which is deterministic for a given component construction
+// sequence.
+func (s *Set) SnapshotTo(w *snap.Writer) {
+	w.Tag("stats")
+	w.U32(uint32(len(s.names)))
+	for _, n := range s.names {
+		w.String(n)
+		w.U64(s.counters[n].Value())
+	}
+}
+
+// RestoreFrom overwrites counter values from a snapshot. Counters
+// absent from the set are created (preserving the snapshot's order
+// for any later Dump), so a restored set dumps identically to the
+// one that was snapshotted.
+func (s *Set) RestoreFrom(r *snap.Reader) {
+	r.Tag("stats")
+	n := r.U32()
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		name := r.String()
+		v := r.U64()
+		if r.Err() != nil {
+			return
+		}
+		s.Counter(name).n = v
+	}
+}
