@@ -5,7 +5,7 @@ GO ?= go
 # that use (sweep runner, serve daemon) or feed (event kernel)
 # concurrency, and the exhaustive small-config protocol model check.
 .PHONY: check
-check: vet lint build test race modelcheck trace-smoke
+check: vet lint build test race modelcheck trace-smoke fleet-smoke
 
 .PHONY: vet
 vet:
@@ -39,7 +39,7 @@ test:
 
 .PHONY: race
 race:
-	$(GO) test -race ./internal/bench ./internal/sim ./internal/serve ./internal/chaos ./internal/coherence
+	$(GO) test -race ./internal/bench ./internal/sim ./internal/serve ./internal/chaos ./internal/coherence ./internal/store ./internal/fleet
 
 # stress runs the seeded randomized coherence stress harness with the
 # heavy fault profile. Deterministic: the same SEED and PROFILE always
@@ -78,6 +78,14 @@ trace-smoke:
 .PHONY: serve-smoke
 serve-smoke:
 	$(GO) run ./cmd/dstore-serve -smoke
+
+# fleet-smoke boots an in-process fleet — two persistent dstore-serve
+# workers plus a dstore-coord coordinator — streams one sweep matrix
+# through it, SIGKILLs a worker, and asserts every job still answers
+# byte-identically via the hash ring's surviving replica.
+.PHONY: fleet-smoke
+fleet-smoke:
+	$(GO) run ./cmd/dstore-coord -smoke
 
 # bench regenerates the event-kernel microbenchmarks. Compare against
 # the committed baseline in BENCH_sim_engine.txt before merging engine

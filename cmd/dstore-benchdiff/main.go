@@ -4,17 +4,26 @@
 //
 // Usage:
 //
-//	dstore-benchdiff [-threshold 10] [-fail] OLD NEW
+//	dstore-benchdiff [-tolerance 10] [-fail] OLD NEW
 //
 // OLD is typically the committed BENCH_sim_engine.txt, NEW a fresh
 // `make bench` capture (`make bench-diff` wires the two together). For
 // every benchmark present in both files it prints old, new and delta
 // per metric, then a WARNING line for each metric that regressed by
-// more than the threshold. Timing metrics (ns/op) are warn-only by
+// more than the tolerance. Timing metrics (ns/op) are warn-only by
 // default — wall clock on a shared box is noisy — but -fail turns any
-// warning into exit status 1 for use as a hard CI gate. Allocation
+// warning into a failing exit for use as a hard CI gate. Allocation
 // metrics (B/op, allocs/op) are deterministic, so a regression there
 // is real however noisy the machine.
+//
+// Exit codes distinguish why the diff failed, so CI can route "the
+// code got slower" and "the baseline is broken" to different owners:
+//
+//	0  within tolerance (or regressions found without -fail)
+//	1  regression beyond tolerance with -fail set
+//	2  usage error
+//	3  a baseline file is missing, unparseable, carries duplicate
+//	   benchmark names, or the two files share no benchmarks
 package main
 
 import (
@@ -26,50 +35,51 @@ import (
 	"dstore/internal/benchfmt"
 )
 
+// Exit codes.
+const (
+	exitOK         = 0
+	exitRegression = 1
+	exitUsage      = 2
+	exitBadInput   = 3
+)
+
 // metrics are compared in this order when both sides carry them.
 var metrics = []string{"ns/op", "B/op", "allocs/op"}
 
-func parseFile(path string) map[string]benchfmt.Entry {
+// parseFile loads one baseline, requiring unique benchmark names — a
+// file with duplicates is ambiguous input, not a regression signal.
+func parseFile(path string) []benchfmt.Entry {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
 	}
 	defer f.Close()
-	es, err := benchfmt.Parse(f)
+	es, err := benchfmt.ParseUnique(f)
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}
-	m := make(map[string]benchfmt.Entry, len(es))
-	for _, e := range es {
-		if _, dup := m[e.Name]; dup {
-			fail(fmt.Errorf("%s: duplicate benchmark %s (merge runs before diffing)", path, e.Name))
-		}
-		m[e.Name] = e
-	}
-	return m
+	return es
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	tolerance := flag.Float64("tolerance", 10, "regression tolerance in percent")
+	threshold := flag.Float64("threshold", 0, "deprecated alias for -tolerance")
 	failOnRegress := flag.Bool("fail", false, "exit 1 on regression instead of warning")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dstore-benchdiff [-threshold PCT] [-fail] OLD NEW")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: dstore-benchdiff [-tolerance PCT] [-fail] OLD NEW")
+		os.Exit(exitUsage)
+	}
+	limit := *tolerance
+	if *threshold != 0 {
+		limit = *threshold
 	}
 	oldPath, newPath := flag.Arg(0), flag.Arg(1)
-	oldE := parseFile(oldPath)
-
-	// Re-parse NEW as a slice to keep its ordering for the report.
-	nf, err := os.Open(newPath)
-	if err != nil {
-		fail(err)
+	oldE := make(map[string]benchfmt.Entry)
+	for _, e := range parseFile(oldPath) {
+		oldE[e.Name] = e
 	}
-	newList, err := benchfmt.Parse(nf)
-	nf.Close()
-	if err != nil {
-		fail(fmt.Errorf("%s: %w", newPath, err))
-	}
+	newList := parseFile(newPath)
 
 	fmt.Printf("%-34s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	var warnings []string
@@ -89,10 +99,10 @@ func main() {
 			}
 			delta := deltaPct(ov, nv)
 			fmt.Printf("%-34s %-10s %14.4g %14.4g %+8.1f%%\n", ne.Name, unit, ov, nv, delta)
-			if delta > *threshold {
+			if delta > limit {
 				warnings = append(warnings, fmt.Sprintf(
-					"WARNING: %s %s regressed %+.1f%% (%.4g -> %.4g, threshold %.1f%%)",
-					ne.Name, unit, delta, ov, nv, *threshold))
+					"WARNING: %s %s regressed %+.1f%% (%.4g -> %.4g, tolerance %.1f%%)",
+					ne.Name, unit, delta, ov, nv, limit))
 			}
 		}
 	}
@@ -103,9 +113,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, w)
 	}
 	if len(warnings) == 0 {
-		fmt.Printf("bench-diff: %d benchmarks within %.1f%% of baseline\n", compared, *threshold)
+		fmt.Printf("bench-diff: %d benchmarks within %.1f%% of baseline\n", compared, limit)
 	} else if *failOnRegress {
-		os.Exit(1)
+		os.Exit(exitRegression)
 	}
 }
 
@@ -123,7 +133,9 @@ func deltaPct(ov, nv float64) float64 {
 	return (nv - ov) / ov * 100
 }
 
+// fail reports a broken input — missing file, parse error, duplicate
+// names, disjoint baselines — as exit 3, distinct from a regression.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "dstore-benchdiff:", err)
-	os.Exit(1)
+	os.Exit(exitBadInput)
 }

@@ -1,0 +1,315 @@
+// Command dstore-coord fronts a fleet of dstore-serve workers with
+// one coordinator: jobs are consistent-hashed across the fleet by
+// their content-addressed IDs (so every resubmission of a spec lands
+// on the worker whose caches already hold it), dead workers are
+// probed out and failed over, and batch sweeps fan a config matrix
+// out to the whole fleet with results streamed back as they land.
+//
+// Usage:
+//
+//	dstore-coord -workers http://h1:8080,http://h2:8080
+//	dstore-coord -addr 127.0.0.1:9000 -workers http://h1:8080
+//	dstore-coord -smoke       # boot 2 in-process workers, sweep,
+//	                          # kill one, verify failover; exit
+//
+// API:
+//
+//	POST /v1/runs             submit one job; answered synchronously
+//	GET  /v1/runs/{id}[/result|/trace]  proxied to the job's replicas
+//	POST /v1/workers          register {"url":"http://host:port"}
+//	GET  /v1/workers          fleet membership and health
+//	POST /v1/sweeps           config matrix -> streamed results (SSE
+//	                          with Accept: text/event-stream, NDJSON
+//	                          otherwise) + aggregate report
+//	GET  /v1/sweeps/{id}[/stream|/report]
+//	GET  /healthz /metrics /v1/stats
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dstore/internal/fleet"
+	"dstore/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address")
+		workers       = flag.String("workers", "", "comma-separated dstore-serve base URLs (more can register via POST /v1/workers)")
+		vnodes        = flag.Int("vnodes", 64, "hash-ring points per worker")
+		replicas      = flag.Int("replicas", 0, "max workers tried per job (0 = all)")
+		sweepWorkers  = flag.Int("sweep-workers", 16, "concurrent dispatches per sweep")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "worker health-probe period")
+		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "health-probe round bound")
+		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-call timeout to a worker")
+		pollInterval  = flag.Duration("poll-interval", 20*time.Millisecond, "status-poll period for accepted jobs")
+		jobDeadline   = flag.Duration("job-deadline", 5*time.Minute, "end-to-end bound per job including failover")
+		smoke         = flag.Bool("smoke", false, "boot an in-process fleet, sweep it, kill a worker, verify failover, exit")
+	)
+	flag.Parse()
+
+	opt := fleet.Options{
+		Vnodes:         *vnodes,
+		Replicas:       *replicas,
+		SweepWorkers:   *sweepWorkers,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		RequestTimeout: *reqTimeout,
+		PollInterval:   *pollInterval,
+		JobDeadline:    *jobDeadline,
+	}
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				opt.Workers = append(opt.Workers, w)
+			}
+		}
+	}
+
+	if *smoke {
+		if err := runSmoke(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	coord, err := fleet.New(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dstore-coord listening on %s (%d static workers)", ln.Addr(), len(opt.Workers))
+	hs := &http.Server{Handler: coord.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shCtx)
+	coord.Close()
+	log.Printf("bye")
+}
+
+// smokeWorker is one in-process dstore-serve node.
+type smokeWorker struct {
+	srv *serve.Server
+	hs  *http.Server
+	url string
+}
+
+func startSmokeWorker(dir string) (*smokeWorker, error) {
+	srv, err := serve.New(serve.Options{Workers: 2, StoreDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return &smokeWorker{srv: srv, hs: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (w *smokeWorker) kill() {
+	_ = w.hs.Close()
+	w.srv.Close()
+}
+
+// runSmoke exercises the fleet end to end in one process: two
+// persistent workers, a coordinator, a streamed sweep, then a worker
+// kill followed by resubmission of every sweep job — each must still
+// answer, byte-identical, via the surviving replica.
+func runSmoke(opt fleet.Options) error {
+	tmp, err := os.MkdirTemp("", "fleet-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	var ws [2]*smokeWorker
+	for i := range ws {
+		w, err := startSmokeWorker(fmt.Sprintf("%s/w%d", tmp, i))
+		if err != nil {
+			return err
+		}
+		defer w.kill()
+		ws[i] = w
+		opt.Workers = append(opt.Workers, w.url)
+	}
+	opt.ProbeInterval = 500 * time.Millisecond
+	opt.PollInterval = 5 * time.Millisecond
+	coord, err := fleet.New(opt)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	chs := httptestServer(coord.Handler())
+	defer chs.close()
+	base := chs.url
+	fmt.Printf("fleet-smoke: coordinator on %s, workers %s %s\n", base, ws[0].url, ws[1].url)
+
+	// One sweep: 3 benches x 2 prefetch depths = 6 jobs across the
+	// fleet, streamed back as NDJSON.
+	matrix := `{"bench":["MT","VA","BL"],"mode":["direct-store"],"config":{"prefetch_depth":[0,2]}}`
+	results, report, err := streamSweep(base, matrix)
+	if err != nil {
+		return err
+	}
+	if len(results) != 6 || report == nil {
+		return fmt.Errorf("sweep streamed %d results (want 6), report %v", len(results), report != nil)
+	}
+	byWorker := map[string]int{}
+	for _, o := range results {
+		if o.Error != "" {
+			return fmt.Errorf("sweep job %.8s failed: %s", o.ID, o.Error)
+		}
+		byWorker[o.Worker]++
+	}
+	if report.Failed != 0 || report.Completed != 6 {
+		return fmt.Errorf("report totals off: %+v", report)
+	}
+	fmt.Printf("fleet-smoke: sweep %.8s done — %d results, split %v, frontier %d points\n",
+		report.SweepID, report.Completed, byWorker, len(report.Frontier))
+
+	// Kill worker 0 and resubmit every job: the ring must fail each
+	// one over to the survivor with byte-identical results.
+	ws[0].kill()
+	fmt.Printf("fleet-smoke: killed worker %s\n", ws[0].url)
+	failedOver := 0
+	for _, o := range results {
+		body, err := resubmit(base, o.ID, results)
+		if err != nil {
+			return fmt.Errorf("post-kill job %.8s: %w", o.ID, err)
+		}
+		if !bytes.Equal(body, o.Result) {
+			return fmt.Errorf("post-kill job %.8s returned different bytes", o.ID)
+		}
+		if o.Worker == ws[0].url {
+			failedOver++
+		}
+	}
+	if byWorker[ws[0].url] > 0 && failedOver == 0 {
+		return fmt.Errorf("worker %s owned jobs but none failed over", ws[0].url)
+	}
+	fmt.Printf("fleet-smoke: OK — all 6 jobs re-answered after the kill (%d via failover), bytes identical\n", failedOver)
+	return nil
+}
+
+// resubmit re-runs one sweep job through the coordinator using the
+// canonical spec the sweep stream carried for it.
+func resubmit(base, id string, results []fleet.Outcome) ([]byte, error) {
+	var spec []byte
+	for _, o := range results {
+		if o.ID == id {
+			spec = o.Spec
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("job %.8s not in sweep results", id)
+	}
+	resp, err := http.Post(base+"/v1/runs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		ID     string          `json:"id"`
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%d: %s", resp.StatusCode, rr.Error)
+	}
+	if rr.ID != id {
+		return nil, fmt.Errorf("resubmitted spec hashed to %.8s, want %.8s", rr.ID, id)
+	}
+	return rr.Result, nil
+}
+
+// streamSweep posts the matrix and drains the NDJSON stream.
+func streamSweep(base, matrix string) ([]fleet.Outcome, *fleet.Report, error) {
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(matrix))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return nil, nil, fmt.Errorf("sweep submit: %d: %s", resp.StatusCode, buf.String())
+	}
+	var results []fleet.Outcome
+	var report *fleet.Report
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Event string          `json:"event"`
+			Data  json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, nil, fmt.Errorf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "result":
+			var o fleet.Outcome
+			if err := json.Unmarshal(ev.Data, &o); err != nil {
+				return nil, nil, err
+			}
+			results = append(results, o)
+		case "report":
+			report = &fleet.Report{}
+			if err := json.Unmarshal(ev.Data, report); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return results, report, sc.Err()
+}
+
+// httptestServer is a minimal net/http/httptest.Server stand-in so
+// the smoke path needs no testing imports in a main package.
+type smokeHTTP struct {
+	hs  *http.Server
+	url string
+}
+
+func httptestServer(h http.Handler) *smokeHTTP {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: h}
+	go func() { _ = hs.Serve(ln) }()
+	return &smokeHTTP{hs: hs, url: "http://" + ln.Addr().String()}
+}
+
+func (s *smokeHTTP) close() { _ = s.hs.Close() }

@@ -6,6 +6,8 @@
 //
 //	dstore-serve                      # listen on :8080
 //	dstore-serve -addr 127.0.0.1:9000 -workers 8 -queue 128
+//	dstore-serve -store /var/dstore   # results + warm-prefix snapshots
+//	                                  # persist across restarts
 //	dstore-serve -smoke               # boot on a random port, run the
 //	                                  # end-to-end cache-hit smoke test
 //
@@ -20,7 +22,11 @@
 //	POST /v1/chaos           seeded fault-injection soak run (requires -chaos)
 //
 // SIGINT/SIGTERM shut down gracefully: queued jobs are cancelled and
-// in-flight simulations drain (bounded by -drain-timeout).
+// in-flight simulations drain (bounded by -drain-timeout); with -store
+// set, cached results and snapshots are flushed to disk first.
+//
+// Several daemons can be fronted by dstore-coord, which consistent-
+// hashes job IDs across them and adds batch sweeps (see DESIGN.md §12).
 package main
 
 import (
@@ -52,6 +58,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-shutdown drain bound")
 		stallGuard   = flag.Uint64("stall-guard", 0, "per-tick event budget before a job is failed as livelocked (0 = default)")
 		enableChaos  = flag.Bool("chaos", false, "expose POST /v1/chaos (seeded fault-injection soak runs)")
+		storeDir     = flag.String("store", "", "persistent store directory: results and warm-prefix snapshots survive restarts (empty = memory only)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "disk store size cap in bytes (0 = 256 MiB default, negative = unlimited)")
 		smoke        = flag.Bool("smoke", false, "boot on a random port, run the cache-hit smoke test, exit")
 	)
 	flag.Parse()
@@ -63,6 +71,8 @@ func main() {
 		JobTimeout:       *jobTimeout,
 		StallGuardEvents: *stallGuard,
 		EnableChaos:      *enableChaos,
+		StoreDir:         *storeDir,
+		StoreMaxBytes:    *storeMax,
 	}
 
 	if *smoke {
@@ -73,7 +83,10 @@ func main() {
 		return
 	}
 
-	srv := serve.New(opt)
+	srv, err := serve.New(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -106,7 +119,10 @@ func main() {
 // the result, submit the identical job again, and require a
 // byte-identical cached answer plus a cache-hit counter increment.
 func runSmoke(opt serve.Options) error {
-	srv := serve.New(opt)
+	srv, err := serve.New(opt)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

@@ -76,3 +76,23 @@ func Parse(r io.Reader) ([]Entry, error) {
 	}
 	return out, nil
 }
+
+// ParseUnique is Parse with a uniqueness requirement on benchmark
+// names: a baseline (or generated report) carrying the same name
+// twice is ambiguous — which measurement is "the" value? — so it is
+// rejected rather than letting the last line silently win.
+func ParseUnique(r io.Reader) ([]Entry, error) {
+	entries, err := Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]int, len(entries))
+	for i, e := range entries {
+		if prev, dup := seen[e.Name]; dup {
+			return nil, fmt.Errorf("benchfmt: duplicate benchmark name %q (results %d and %d)",
+				e.Name, prev+1, i+1)
+		}
+		seen[e.Name] = i
+	}
+	return entries, nil
+}

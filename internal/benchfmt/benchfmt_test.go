@@ -57,3 +57,62 @@ func TestParseMalformed(t *testing.T) {
 		t.Errorf("noise parse: %v, %v", es, err)
 	}
 }
+
+func TestParseTruncatedLines(t *testing.T) {
+	// A baseline cut off mid-write (disk full, killed process) leaves
+	// a final line missing fields; that must be an error, not a
+	// silently shorter baseline.
+	for _, bad := range []string{
+		"BenchmarkRunDrain 1597 771493",              // value with no unit
+		"BenchmarkRunDrain 1597",                     // iters only
+		"BenchmarkRunDrain 1597 771493 ns/op 355920", // trailing pair cut in half
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want truncation error", bad)
+		}
+	}
+	// A bare name line (`go test -list` output) is not a truncation.
+	if es, err := Parse(strings.NewReader("BenchmarkRunDrain\n")); err != nil || len(es) != 0 {
+		t.Errorf("bare name: %v, %v", es, err)
+	}
+}
+
+func TestParseNonNumericFields(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 1e99x 34 ns/op",      // iteration count not an integer
+		"BenchmarkX -7 34 ns/op",         // negative iteration count
+		"BenchmarkX 12 12.5.3 ns/op",     // malformed float
+		"BenchmarkX 12 6.4 ns/op oops B/op", // second value non-numeric
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// Scientific notation and Inf are valid float syntax and must
+	// survive: the differ treats Inf deltas as unbounded regressions.
+	es, err := Parse(strings.NewReader("BenchmarkX 12 6.4e3 ns/op\n"))
+	if err != nil || len(es) != 1 {
+		t.Fatalf("scientific notation: %v, %v", es, err)
+	}
+	if v, _ := es[0].Value("ns/op"); v != 6400 {
+		t.Fatalf("ns/op = %v, want 6400", v)
+	}
+}
+
+func TestParseUniqueRejectsDuplicates(t *testing.T) {
+	dup := "BenchmarkA 1 5 ns/op\nBenchmarkB 1 6 ns/op\nBenchmarkA 1 7 ns/op\n"
+	if _, err := ParseUnique(strings.NewReader(dup)); err == nil {
+		t.Fatal("ParseUnique accepted a duplicated benchmark name")
+	} else if !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("duplicate error does not name the benchmark: %v", err)
+	}
+	// Parse itself stays permissive (merging runs is the caller's
+	// decision); ParseUnique on clean input matches Parse.
+	if es, err := Parse(strings.NewReader(dup)); err != nil || len(es) != 3 {
+		t.Fatalf("Parse of duplicated names: %v, %v", es, err)
+	}
+	es, err := ParseUnique(strings.NewReader(sample))
+	if err != nil || len(es) != 2 {
+		t.Fatalf("ParseUnique on clean baseline: %v, %v", es, err)
+	}
+}

@@ -21,6 +21,31 @@ const (
 // resurrect stale state.
 func SnapshotVersion() uint32 { return snapshotVersion }
 
+// VerifySnapshotHeader checks that data opens with the DSSNAP
+// container fingerprint this build reads: the magic string and the
+// current format version. It validates nothing past the header — a
+// full structural check is RestoreSnapshot's job — but it is exactly
+// the cheap screen a persistent snapshot store needs to quarantine
+// foreign or stale-format blobs at startup.
+func VerifySnapshotHeader(data []byte) error {
+	r := snap.NewReader(data)
+	magic := r.String()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: not a snapshot stream: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("core: not a snapshot stream (magic %q)", magic)
+	}
+	v := r.U32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("core: not a snapshot stream: %w", err)
+	}
+	if v != snapshotVersion {
+		return fmt.Errorf("core: snapshot format version %d, this build reads %d", v, snapshotVersion)
+	}
+	return nil
+}
+
 // Snapshot serialises the full system state at a quiescent point: the
 // engine queue must be fully drained (as it is between workload
 // phases — RunCPU/RunKernel return only once every event has run).

@@ -1,0 +1,593 @@
+// Package fleet turns a set of dstore-serve workers into one logical
+// simulation service: a coordinator that consistent-hashes
+// content-addressed job IDs across the fleet, proxies single-job
+// requests to the owning worker (failing over to the next replica on
+// the ring when a worker is down or has lost its cache), and runs
+// batch sweeps — a config matrix expanded server-side, fanned out to
+// the fleet, with partial results streamed to the client as they land
+// and an aggregate report computed at completion.
+//
+// Placement is what makes the fleet cache-efficient: a job's ID is
+// the SHA-256 of its canonical spec, so routing by hash ring sends
+// every resubmission of a spec to the same worker, whose
+// content-addressed result cache and warm-prefix snapshot store
+// (persistent when the worker runs with -store) absorb it without
+// re-simulating. The coordinator itself holds no simulation state —
+// every byte it returns came from a worker — so it can restart
+// freely.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dstore/internal/serve"
+)
+
+// Options configures a Coordinator. The zero value gets sensible
+// defaults; Workers may be empty when the fleet is populated via
+// POST /v1/workers.
+type Options struct {
+	// Workers is the static member list (base URLs). Static workers
+	// are assumed healthy at boot so the fleet is usable before the
+	// first probe round.
+	Workers []string
+	// Vnodes is the number of hash-ring points per worker. More
+	// vnodes, smoother key distribution. Default 64.
+	Vnodes int
+	// Replicas bounds how many distinct workers a job is tried on
+	// before it is failed (the owner, then its successors on the
+	// ring). Zero or negative means every worker.
+	Replicas int
+	// SweepWorkers is the number of jobs one sweep dispatches
+	// concurrently. Default 16.
+	SweepWorkers int
+	// ProbeInterval is the health-probe period. Default 2s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round. Default 2s.
+	ProbeTimeout time.Duration
+	// RequestTimeout bounds each individual HTTP call to a worker.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// PollInterval is the status-poll period while a worker simulates
+	// an accepted job. Default 20ms.
+	PollInterval time.Duration
+	// JobDeadline bounds one job end to end: submission, queueing,
+	// simulation and every failover retry. Default 5m.
+	JobDeadline time.Duration
+	// RetryAfterMax caps how long a 429's Retry-After hint is
+	// honoured before retrying anyway. Default 2s.
+	RetryAfterMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Vnodes <= 0 {
+		o.Vnodes = 64
+	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = 16
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 20 * time.Millisecond
+	}
+	if o.JobDeadline <= 0 {
+		o.JobDeadline = 5 * time.Minute
+	}
+	if o.RetryAfterMax <= 0 {
+		o.RetryAfterMax = 2 * time.Second
+	}
+	return o
+}
+
+// Coordinator is the fleet front-end. Construct with New, expose
+// Handler over HTTP, stop with Close.
+type Coordinator struct {
+	opt    Options
+	client *http.Client
+	reg    *registry
+	mux    *http.ServeMux
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	sweepMu sync.Mutex
+	sweeps  map[string]*sweepRun
+
+	dispatched atomic.Uint64 // jobs handed to the dispatch path
+	completed  atomic.Uint64 // jobs that returned a result
+	jobsFailed atomic.Uint64 // jobs that exhausted every replica or failed terminally
+	failovers  atomic.Uint64 // replica advances after a worker error
+	streamed   atomic.Uint64 // sweep results written to streaming clients
+	sweepsRun  atomic.Uint64 // sweeps started
+	sweepsDone atomic.Uint64 // sweeps run to completion
+}
+
+// New builds a coordinator over the static worker list and starts the
+// health-probe loop. An unparseable worker URL is the one
+// construction error.
+func New(opt Options) (*Coordinator, error) {
+	opt = opt.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		opt:    opt,
+		client: &http.Client{Timeout: opt.RequestTimeout},
+		sweeps: make(map[string]*sweepRun),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	c.reg = newRegistry(c.client, opt.Vnodes)
+	for _, w := range opt.Workers {
+		if _, err := c.reg.add(w, true, true); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/runs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/runs/{id}", c.handleRunProxy)
+	c.mux.HandleFunc("GET /v1/runs/{id}/result", c.handleRunProxy)
+	c.mux.HandleFunc("GET /v1/runs/{id}/trace", c.handleRunProxy)
+	c.mux.HandleFunc("GET /v1/benchmarks", c.handleBenchmarks)
+	c.mux.HandleFunc("POST /v1/workers", c.handleWorkerAdd)
+	c.mux.HandleFunc("GET /v1/workers", c.handleWorkerList)
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweepSubmit)
+	c.mux.HandleFunc("GET /v1/sweeps", c.handleSweepList)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleSweepStatus)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}/stream", c.handleSweepStream)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}/report", c.handleSweepReport)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.reg.probeLoop(ctx, opt.ProbeInterval, opt.ProbeTimeout)
+	}()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the probe loop and aborts in-flight dispatches and
+// sweeps.
+func (c *Coordinator) Close() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// terminalError marks a job failure that no other replica can fix: a
+// rejected spec, or a deterministic simulation failure (the same spec
+// would fail identically everywhere).
+type terminalError struct{ msg string }
+
+func (e *terminalError) Error() string { return e.msg }
+
+// jobOutcome is one successfully dispatched job.
+type jobOutcome struct {
+	body    []byte // canonical result document
+	worker  string // base URL that answered
+	cached  bool   // answered 200-from-cache on submission
+	workers int    // distinct workers tried (1 = owner answered)
+}
+
+// do performs one HTTP call against a worker and slurps the body.
+func (c *Coordinator) do(ctx context.Context, method, url string, body []byte) (int, http.Header, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = readerOf(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
+
+// readerOf avoids importing bytes just for one constructor call site.
+func readerOf(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// runResp mirrors the worker's run-response envelope.
+type runResp struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	//dstore:allow-wallclock dispatch pacing is operational, never part of a simulation result
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// runJob dispatches one canonical job to the fleet: the ring owner
+// first, then each successive replica until one produces the result.
+// Worker-level failures (network, 5xx, shutdown-cancelled jobs) fail
+// over; terminal failures (bad spec, deterministic simulation
+// failure) do not.
+func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte) (*jobOutcome, error) {
+	c.dispatched.Add(1)
+	if c.opt.JobDeadline > 0 {
+		//dstore:allow-wallclock job deadline is operational
+		dctx, cancel := context.WithTimeout(ctx, c.opt.JobDeadline)
+		defer cancel()
+		ctx = dctx
+	}
+	owners := c.reg.currentRing().owners(id, c.opt.Replicas)
+	if len(owners) == 0 {
+		c.jobsFailed.Add(1)
+		return nil, &terminalError{"fleet: no workers registered"}
+	}
+	// Healthy replicas first; the rest stay in ring order as a last
+	// resort (a probe may simply not have caught a recovery yet).
+	order := make([]string, 0, len(owners))
+	for _, u := range owners {
+		if c.reg.healthy(u) {
+			order = append(order, u)
+		}
+	}
+	for _, u := range owners {
+		if !c.reg.healthy(u) {
+			order = append(order, u)
+		}
+	}
+	var lastErr error
+	for i, u := range order {
+		out, err := c.runOn(ctx, u, id, spec)
+		if err == nil {
+			out.workers = i + 1
+			c.completed.Add(1)
+			return out, nil
+		}
+		var term *terminalError
+		if errors.As(err, &term) {
+			c.jobsFailed.Add(1)
+			return nil, err
+		}
+		lastErr = err
+		c.reg.markUnhealthy(u)
+		if i+1 < len(order) {
+			c.failovers.Add(1)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.jobsFailed.Add(1)
+	return nil, fmt.Errorf("fleet: job %.8s failed on all %d replicas tried: %w", id, len(order), lastErr)
+}
+
+// runOn pushes one job through one worker: submit, honour
+// backpressure, poll to completion, fetch the result.
+func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (*jobOutcome, error) {
+	for {
+		code, hdr, body, err := c.do(ctx, http.MethodPost, base+"/v1/runs", spec)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case code == http.StatusOK:
+			var rr runResp
+			if err := json.Unmarshal(body, &rr); err != nil {
+				return nil, fmt.Errorf("fleet: %s returned unparseable submission response: %v", base, err)
+			}
+			if len(rr.Result) == 0 {
+				return nil, fmt.Errorf("fleet: %s returned 200 with no result", base)
+			}
+			return &jobOutcome{body: rr.Result, worker: base, cached: true}, nil
+		case code == http.StatusAccepted:
+			return c.awaitResult(ctx, base, id)
+		case code == http.StatusTooManyRequests:
+			// Backpressure: honour Retry-After (capped) and resubmit to
+			// the same worker — its queue draining is the fast path.
+			d := c.opt.RetryAfterMax
+			if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && ra >= 0 {
+				if hint := time.Duration(ra) * time.Second; hint < d {
+					d = hint
+				}
+			}
+			if d <= 0 {
+				d = 50 * time.Millisecond
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+		case code == http.StatusBadRequest:
+			return nil, &terminalError{fmt.Sprintf("fleet: %s rejected job spec: %s", base, body)}
+		default:
+			return nil, fmt.Errorf("fleet: submit to %s: %d: %s", base, code, body)
+		}
+	}
+}
+
+// awaitResult polls an accepted job to completion on one worker and
+// returns its canonical result document.
+func (c *Coordinator) awaitResult(ctx context.Context, base, id string) (*jobOutcome, error) {
+	for {
+		code, _, body, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("fleet: status of %.8s on %s: %d: %s", id, base, code, body)
+		}
+		var rr runResp
+		if err := json.Unmarshal(body, &rr); err != nil {
+			return nil, fmt.Errorf("fleet: %s returned unparseable status: %v", base, err)
+		}
+		switch rr.Status {
+		case "done":
+			if len(rr.Result) > 0 {
+				return &jobOutcome{body: rr.Result, worker: base, cached: rr.Cached}, nil
+			}
+			code, _, res, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id+"/result", nil)
+			if err != nil {
+				return nil, err
+			}
+			if code != http.StatusOK {
+				return nil, fmt.Errorf("fleet: result of %.8s on %s: %d: %s", id, base, code, res)
+			}
+			return &jobOutcome{body: res, worker: base}, nil
+		case "failed":
+			// Deterministic: the same spec fails identically on every
+			// replica, so don't burn the fleet retrying it.
+			return nil, &terminalError{fmt.Sprintf("fleet: job %.8s failed on %s: %s", id, base, rr.Error)}
+		case "cancelled":
+			// Shutdown or per-job timeout on that worker — another
+			// replica may well complete it.
+			return nil, fmt.Errorf("fleet: job %.8s cancelled on %s: %s", id, base, rr.Error)
+		}
+		if err := sleepCtx(ctx, c.opt.PollInterval); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// canonicalizeSpec parses a submitted job spec and returns its
+// normalized form, canonical serialization and content-addressed ID.
+func canonicalizeSpec(raw []byte) (serve.JobSpec, []byte, string, error) {
+	dec := json.NewDecoder(readerOf(raw))
+	dec.DisallowUnknownFields()
+	var spec serve.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		return spec, nil, "", fmt.Errorf("bad job spec: %v", err)
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		return norm, nil, "", err
+	}
+	if _, err := norm.BuildConfig(); err != nil {
+		return norm, nil, "", err
+	}
+	canon, err := norm.Canonical()
+	if err != nil {
+		return norm, nil, "", err
+	}
+	id, err := norm.ID()
+	if err != nil {
+		return norm, nil, "", err
+	}
+	return norm, canon, id, nil
+}
+
+// maxBodyBytes bounds submission bodies; specs and matrices are tiny.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/runs at the fleet level: validate
+// and canonicalize the spec locally (a bad spec never reaches a
+// worker), route by hash ring, and answer synchronously with the
+// worker's result — the coordinator absorbs the poll loop so clients
+// see one round trip.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	_, canon, id, err := canonicalizeSpec(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out, err := c.runJob(r.Context(), id, canon)
+	if err != nil {
+		code := http.StatusBadGateway
+		var term *terminalError
+		if errors.As(err, &term) {
+			code = http.StatusUnprocessableEntity
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	w.Header().Set("X-Dstore-Worker", out.worker)
+	writeJSON(w, http.StatusOK, runResp{ID: id, Status: "done", Cached: out.cached, Result: out.body})
+}
+
+// handleRunProxy forwards GET /v1/runs/{id}[/result|/trace] to the
+// job's replicas in ring order, returning the first conclusive
+// answer. A 404 from one worker is not conclusive — the job may live
+// on a successor after a failover — so the walk continues and 404 is
+// only returned once every replica has denied knowledge.
+func (c *Coordinator) handleRunProxy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	owners := c.reg.currentRing().owners(id, c.opt.Replicas)
+	if len(owners) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "fleet: no workers registered")
+		return
+	}
+	var lastCode int
+	var lastHdr http.Header
+	var lastBody []byte
+	tried := 0
+	for _, u := range owners {
+		code, hdr, body, err := c.do(r.Context(), http.MethodGet, u+r.URL.Path, nil)
+		if err != nil {
+			c.reg.markUnhealthy(u)
+			continue
+		}
+		tried++
+		if code != http.StatusNotFound {
+			w.Header().Set("X-Dstore-Worker", u)
+			copyHeader(w, hdr)
+			w.WriteHeader(code)
+			_, _ = w.Write(body)
+			return
+		}
+		lastCode, lastHdr, lastBody = code, hdr, body
+	}
+	if tried == 0 {
+		writeError(w, http.StatusBadGateway, "fleet: no worker reachable for %q", id)
+		return
+	}
+	copyHeader(w, lastHdr)
+	w.WriteHeader(lastCode)
+	_, _ = w.Write(lastBody)
+}
+
+func copyHeader(w http.ResponseWriter, hdr http.Header) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+}
+
+// handleBenchmarks forwards GET /v1/benchmarks to any healthy worker
+// — the inventory is identical fleet-wide.
+func (c *Coordinator) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	_, states := c.reg.snapshot()
+	for _, pass := range []bool{true, false} {
+		for _, st := range states {
+			if st.Healthy != pass {
+				continue
+			}
+			code, hdr, body, err := c.do(r.Context(), http.MethodGet, st.URL+"/v1/benchmarks", nil)
+			if err != nil || code != http.StatusOK {
+				continue
+			}
+			w.Header().Set("X-Dstore-Worker", st.URL)
+			copyHeader(w, hdr)
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "fleet: no worker reachable")
+}
+
+// handleWorkerAdd implements POST /v1/workers: register a worker at
+// runtime. The worker is probed synchronously so a live one enters
+// the ring healthy and starts taking its key-space share immediately.
+func (c *Coordinator) handleWorkerAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad registration: %v", err)
+		return
+	}
+	u, err := c.reg.add(req.URL, false, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	//dstore:allow-wallclock probe deadline is operational
+	pctx, cancel := context.WithTimeout(r.Context(), c.opt.ProbeTimeout)
+	c.reg.probeOne(pctx, u)
+	cancel()
+	_, states := c.reg.snapshot()
+	for _, st := range states {
+		if st.URL == u {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	writeError(w, http.StatusInternalServerError, "fleet: worker %q vanished after registration", u)
+}
+
+// handleWorkerList implements GET /v1/workers.
+func (c *Coordinator) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	ring, states := c.reg.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":     states,
+		"ring_points": len(ring.points),
+	})
+}
+
+// handleHealth implements GET /healthz. The coordinator is degraded —
+// but alive — with zero healthy workers: proxying fails but
+// registration still works.
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	healthy, total := c.reg.healthyCount()
+	status := "ok"
+	if healthy == 0 {
+		status = "no-healthy-workers"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"workers": total,
+		"healthy": healthy,
+	})
+}

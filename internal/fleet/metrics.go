@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dstore/internal/stats"
+)
+
+// metricDefs lists every scalar coordinator metric in a fixed order,
+// with its Prometheus type. /metrics and /v1/stats both render from
+// this table (the same convention as internal/serve), so the two
+// views can never disagree on names. The keys are registered in
+// internal/stats/registry.go.
+var metricDefs = []struct {
+	name, kind string
+}{
+	{"fleet_workers", "gauge"},
+	{"fleet_workers_healthy", "gauge"},
+	{"fleet_probes_total", "counter"},
+	{"fleet_probe_failures_total", "counter"},
+	{"fleet_jobs_dispatched_total", "counter"},
+	{"fleet_jobs_completed_total", "counter"},
+	{"fleet_jobs_failed_total", "counter"},
+	{"fleet_dispatch_failovers_total", "counter"},
+	{"fleet_sweeps_started_total", "counter"},
+	{"fleet_sweeps_completed_total", "counter"},
+	{"fleet_sweeps_active", "gauge"},
+	{"fleet_sweep_results_streamed_total", "counter"},
+}
+
+// snapshot materializes the scalar metrics as a stats.Set in
+// metricDefs order.
+func (c *Coordinator) snapshot() *stats.Set {
+	healthy, total := c.reg.healthyCount()
+	probes, probeFailures := c.reg.probeCounts()
+	started := c.sweepsRun.Load()
+	done := c.sweepsDone.Load()
+	values := map[string]uint64{
+		"fleet_workers":                      uint64(total),
+		"fleet_workers_healthy":              uint64(healthy),
+		"fleet_probes_total":                 probes,
+		"fleet_probe_failures_total":         probeFailures,
+		"fleet_jobs_dispatched_total":        c.dispatched.Load(),
+		"fleet_jobs_completed_total":         c.completed.Load(),
+		"fleet_jobs_failed_total":            c.jobsFailed.Load(),
+		"fleet_dispatch_failovers_total":     c.failovers.Load(),
+		"fleet_sweeps_started_total":         started,
+		"fleet_sweeps_completed_total":       done,
+		"fleet_sweeps_active":                started - done,
+		"fleet_sweep_results_streamed_total": c.streamed.Load(),
+	}
+	set := stats.NewSet()
+	for _, d := range metricDefs {
+		set.Counter(d.name).Add(values[d.name]) //dstore:allow-statskey Prometheus names from metricDefs
+	}
+	return set
+}
+
+// handleMetrics implements GET /metrics in the Prometheus text
+// exposition format: the scalar table, then per-worker gauges
+// labelled by worker URL (health, last-scraped queue depth and cache
+// hit rate, cumulative executed jobs).
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	set := c.snapshot()
+	var b strings.Builder
+	for _, d := range metricDefs {
+		//dstore:allow-statskey Prometheus names from metricDefs
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", d.name, d.kind, d.name, set.Get(d.name))
+	}
+	_, states := c.reg.snapshot()
+	perWorker := []struct {
+		name, kind string
+		value      func(workerState) string
+	}{
+		{"fleet_worker_healthy", "gauge", func(st workerState) string {
+			if st.Healthy {
+				return "1"
+			}
+			return "0"
+		}},
+		{"fleet_worker_queue_depth", "gauge", func(st workerState) string {
+			return fmt.Sprintf("%d", st.QueueDepth)
+		}},
+		{"fleet_worker_cache_hit_rate", "gauge", func(st workerState) string {
+			return fmt.Sprintf("%g", st.CacheHitRate)
+		}},
+		{"fleet_worker_executed_total", "counter", func(st workerState) string {
+			return fmt.Sprintf("%d", st.Executed)
+		}},
+	}
+	for _, m := range perWorker {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		for _, st := range states {
+			fmt.Fprintf(&b, "%s{worker=%q} %s\n", m.name, st.URL, m.value(st))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleStats implements GET /v1/stats: the scalar metrics as an
+// ordered JSON object (stats.Set's encoding).
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := c.snapshot().MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,250 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// workerState is what the coordinator knows about one dstore-serve
+// node: static identity (the base URL, which is also its hash-ring
+// identity) plus the latest health probe's findings.
+type workerState struct {
+	URL string `json:"url"`
+	// Healthy is flipped false by a failed probe or a failed dispatch
+	// and true again by the next successful probe.
+	Healthy bool `json:"healthy"`
+	// Static records whether the worker came from the -workers list
+	// (true) or POST /v1/workers (false).
+	Static bool `json:"static"`
+	// QueueDepth is the worker's inflight-job gauge from its last
+	// /v1/stats scrape.
+	QueueDepth uint64 `json:"queue_depth"`
+	// CacheHitRate is hits/(hits+misses) from the worker's result
+	// cache counters at the last scrape, 0 when it has seen no
+	// submissions.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Executed is the worker's jobs-executed counter at the last
+	// scrape (how much simulation work it has absorbed).
+	Executed uint64 `json:"executed"`
+}
+
+// registry tracks fleet membership and health, owns the hash ring,
+// and runs the periodic prober.
+type registry struct {
+	client *http.Client
+	vnodes int
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	ring    *ring
+
+	probes, probeFailures uint64
+}
+
+func newRegistry(client *http.Client, vnodes int) *registry {
+	return &registry{
+		client:  client,
+		vnodes:  vnodes,
+		workers: make(map[string]*workerState),
+		ring:    buildRing(nil, vnodes),
+	}
+}
+
+// normalizeWorkerURL validates and canonicalizes a worker base URL.
+func normalizeWorkerURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("fleet: bad worker url %q: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("fleet: bad worker url %q (want http[s]://host[:port])", raw)
+	}
+	if u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("fleet: worker url %q must be a bare base URL", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// add registers a worker (idempotent) and rebuilds the ring. The
+// worker starts unhealthy until its first successful probe unless
+// assumeHealthy is set (static -workers entries, so a fleet is usable
+// the instant it boots).
+func (r *registry) add(rawURL string, static, assumeHealthy bool) (string, error) {
+	u, err := normalizeWorkerURL(rawURL)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[u]; ok {
+		if assumeHealthy {
+			w.Healthy = true
+		}
+		return u, nil
+	}
+	r.workers[u] = &workerState{URL: u, Healthy: assumeHealthy, Static: static}
+	r.rebuildLocked()
+	return u, nil
+}
+
+func (r *registry) rebuildLocked() {
+	urls := make([]string, 0, len(r.workers))
+	for u := range r.workers { //dstore:allow-maprange buildRing sorts its input
+		urls = append(urls, u)
+	}
+	r.ring = buildRing(urls, r.vnodes)
+}
+
+// snapshot returns the current ring and the health view. The ring is
+// immutable; the states are copies.
+func (r *registry) snapshot() (*ring, []workerState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]workerState, 0, len(r.workers))
+	for _, w := range r.workers { //dstore:allow-maprange sorted below
+		out = append(out, *w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return r.ring, out
+}
+
+// currentRing returns the ring without copying worker state.
+func (r *registry) currentRing() *ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring
+}
+
+// healthy reports whether url is currently believed healthy.
+func (r *registry) healthy(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[url]
+	return ok && w.Healthy
+}
+
+// healthyCount returns (healthy, total).
+func (r *registry) healthyCount() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers { //dstore:allow-maprange count only
+		if w.Healthy {
+			n++
+		}
+	}
+	return n, len(r.workers)
+}
+
+// markUnhealthy records a dispatch-path failure so the ring walk
+// skips the worker until a probe resurrects it.
+func (r *registry) markUnhealthy(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.workers[url]; ok {
+		w.Healthy = false
+	}
+}
+
+// probeAll scrapes every worker's /v1/stats once, updating health and
+// the per-worker gauges. Returns after every probe completes.
+func (r *registry) probeAll(ctx context.Context) {
+	_, states := r.snapshot()
+	var wg sync.WaitGroup
+	for _, w := range states {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			r.probeOne(ctx, url)
+		}(w.URL)
+	}
+	wg.Wait()
+}
+
+// workerStats is the subset of dstore-serve's /v1/stats the
+// coordinator consumes for its per-worker gauges.
+type workerStats struct {
+	Inflight uint64 `json:"dstore_serve_inflight_jobs"`
+	Hits     uint64 `json:"dstore_serve_cache_hits_total"`
+	Misses   uint64 `json:"dstore_serve_cache_misses_total"`
+	Executed uint64 `json:"dstore_serve_jobs_executed_total"`
+}
+
+func (r *registry) probeOne(ctx context.Context, url string) {
+	r.mu.Lock()
+	r.probes++
+	r.mu.Unlock()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/stats", nil)
+	if err != nil {
+		r.recordProbe(url, nil, false)
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.recordProbe(url, nil, false)
+		return
+	}
+	defer resp.Body.Close()
+	var st workerStats
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		r.recordProbe(url, nil, false)
+		return
+	}
+	r.recordProbe(url, &st, true)
+}
+
+func (r *registry) recordProbe(url string, st *workerStats, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, present := r.workers[url]
+	if !present {
+		return
+	}
+	if !ok {
+		r.probeFailures++
+		w.Healthy = false
+		return
+	}
+	w.Healthy = true
+	w.QueueDepth = st.Inflight
+	w.Executed = st.Executed
+	if total := st.Hits + st.Misses; total > 0 {
+		w.CacheHitRate = float64(st.Hits) / float64(total)
+	} else {
+		w.CacheHitRate = 0
+	}
+}
+
+// probeLoop runs probeAll every interval until ctx is cancelled.
+func (r *registry) probeLoop(ctx context.Context, interval, timeout time.Duration) {
+	//dstore:allow-wallclock fleet health probing is operational, never part of a simulation result
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			//dstore:allow-wallclock probe deadline is operational
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			r.probeAll(pctx)
+			cancel()
+		}
+	}
+}
+
+// probeCounts returns (probes, failures).
+func (r *registry) probeCounts() (uint64, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.probes, r.probeFailures
+}

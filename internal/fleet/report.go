@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dstore/internal/benchfmt"
+)
+
+// resultDoc mirrors the fields of the worker's canonical result
+// document the report aggregates over.
+type resultDoc struct {
+	Bench       string  `json:"bench"`
+	Mode        string  `json:"mode"`
+	Input       string  `json:"input"`
+	Ticks       uint64  `json:"ticks"`
+	MissRate    float64 `json:"miss_rate"`
+	XbarBytes   uint64  `json:"xbar_bytes"`
+	DirectBytes uint64  `json:"direct_bytes"`
+}
+
+// FrontierPoint is one Pareto-optimal sweep result: no other point in
+// the sweep finished in fewer ticks AND moved fewer interconnect
+// bytes. The frontier is the sweep's actionable output — every
+// configuration off it is strictly dominated.
+type FrontierPoint struct {
+	ID    string `json:"id"`
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+	Input string `json:"input"`
+	Ticks uint64 `json:"ticks"`
+	// Bytes is total interconnect traffic: crossbar plus direct-store
+	// path.
+	Bytes uint64 `json:"bytes"`
+}
+
+// BestEntry is the fastest configuration for one benchmark line,
+// derived by parsing the report's own benchmark text back through
+// internal/benchfmt — the same parser the regression differ trusts.
+type BestEntry struct {
+	Name  string `json:"name"`
+	Ticks uint64 `json:"ticks"`
+}
+
+// WorkerLoad is one worker's share of a sweep.
+type WorkerLoad struct {
+	URL    string `json:"url"`
+	Jobs   int    `json:"jobs"`
+	Cached int    `json:"cached"`
+}
+
+// Report is the aggregate computed when a sweep completes.
+type Report struct {
+	SweepID   string `json:"sweep_id"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// Cached counts jobs answered from a worker cache (memory or
+	// disk) without re-simulating.
+	Cached int `json:"cached"`
+	// Failovers counts jobs that needed more than one worker.
+	Failovers int            `json:"failovers"`
+	Workers   []WorkerLoad   `json:"workers"`
+	Frontier  []FrontierPoint `json:"frontier"`
+	Best      []BestEntry     `json:"best,omitempty"`
+	// BenchText is the sweep rendered in `go test -bench` text format
+	// (one line per job), directly usable as a dstore-benchdiff
+	// baseline.
+	BenchText string `json:"bench_text"`
+	// BenchTextError reports a benchfmt round-trip failure — always
+	// empty unless the renderer and parser disagree, which a test
+	// pins.
+	BenchTextError string `json:"bench_text_error,omitempty"`
+}
+
+// buildReport aggregates a finished sweep: per-worker load, the
+// (ticks, bytes) Pareto frontier, and the benchmark-text rendering —
+// which is then parsed back through internal/benchfmt to derive the
+// per-benchmark best table, so the report provably round-trips
+// through the same format the repo's regression tooling consumes.
+func (c *Coordinator) buildReport(sweepID string, total int, outcomes []Outcome) *Report {
+	rep := &Report{SweepID: sweepID, Total: total, Completed: len(outcomes)}
+
+	byWorker := make(map[string]*WorkerLoad)
+	type point struct {
+		FrontierPoint
+		index int
+	}
+	var pts []point
+	// Render in matrix-expansion order so BenchText is deterministic
+	// in the matrix, not in completion order.
+	ordered := make([]Outcome, len(outcomes))
+	copy(ordered, outcomes)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
+
+	var text strings.Builder
+	for _, o := range ordered {
+		if o.Error != "" {
+			rep.Failed++
+			continue
+		}
+		if o.Cached {
+			rep.Cached++
+		}
+		if o.Workers > 1 {
+			rep.Failovers++
+		}
+		wl := byWorker[o.Worker]
+		if wl == nil {
+			wl = &WorkerLoad{URL: o.Worker}
+			byWorker[o.Worker] = wl
+		}
+		wl.Jobs++
+		if o.Cached {
+			wl.Cached++
+		}
+		var doc resultDoc
+		if err := json.Unmarshal(o.Result, &doc); err != nil {
+			rep.BenchTextError = fmt.Sprintf("job %.8s: unparseable result: %v", o.ID, err)
+			continue
+		}
+		bytes := doc.XbarBytes + doc.DirectBytes
+		pts = append(pts, point{
+			FrontierPoint: FrontierPoint{
+				ID: o.ID, Bench: doc.Bench, Mode: doc.Mode, Input: doc.Input,
+				Ticks: doc.Ticks, Bytes: bytes,
+			},
+			index: o.Index,
+		})
+		fmt.Fprintf(&text, "BenchmarkSweep/%s/%s/%s/%.8s 1 %d ticks %d moved-bytes %g miss-rate\n",
+			doc.Bench, doc.Mode, doc.Input, o.ID, doc.Ticks, bytes, doc.MissRate)
+	}
+
+	for _, u := range sortedKeys(byWorker) {
+		rep.Workers = append(rep.Workers, *byWorker[u])
+	}
+
+	// Pareto frontier over (ticks, bytes), both minimized: sort by
+	// ticks then bytes, keep every point that improves the running
+	// bytes minimum. Ties on both axes keep the first in expansion
+	// order.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Ticks != pts[j].Ticks {
+			return pts[i].Ticks < pts[j].Ticks
+		}
+		if pts[i].Bytes != pts[j].Bytes {
+			return pts[i].Bytes < pts[j].Bytes
+		}
+		return pts[i].index < pts[j].index
+	})
+	bestBytes := ^uint64(0)
+	for _, p := range pts {
+		if p.Bytes < bestBytes {
+			bestBytes = p.Bytes
+			rep.Frontier = append(rep.Frontier, p.FrontierPoint)
+		}
+	}
+
+	rep.BenchText = text.String()
+	entries, err := benchfmt.ParseUnique(strings.NewReader(rep.BenchText))
+	if err != nil {
+		rep.BenchTextError = err.Error()
+		return rep
+	}
+	// Best-per-benchmark from the parsed-back text: group by the name
+	// minus the config hash segment, keep the minimum ticks.
+	best := make(map[string]uint64)
+	for _, e := range entries {
+		ticks, ok := e.Value("ticks")
+		if !ok {
+			continue
+		}
+		group := e.Name
+		if i := strings.LastIndex(group, "/"); i >= 0 {
+			group = group[:i]
+		}
+		if cur, seen := best[group]; !seen || uint64(ticks) < cur {
+			best[group] = uint64(ticks)
+		}
+	}
+	for _, name := range sortedKeys(best) {
+		rep.Best = append(rep.Best, BestEntry{Name: name, Ticks: best[name]})
+	}
+	return rep
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //dstore:allow-maprange sorted below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker base URLs. Each worker
+// contributes vnodes points (hash of "url#i"), and a job ID owns the
+// first point clockwise from its own hash. Adding or removing one
+// worker therefore remaps only ~1/N of the key space — which is what
+// keeps each worker's content-addressed caches hot as the fleet
+// changes shape.
+//
+// The ring is immutable; the registry rebuilds it on membership
+// changes and swaps it atomically.
+type ring struct {
+	points []ringPoint
+	urls   []string // distinct members, sorted (for reporting)
+}
+
+type ringPoint struct {
+	h   uint64
+	url string
+}
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// buildRing constructs the ring for the given worker URLs.
+func buildRing(urls []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	uniq := make(map[string]bool, len(urls))
+	r := &ring{}
+	for _, u := range urls {
+		if u == "" || uniq[u] {
+			continue
+		}
+		uniq[u] = true
+		r.urls = append(r.urls, u)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: hash64(fmt.Sprintf("%s#%d", u, i)), url: u})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].url < r.points[j].url
+	})
+	sort.Strings(r.urls)
+	return r
+}
+
+// owners returns up to max distinct workers for key, in replica
+// order: the key's owner first, then each successive distinct worker
+// clockwise around the ring. max <= 0 means all members.
+func (r *ring) owners(key string, max int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if max <= 0 || max > len(r.urls) {
+		max = len(r.urls)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]string, 0, max)
+	seen := make(map[string]bool, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.url] {
+			seen[p.url] = true
+			out = append(out, p.url)
+		}
+	}
+	return out
+}

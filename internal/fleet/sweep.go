@@ -1,0 +1,474 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Matrix is a batch-sweep request: the cartesian product of the axes
+// is expanded server-side into canonical job specs. Empty mode/input
+// axes default to the single-job defaults; config axes are named
+// after ConfigOverride's JSON fields, each with a list of values.
+//
+//	{"bench": ["MT","NN"],
+//	 "mode": ["ccsm","direct-store"],
+//	 "config": {"prefetch_depth": [0,2,4], "sms": [8,16]}}
+//
+// expands to 2×2×3×2 = 24 jobs.
+type Matrix struct {
+	Bench  []string                     `json:"bench"`
+	Mode   []string                     `json:"mode,omitempty"`
+	Input  []string                     `json:"input,omitempty"`
+	Config map[string][]json.RawMessage `json:"config,omitempty"`
+}
+
+// maxSweepJobs caps one sweep's expansion; a matrix is a typo away
+// from exponential.
+const maxSweepJobs = 1 << 16
+
+// sweepJob is one expanded matrix point.
+type sweepJob struct {
+	index int    // position in expansion order
+	id    string // content address of the canonical spec
+	canon []byte // canonical spec document (the dispatch body)
+}
+
+// expand materializes the matrix: every axis combination, normalized,
+// validated and deduplicated by content address (two combinations
+// that normalize identically — e.g. an explicit default — dispatch
+// once).
+func (m Matrix) expand() ([]sweepJob, error) {
+	if len(m.Bench) == 0 {
+		return nil, fmt.Errorf("fleet: sweep matrix needs at least one bench")
+	}
+	modes := m.Mode
+	if len(modes) == 0 {
+		modes = []string{""}
+	}
+	inputs := m.Input
+	if len(inputs) == 0 {
+		inputs = []string{""}
+	}
+	// Config axes in sorted name order so expansion order — and with
+	// it every sweep artifact — is deterministic in the matrix.
+	axes := make([]string, 0, len(m.Config))
+	for name := range m.Config { //dstore:allow-maprange sorted below
+		axes = append(axes, name)
+	}
+	sort.Strings(axes)
+	total := len(m.Bench) * len(modes) * len(inputs)
+	for _, name := range axes {
+		vals := m.Config[name]
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("fleet: sweep config axis %q has no values", name)
+		}
+		total *= len(vals)
+		if total > maxSweepJobs {
+			return nil, fmt.Errorf("fleet: sweep matrix expands past the %d-job cap", maxSweepJobs)
+		}
+	}
+	if total > maxSweepJobs {
+		return nil, fmt.Errorf("fleet: sweep matrix expands to %d jobs (cap %d)", total, maxSweepJobs)
+	}
+
+	var jobs []sweepJob
+	seen := make(map[string]bool, total)
+	// choice[i] selects the current value of config axis i.
+	choice := make([]int, len(axes))
+	for {
+		for _, b := range m.Bench {
+			for _, mode := range modes {
+				for _, in := range inputs {
+					spec := map[string]any{"bench": b}
+					if mode != "" {
+						spec["mode"] = mode
+					}
+					if in != "" {
+						spec["input"] = in
+					}
+					if len(axes) > 0 {
+						cfg := make(map[string]json.RawMessage, len(axes))
+						for i, name := range axes {
+							cfg[name] = m.Config[name][choice[i]]
+						}
+						spec["config"] = cfg
+					}
+					raw, err := json.Marshal(spec)
+					if err != nil {
+						return nil, err
+					}
+					_, canon, id, err := canonicalizeSpec(raw)
+					if err != nil {
+						return nil, fmt.Errorf("fleet: sweep point %s: %w", raw, err)
+					}
+					if seen[id] {
+						continue
+					}
+					seen[id] = true
+					jobs = append(jobs, sweepJob{index: len(jobs), id: id, canon: canon})
+				}
+			}
+		}
+		// Odometer over the config axes.
+		i := len(axes) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(m.Config[axes[i]]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return jobs, nil
+}
+
+// sweepID is the content address of the expanded sweep: the SHA-256
+// over the ordered job IDs. Identical matrices — or distinct matrices
+// that expand to the same job set — share a sweep.
+func sweepID(jobs []sweepJob) string {
+	h := sha256.New()
+	for _, j := range jobs {
+		h.Write([]byte(j.id))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Outcome is one finished sweep job on the wire: identity, placement
+// and either the full canonical result document or a terminal error.
+type Outcome struct {
+	Seq   int    `json:"seq"`   // completion order within the sweep
+	Index int    `json:"index"` // position in matrix expansion order
+	ID    string `json:"id"`
+	// Spec is the canonical job document the ID hashes — resubmitting
+	// it verbatim reproduces this job.
+	Spec   json.RawMessage `json:"spec"`
+	Worker string          `json:"worker,omitempty"`
+	// Cached reports the job was answered from the worker's result
+	// cache (memory or disk tier) without re-simulating.
+	Cached  bool            `json:"cached,omitempty"`
+	Workers int             `json:"workers_tried,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// sweepRun is one sweep's lifecycle: outcomes append as jobs finish,
+// watchers follow the slice under cond, and the report lands at
+// completion.
+type sweepRun struct {
+	id    string
+	total int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	outcomes []Outcome
+	failed   int
+	cached   int
+	done     bool
+	report   *Report
+}
+
+func newSweepRun(id string, total int) *sweepRun {
+	s := &sweepRun{id: id, total: total}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *sweepRun) append(o Outcome) {
+	s.mu.Lock()
+	o.Seq = len(s.outcomes)
+	s.outcomes = append(s.outcomes, o)
+	if o.Error != "" {
+		s.failed++
+	}
+	if o.Cached {
+		s.cached++
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *sweepRun) finish(rep *Report) {
+	s.mu.Lock()
+	s.report = rep
+	s.done = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// next blocks until outcome seq exists (returned with done=false) or
+// the sweep is complete and drained (nil, true). wake lets callers
+// interrupt the wait (client disconnect).
+func (s *sweepRun) next(seq int, cancelled func() bool) (*Outcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if cancelled() {
+			return nil, true
+		}
+		if seq < len(s.outcomes) {
+			o := s.outcomes[seq]
+			return &o, false
+		}
+		if s.done {
+			return nil, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// status is the sweep's summary document.
+func (s *sweepRun) status() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := map[string]any{
+		"id":        s.id,
+		"total":     s.total,
+		"completed": len(s.outcomes),
+		"failed":    s.failed,
+		"cached":    s.cached,
+		"done":      s.done,
+	}
+	if s.report != nil {
+		st["report"] = s.report
+	}
+	return st
+}
+
+// startSweep registers (or rejoins) the sweep for the expanded job
+// set and launches its dispatch pool. The sweep is content-addressed:
+// resubmitting a running or finished matrix attaches to the existing
+// run instead of re-dispatching the fleet.
+func (c *Coordinator) startSweep(jobs []sweepJob) (*sweepRun, bool) {
+	id := sweepID(jobs)
+	c.sweepMu.Lock()
+	if s, ok := c.sweeps[id]; ok {
+		c.sweepMu.Unlock()
+		return s, false
+	}
+	s := newSweepRun(id, len(jobs))
+	c.sweeps[id] = s
+	c.sweepMu.Unlock()
+
+	c.sweepsRun.Add(1)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.runSweep(s, jobs)
+	}()
+	return s, true
+}
+
+// runSweep drains the job set through a bounded dispatch pool and
+// finishes with the aggregate report.
+func (c *Coordinator) runSweep(s *sweepRun, jobs []sweepJob) {
+	workers := c.opt.SweepWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	feed := make(chan sweepJob)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := range feed {
+				out, err := c.runJob(c.ctx, j.id, j.canon)
+				o := Outcome{Index: j.index, ID: j.id, Spec: j.canon}
+				if err != nil {
+					o.Error = err.Error()
+				} else {
+					o.Worker = out.worker
+					o.Cached = out.cached
+					o.Workers = out.workers
+					o.Result = out.body
+				}
+				s.append(o)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		select {
+		case feed <- j:
+		case <-c.ctx.Done():
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	s.mu.Lock()
+	outcomes := make([]Outcome, len(s.outcomes))
+	copy(outcomes, s.outcomes)
+	s.mu.Unlock()
+	s.finish(c.buildReport(s.id, len(jobs), outcomes))
+	c.sweepsDone.Add(1)
+}
+
+// handleSweepSubmit implements POST /v1/sweeps: expand the matrix,
+// start (or rejoin) the content-addressed sweep, and stream outcomes
+// to the caller as they land — Server-Sent Events when the client
+// asks for text/event-stream, newline-delimited JSON otherwise — with
+// the aggregate report as the final event.
+func (c *Coordinator) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var m Matrix
+	if err := dec.Decode(&m); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep matrix: %v", err)
+		return
+	}
+	jobs, err := m.expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, total := c.reg.healthyCount(); total == 0 {
+		writeError(w, http.StatusServiceUnavailable, "fleet: no workers registered")
+		return
+	}
+	s, _ := c.startSweep(jobs)
+	c.streamSweep(w, r, s)
+}
+
+// handleSweepStream implements GET /v1/sweeps/{id}/stream: re-attach
+// a stream to a running (or finished — events replay from the start)
+// sweep.
+func (c *Coordinator) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	s := c.lookupSweep(r.PathValue("id"))
+	if s == nil {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	c.streamSweep(w, r, s)
+}
+
+// streamSweep writes the sweep's event stream: every outcome from seq
+// 0 (streams attached late replay history first, so the view is
+// complete regardless of attach time), then the report event once the
+// sweep completes.
+func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, s *sweepRun) {
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Dstore-Sweep", s.id)
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	flush()
+
+	ctx := r.Context()
+	// A client disconnect must wake a blocked next(); the sweep's cond
+	// only pulses on sweep progress.
+	stopWake := context.AfterFunc(ctx, s.cond.Broadcast)
+	defer stopWake()
+	cancelled := func() bool { return ctx.Err() != nil }
+
+	writeEvent := func(event string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		} else {
+			_, err = fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", event, b)
+		}
+		if err != nil {
+			return false
+		}
+		flush()
+		return true
+	}
+
+	for seq := 0; ; seq++ {
+		o, drained := s.next(seq, cancelled)
+		if drained {
+			break
+		}
+		if !writeEvent("result", o) {
+			return
+		}
+		c.streamed.Add(1)
+	}
+	if cancelled() {
+		return
+	}
+	s.mu.Lock()
+	rep := s.report
+	s.mu.Unlock()
+	if rep != nil {
+		writeEvent("report", rep)
+	}
+}
+
+func (c *Coordinator) lookupSweep(id string) *sweepRun {
+	c.sweepMu.Lock()
+	defer c.sweepMu.Unlock()
+	return c.sweeps[id]
+}
+
+// handleSweepList implements GET /v1/sweeps.
+func (c *Coordinator) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	c.sweepMu.Lock()
+	ids := make([]string, 0, len(c.sweeps))
+	for id := range c.sweeps { //dstore:allow-maprange sorted below
+		ids = append(ids, id)
+	}
+	c.sweepMu.Unlock()
+	sort.Strings(ids)
+	out := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		if s := c.lookupSweep(id); s != nil {
+			out = append(out, s.status())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+// handleSweepStatus implements GET /v1/sweeps/{id}.
+func (c *Coordinator) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	s := c.lookupSweep(r.PathValue("id"))
+	if s == nil {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status())
+}
+
+// handleSweepReport implements GET /v1/sweeps/{id}/report: the
+// aggregate report's benchmark-text rendering (go test -bench
+// format), 409 while the sweep is still running.
+func (c *Coordinator) handleSweepReport(w http.ResponseWriter, r *http.Request) {
+	s := c.lookupSweep(r.PathValue("id"))
+	if s == nil {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	rep := s.report
+	s.mu.Unlock()
+	if rep == nil {
+		writeError(w, http.StatusConflict, "sweep %q still running", s.id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(rep.BenchText))
+}

@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"dstore/internal/store"
 )
 
 // resultCache is a bounded LRU over completed job results, keyed by
@@ -10,6 +12,11 @@ import (
 // spec and every run is a pure function of its spec, a cached body can
 // be served for any future identical submission without rerunning the
 // simulation.
+//
+// With a disk store attached (attachDisk), the LRU becomes the hot
+// tier of a two-level cache: puts write through to disk, and a memory
+// miss falls back to the persistent tier before declaring a true
+// miss, so cached bodies survive process restarts.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -17,6 +24,12 @@ type resultCache struct {
 	entries map[string]*list.Element
 
 	hits, misses, evictions uint64
+
+	// Persistent tier; nil when the server runs memory-only. disk has
+	// its own lock, and all disk I/O happens outside mu so a slow
+	// fsync never stalls concurrent memory hits.
+	disk *store.Store
+	ns   string
 }
 
 type cacheEntry struct {
@@ -35,25 +48,42 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
+// attachDisk layers a persistent namespace of st beneath the LRU.
+// Call before the cache is shared across goroutines.
+func (c *resultCache) attachDisk(st *store.Store, ns string) {
+	c.disk = st
+	c.ns = ns
+}
+
 // get returns the cached body for id, counting a hit or a miss. Used
 // on the submission path, so the hit/miss counters mean "submissions
-// answered from cache" vs "submissions that had to simulate".
+// answered from cache" (either tier) vs "submissions that had to
+// simulate".
 func (c *resultCache) get(id string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[id]
+	body, ok := c.memGet(id)
 	if !ok {
-		c.misses++
-		return nil, false
+		body, ok = c.diskGet(id)
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	c.mu.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return body, ok
 }
 
 // lookup is get without touching the hit/miss counters, for status and
 // result reads that are not submissions.
 func (c *resultCache) lookup(id string) ([]byte, bool) {
+	if body, ok := c.memGet(id); ok {
+		return body, true
+	}
+	return c.diskGet(id)
+}
+
+func (c *resultCache) memGet(id string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[id]
@@ -64,9 +94,32 @@ func (c *resultCache) lookup(id string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// put stores a completed result, evicting the least recently used
-// entry if the cache is full.
+// diskGet consults the persistent tier and promotes a hit into the
+// memory LRU so repeat reads stay off the disk.
+func (c *resultCache) diskGet(id string) ([]byte, bool) {
+	if c.disk == nil {
+		return nil, false
+	}
+	body, ok := c.disk.Get(c.ns, id)
+	if !ok {
+		return nil, false
+	}
+	c.memPut(id, body)
+	return body, true
+}
+
+// put stores a completed result in the memory LRU and, when a disk
+// store is attached, durably on disk. Persistence is best-effort: a
+// full or failing disk degrades the server to memory-only behaviour
+// rather than failing jobs.
 func (c *resultCache) put(id string, body []byte) {
+	c.memPut(id, body)
+	if c.disk != nil {
+		_ = c.disk.Put(c.ns, id, body)
+	}
+}
+
+func (c *resultCache) memPut(id string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[id]; ok {

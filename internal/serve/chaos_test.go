@@ -21,7 +21,7 @@ func TestJobPanicRecovered(t *testing.T) {
 		}
 		return []byte(`{"stub":true}`), nil
 	}
-	base := startServer(t, newServer(Options{Workers: 1}, stub))
+	base := startServer(t, testServer(t, Options{Workers: 1}, stub))
 
 	bad := post(t, base, `{"bench":"VA"}`)
 	if bad.code != http.StatusAccepted {
@@ -49,7 +49,7 @@ func TestJobPanicRecovered(t *testing.T) {
 // TestChaosEndpointDisabled checks /v1/chaos is rejected unless the
 // operator opted in.
 func TestChaosEndpointDisabled(t *testing.T) {
-	base := startServer(t, New(Options{Workers: 1}))
+	base := startServer(t, mustNew(t, Options{Workers: 1}))
 	resp, err := http.Post(base+"/v1/chaos", "application/json",
 		strings.NewReader(`{"seed":1,"profile":"light"}`))
 	if err != nil {
@@ -64,7 +64,7 @@ func TestChaosEndpointDisabled(t *testing.T) {
 // TestChaosEndpoint runs a small seeded soak through POST /v1/chaos
 // and checks the response shape and the fault counters it feeds.
 func TestChaosEndpoint(t *testing.T) {
-	base := startServer(t, New(Options{Workers: 2, EnableChaos: true}))
+	base := startServer(t, mustNew(t, Options{Workers: 2, EnableChaos: true}))
 
 	body := `{"seed":7,"profile":"heavy","ops":400,"rounds":4,"lines":64,"instances":2,"workers":2}`
 	resp, err := http.Post(base+"/v1/chaos", "application/json", strings.NewReader(body))

@@ -7,6 +7,7 @@ import (
 
 	"dstore/internal/obs"
 	"dstore/internal/stats"
+	"dstore/internal/store"
 )
 
 // metricDefs lists every exported metric in a fixed order, with its
@@ -23,6 +24,13 @@ var metricDefs = []struct {
 	{"dstore_serve_snapshot_misses_total", "counter"},
 	{"dstore_serve_snapshot_evictions_total", "counter"},
 	{"dstore_serve_snapshot_entries", "gauge"},
+	{"dstore_store_disk_hits_total", "counter"},
+	{"dstore_store_disk_misses_total", "counter"},
+	{"dstore_store_disk_writes_total", "counter"},
+	{"dstore_store_disk_evictions_total", "counter"},
+	{"dstore_store_disk_bytes", "gauge"},
+	{"dstore_store_disk_entries", "gauge"},
+	{"dstore_store_corrupt_entries", "gauge"},
 	{"dstore_serve_coalesced_total", "counter"},
 	{"dstore_serve_rejected_total", "counter"},
 	{"dstore_serve_jobs_executed_total", "counter"},
@@ -57,6 +65,10 @@ func (s *Server) snapshot() *stats.Set {
 	if s.snaps != nil {
 		snapHits, snapMisses, snapEvictions, snapSize = s.snaps.stats()
 	}
+	var disk store.Stats
+	if s.disk != nil {
+		disk = s.disk.Stats()
+	}
 	hists := s.histSnapshot()
 	s.mu.Lock()
 	inflight := len(s.inflight)
@@ -70,6 +82,13 @@ func (s *Server) snapshot() *stats.Set {
 		"dstore_serve_snapshot_misses_total":    snapMisses,
 		"dstore_serve_snapshot_evictions_total": snapEvictions,
 		"dstore_serve_snapshot_entries":         uint64(snapSize),
+		"dstore_store_disk_hits_total":          disk.Hits,
+		"dstore_store_disk_misses_total":        disk.Misses,
+		"dstore_store_disk_writes_total":        disk.Writes,
+		"dstore_store_disk_evictions_total":     disk.Evictions,
+		"dstore_store_disk_bytes":               uint64(disk.Bytes),
+		"dstore_store_disk_entries":             uint64(disk.Entries),
+		"dstore_store_corrupt_entries":          disk.Corrupt,
 		"dstore_serve_coalesced_total":          s.coalesced.Load(),
 		"dstore_serve_rejected_total":           s.rejected.Load(),
 		"dstore_serve_jobs_executed_total":      s.executed.Load(),

@@ -16,6 +16,28 @@ import (
 	"dstore/internal/bench"
 )
 
+// mustNew is New for tests that expect construction to succeed (it
+// only fails when a persistent store directory cannot be opened).
+func mustNew(t *testing.T, opt Options) *Server {
+	t.Helper()
+	srv, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// testServer is newServer (the injectable-run-function hook) with the
+// same must semantics.
+func testServer(t *testing.T, opt Options, runFn func(context.Context, *job) ([]byte, error)) *Server {
+	t.Helper()
+	srv, err := newServer(opt, runFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // startServer boots a Server behind httptest and tears both down with
 // the test.
 func startServer(t *testing.T, srv *Server) string {
@@ -139,7 +161,7 @@ func blockingStub(release chan struct{}) (func(context.Context, *job) ([]byte, e
 // TestEndToEndSubmitPollResult runs a real small benchmark through the
 // full HTTP path under both coherence modes.
 func TestEndToEndSubmitPollResult(t *testing.T) {
-	base := startServer(t, New(Options{Workers: 2}))
+	base := startServer(t, mustNew(t, Options{Workers: 2}))
 	for _, mode := range []string{"ccsm", "direct-store"} {
 		spec := fmt.Sprintf(`{"bench":"MT","mode":%q,"input":"small"}`, mode)
 		sub := post(t, base, spec)
@@ -167,7 +189,7 @@ func TestEndToEndSubmitPollResult(t *testing.T) {
 // complete with a well-formed result — the service equivalent of a
 // full Fig. 4 sweep.
 func TestAllBenchmarksBothModes(t *testing.T) {
-	base := startServer(t, New(Options{Workers: runtime.GOMAXPROCS(0), QueueDepth: 128}))
+	base := startServer(t, mustNew(t, Options{Workers: runtime.GOMAXPROCS(0), QueueDepth: 128}))
 	type submitted struct{ id, code, mode string }
 	var subs []submitted
 	for _, code := range bench.Codes() {
@@ -201,7 +223,7 @@ func TestAllBenchmarksBothModes(t *testing.T) {
 // the same bytes again.
 func TestCacheHitDeterminism(t *testing.T) {
 	spec := `{"bench":"NN","mode":"ccsm","input":"small"}`
-	base := startServer(t, New(Options{Workers: 2}))
+	base := startServer(t, mustNew(t, Options{Workers: 2}))
 
 	first := post(t, base, spec)
 	if first.code != http.StatusAccepted {
@@ -228,7 +250,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 
 	// Determinism across server instances: a brand-new daemon computes
 	// the identical document.
-	base2 := startServer(t, New(Options{Workers: 2}))
+	base2 := startServer(t, mustNew(t, Options{Workers: 2}))
 	again := post(t, base2, spec)
 	waitStatus(t, base2, again.ID, "done", 60*time.Second)
 	_, result2 := getRaw(t, base2+"/v1/runs/"+again.ID+"/result")
@@ -242,7 +264,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 func TestCoalescing(t *testing.T) {
 	release := make(chan struct{})
 	stub, started := blockingStub(release)
-	base := startServer(t, newServer(Options{Workers: 1, QueueDepth: 4}, stub))
+	base := startServer(t, testServer(t, Options{Workers: 1, QueueDepth: 4}, stub))
 
 	spec := `{"bench":"VA"}`
 	first := post(t, base, spec)
@@ -271,7 +293,7 @@ func TestBackpressure(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	stub, started := blockingStub(release)
-	base := startServer(t, newServer(Options{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second}, stub))
+	base := startServer(t, testServer(t, Options{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second}, stub))
 
 	a := post(t, base, `{"bench":"VA"}`)
 	if a.code != http.StatusAccepted {
@@ -300,7 +322,7 @@ func TestBackpressure(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
 	stub, started := blockingStub(release)
-	srv := newServer(Options{Workers: 1, QueueDepth: 4}, stub)
+	srv := testServer(t, Options{Workers: 1, QueueDepth: 4}, stub)
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	base := hs.URL
@@ -339,7 +361,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // simulation and reports it as cancelled.
 func TestJobTimeout(t *testing.T) {
 	stub, started := blockingStub(make(chan struct{})) // never released
-	base := startServer(t, newServer(Options{Workers: 1, JobTimeout: 30 * time.Millisecond}, stub))
+	base := startServer(t, testServer(t, Options{Workers: 1, JobTimeout: 30 * time.Millisecond}, stub))
 	sub := post(t, base, `{"bench":"VA"}`)
 	<-started
 	st := waitStatus(t, base, sub.ID, "cancelled", 10*time.Second)
@@ -356,7 +378,7 @@ func TestBadRequestsAndLookups(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	stub, started := blockingStub(release)
-	base := startServer(t, newServer(Options{Workers: 1}, stub))
+	base := startServer(t, testServer(t, Options{Workers: 1}, stub))
 
 	for _, body := range []string{
 		`{"bench":"XX"}`,                        // unknown benchmark
@@ -384,7 +406,7 @@ func TestBadRequestsAndLookups(t *testing.T) {
 
 // TestBenchmarksAndHealth checks the discovery and liveness endpoints.
 func TestBenchmarksAndHealth(t *testing.T) {
-	base := startServer(t, New(Options{Workers: 1}))
+	base := startServer(t, mustNew(t, Options{Workers: 1}))
 	code, b := getRaw(t, base+"/v1/benchmarks")
 	if code != http.StatusOK {
 		t.Fatalf("/v1/benchmarks: %d", code)

@@ -16,6 +16,7 @@ import (
 	"dstore/internal/bench"
 	"dstore/internal/core"
 	"dstore/internal/obs"
+	"dstore/internal/store"
 )
 
 // Options configures a Server. The zero value gets sensible defaults.
@@ -50,6 +51,15 @@ type Options struct {
 	// re-simulating it (bench.RunWithSnapshotContext). Zero means 64;
 	// negative disables prefix memoization entirely.
 	SnapshotCacheEntries int
+	// StoreDir, when non-empty, layers a persistent content-addressed
+	// disk store (internal/store) beneath the result and snapshot
+	// LRUs: completed results and warm-prefix snapshots survive
+	// restarts, and entries that fail verification at startup are
+	// quarantined and counted rather than served or fatal.
+	StoreDir string
+	// StoreMaxBytes caps the disk store (internal/store LRU eviction).
+	// Zero means store.DefaultMaxBytes; negative means unlimited.
+	StoreMaxBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +140,10 @@ type Server struct {
 	// machine states keyed by bench.PrefixKey. Nil when disabled. Its
 	// hit counter is the cache-answered half of every memoizable run.
 	snaps *resultCache
+	// disk is the persistent tier beneath cache and snaps (nil when
+	// Options.StoreDir is empty). Closed — which syncs it — on
+	// Shutdown, after the worker pool has drained its last write.
+	disk  *store.Store
 	runFn func(ctx context.Context, j *job) ([]byte, error)
 
 	// histMu guards aggHists, the server-lifetime latency histograms
@@ -165,7 +179,11 @@ type Server struct {
 }
 
 // New starts a server: opt.Workers goroutines draining the job queue.
-func New(opt Options) *Server {
+// With Options.StoreDir set it opens (verifying and, where needed,
+// quarantining) the persistent store first; a store that cannot be
+// opened at all — not a corrupt entry, which only quarantines — is
+// the one startup error.
+func New(opt Options) (*Server, error) {
 	return newServer(opt, nil)
 }
 
@@ -217,8 +235,15 @@ func (s *Server) runBench(ctx context.Context, j *job) ([]byte, error) {
 	return EncodeResult(res)
 }
 
+// Store namespaces: results are canonical JSON documents, snapshots
+// are DSSNAP streams whose header fingerprint is verified at Open.
+const (
+	storeNSResult = "result"
+	storeNSSnap   = "snap"
+)
+
 // newServer is New with an injectable run function (test hook).
-func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *Server {
+func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) (*Server, error) {
 	opt = opt.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -234,6 +259,25 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *
 	}
 	if opt.SnapshotCacheEntries > 0 {
 		s.snaps = newResultCache(opt.SnapshotCacheEntries)
+	}
+	if opt.StoreDir != "" {
+		disk, err := store.Open(store.Options{
+			Dir:      opt.StoreDir,
+			MaxBytes: opt.StoreMaxBytes,
+			Verify: map[string]store.VerifyFunc{
+				storeNSResult: verifyResultBody,
+				storeNSSnap:   core.VerifySnapshotHeader,
+			},
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.disk = disk
+		s.cache.attachDisk(disk, storeNSResult)
+		if s.snaps != nil {
+			s.snaps.attachDisk(disk, storeNSSnap)
+		}
 	}
 	if s.runFn == nil {
 		s.runFn = s.runBench
@@ -255,7 +299,17 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) *
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// verifyResultBody is the startup deep check for the result
+// namespace: stored bodies are canonical JSON documents, so anything
+// that does not even parse is quarantined.
+func verifyResultBody(body []byte) error {
+	if !json.Valid(body) {
+		return errors.New("serve: stored result is not valid JSON")
+	}
+	return nil
 }
 
 // Handler returns the HTTP API.
@@ -405,12 +459,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.closeDisk()
 	case <-ctx.Done():
 		s.cancel()
 		<-done
+		_ = s.closeDisk()
 		return ctx.Err()
 	}
+}
+
+// closeDisk syncs and closes the persistent store once every worker
+// has retired (so the last write has landed). Idempotent; nil-safe.
+func (s *Server) closeDisk() error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Close()
 }
 
 // Close hard-stops the server: in-flight jobs are cancelled, then the

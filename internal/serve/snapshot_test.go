@@ -33,7 +33,7 @@ func TestSnapshotPrefixE2E(t *testing.T) {
 	specB := `{"bench": "MM", "config": {"sms": 8}}`
 
 	// Cold oracle: spec B without any snapshot cache.
-	coldURL := startServer(t, New(Options{Workers: 1, SnapshotCacheEntries: -1}))
+	coldURL := startServer(t, mustNew(t, Options{Workers: 1, SnapshotCacheEntries: -1}))
 	if m := metricsMap(t, coldURL); m["dstore_serve_snapshot_misses_total"] != 0 {
 		t.Fatalf("disabled snapshot cache recorded a miss: %v", m)
 	}
@@ -44,7 +44,7 @@ func TestSnapshotPrefixE2E(t *testing.T) {
 
 	for _, workers := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			base := startServer(t, New(Options{Workers: workers}))
+			base := startServer(t, mustNew(t, Options{Workers: workers}))
 
 			_, bodyA := runToResult(t, base, specA)
 			m := metricsMap(t, base)
@@ -84,7 +84,7 @@ func TestSnapshotPrefixE2E(t *testing.T) {
 // otherwise silently lack every produce-phase event), so it neither
 // reads nor seeds the snapshot cache.
 func TestSnapshotTraceBypass(t *testing.T) {
-	base := startServer(t, New(Options{Workers: 1}))
+	base := startServer(t, mustNew(t, Options{Workers: 1}))
 	runToResult(t, base, `{"bench": "MM", "trace": true}`)
 	m := metricsMap(t, base)
 	if m["dstore_serve_snapshot_hits_total"] != 0 || m["dstore_serve_snapshot_misses_total"] != 0 || m["dstore_serve_snapshot_entries"] != 0 {

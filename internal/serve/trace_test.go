@@ -13,7 +13,7 @@ import (
 // check it parses the way Perfetto would. A second identical traced
 // submission must serve the identical bytes from cache.
 func TestTraceEndpoint(t *testing.T) {
-	srv := New(Options{Workers: 2})
+	srv := mustNew(t, Options{Workers: 2})
 	base := startServer(t, srv)
 
 	spec := `{"bench": "MT", "input": "small", "trace": true}`
@@ -61,7 +61,7 @@ func TestTraceEndpoint(t *testing.T) {
 
 // TestTraceUnknownRun checks the 404 path for never-seen IDs.
 func TestTraceUnknownRun(t *testing.T) {
-	srv := New(Options{Workers: 1})
+	srv := mustNew(t, Options{Workers: 1})
 	base := startServer(t, srv)
 	code, _ := getRaw(t, base+"/v1/runs/deadbeef/trace")
 	if code != http.StatusNotFound {
@@ -74,7 +74,7 @@ func TestTraceUnknownRun(t *testing.T) {
 // _sum and _count for the latency histograms, and /v1/stats carries
 // the matching sample counts.
 func TestMetricsHistograms(t *testing.T) {
-	srv := New(Options{Workers: 1})
+	srv := mustNew(t, Options{Workers: 1})
 	base := startServer(t, srv)
 
 	sub := post(t, base, `{"bench": "MT", "input": "small", "mode": "direct-store"}`)

@@ -81,6 +81,30 @@ var knownKeys = map[string]bool{
 	"push_jitter":     true,
 	"push_drops":      true,
 	"push_dups":       true,
+
+	// persistent content-addressed store tier (internal/store, surfaced
+	// by internal/serve's /v1/stats and /metrics)
+	"dstore_store_disk_hits_total":      true,
+	"dstore_store_disk_misses_total":    true,
+	"dstore_store_disk_writes_total":    true,
+	"dstore_store_disk_evictions_total": true,
+	"dstore_store_disk_bytes":           true,
+	"dstore_store_disk_entries":         true,
+	"dstore_store_corrupt_entries":      true,
+
+	// fleet coordinator (internal/fleet)
+	"fleet_workers":                      true,
+	"fleet_workers_healthy":              true,
+	"fleet_probes_total":                 true,
+	"fleet_probe_failures_total":         true,
+	"fleet_jobs_dispatched_total":        true,
+	"fleet_jobs_completed_total":         true,
+	"fleet_jobs_failed_total":            true,
+	"fleet_dispatch_failovers_total":     true,
+	"fleet_sweeps_started_total":         true,
+	"fleet_sweeps_completed_total":       true,
+	"fleet_sweeps_active":                true,
+	"fleet_sweep_results_streamed_total": true,
 }
 
 // KnownKey reports whether name is a registered counter key.
