@@ -5,7 +5,7 @@ GO ?= go
 # that use (sweep runner, serve daemon) or feed (event kernel)
 # concurrency, and the exhaustive small-config protocol model check.
 .PHONY: check
-check: vet lint build test race modelcheck trace-smoke fleet-smoke
+check: vet lint build test race modelcheck trace-smoke fleet-smoke fleet-chaos-smoke
 
 .PHONY: vet
 vet:
@@ -86,6 +86,15 @@ serve-smoke:
 .PHONY: fleet-smoke
 fleet-smoke:
 	$(GO) run ./cmd/dstore-coord -smoke
+
+# fleet-chaos-smoke runs the fault-tolerance walkthrough in-process:
+# a worker behind a chaosnet proxy is partitioned (jobs fail over,
+# the breaker trips), healed (a probe recloses it), then serves one
+# bit-flipped result body — which the coordinator's digest check must
+# catch, quarantine, and answer around from the replica.
+.PHONY: fleet-chaos-smoke
+fleet-chaos-smoke:
+	$(GO) run ./cmd/dstore-coord -chaos-smoke
 
 # bench regenerates the event-kernel microbenchmarks. Compare against
 # the committed baseline in BENCH_sim_engine.txt before merging engine

@@ -9,8 +9,12 @@
 //
 //	dstore-coord -workers http://h1:8080,http://h2:8080
 //	dstore-coord -addr 127.0.0.1:9000 -workers http://h1:8080
+//	dstore-coord -journal /var/lib/dstore/journal   # sweep crash-recovery
 //	dstore-coord -smoke       # boot 2 in-process workers, sweep,
 //	                          # kill one, verify failover; exit
+//	dstore-coord -chaos-smoke # boot workers behind a chaos proxy,
+//	                          # partition + corrupt, verify the sweep
+//	                          # survives and integrity holds; exit
 //
 // API:
 //
@@ -32,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -42,6 +47,7 @@ import (
 	"time"
 
 	"dstore/internal/fleet"
+	"dstore/internal/fleet/chaosnet"
 	"dstore/internal/serve"
 )
 
@@ -57,19 +63,38 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-call timeout to a worker")
 		pollInterval  = flag.Duration("poll-interval", 20*time.Millisecond, "status-poll period for accepted jobs")
 		jobDeadline   = flag.Duration("job-deadline", 5*time.Minute, "end-to-end bound per job including failover")
+		seed          = flag.Uint64("seed", 1, "seed for operational randomness (probe jitter, backoff jitter)")
+		failThresh    = flag.Int("failure-threshold", 3, "consecutive failures before a worker's breaker opens")
+		breakerCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open trial")
+		quarCool      = flag.Duration("quarantine-cooldown", 2*time.Minute, "minimum quarantine after a corrupt result")
+		dispRetries   = flag.Int("dispatch-retries", 3, "extra ring passes per job with backoff (negative = none)")
+		backoffBase   = flag.Duration("backoff-base", 100*time.Millisecond, "first-retry backoff")
+		backoffMax    = flag.Duration("backoff-max", 5*time.Second, "per-round backoff cap")
+		maxPending    = flag.Int("max-pending", 1024, "dispatches in flight before load shedding (negative = unlimited)")
+		journal       = flag.String("journal", "", "directory for sweep journals; incomplete sweeps resume at startup")
 		smoke         = flag.Bool("smoke", false, "boot an in-process fleet, sweep it, kill a worker, verify failover, exit")
+		chaosSmoke    = flag.Bool("chaos-smoke", false, "boot an in-process fleet behind a chaos proxy, partition and corrupt it, verify recovery, exit")
 	)
 	flag.Parse()
 
 	opt := fleet.Options{
-		Vnodes:         *vnodes,
-		Replicas:       *replicas,
-		SweepWorkers:   *sweepWorkers,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
-		RequestTimeout: *reqTimeout,
-		PollInterval:   *pollInterval,
-		JobDeadline:    *jobDeadline,
+		Vnodes:             *vnodes,
+		Replicas:           *replicas,
+		SweepWorkers:       *sweepWorkers,
+		ProbeInterval:      *probeInterval,
+		ProbeTimeout:       *probeTimeout,
+		RequestTimeout:     *reqTimeout,
+		PollInterval:       *pollInterval,
+		JobDeadline:        *jobDeadline,
+		Seed:               *seed,
+		FailureThreshold:   *failThresh,
+		BreakerCooldown:    *breakerCool,
+		QuarantineCooldown: *quarCool,
+		DispatchRetries:    *dispRetries,
+		BackoffBase:        *backoffBase,
+		BackoffMax:         *backoffMax,
+		MaxPending:         *maxPending,
+		JournalDir:         *journal,
 	}
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {
@@ -82,6 +107,13 @@ func main() {
 	if *smoke {
 		if err := runSmoke(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "fleet-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaosSmoke {
+		if err := runChaosSmoke(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet-chaos-smoke: FAIL: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -218,6 +250,214 @@ func runSmoke(opt fleet.Options) error {
 	}
 	fmt.Printf("fleet-smoke: OK — all 6 jobs re-answered after the kill (%d via failover), bytes identical\n", failedOver)
 	return nil
+}
+
+// runChaosSmoke exercises the fault-tolerance path end to end in one
+// process: two workers, one behind a chaosnet proxy, and a
+// coordinator with fast breakers. A clean sweep establishes the
+// baseline, then the proxied worker is partitioned (jobs must fail
+// over, the breaker must trip), healed (the breaker must reclose via
+// a probe), served one corrupted result (the coordinator must catch
+// the digest mismatch, quarantine the worker, and retry on the
+// replica), and finally requalified after the quarantine cooldown.
+func runChaosSmoke(opt fleet.Options) error {
+	tmp, err := os.MkdirTemp("", "fleet-chaos-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	var ws [2]*smokeWorker
+	for i := range ws {
+		w, err := startSmokeWorker(fmt.Sprintf("%s/w%d", tmp, i))
+		if err != nil {
+			return err
+		}
+		defer w.kill()
+		ws[i] = w
+	}
+	proxy, err := chaosnet.New(ws[0].url, opt.Seed, chaosnet.FaultPlan{})
+	if err != nil {
+		return err
+	}
+	phs := httptestServer(proxy)
+	defer phs.close()
+
+	// The coordinator only knows the proxy's address for worker 0, so
+	// every byte to or from it crosses the chaos path.
+	opt.Workers = []string{phs.url, ws[1].url}
+	opt.ProbeInterval = 200 * time.Millisecond
+	opt.PollInterval = 5 * time.Millisecond
+	opt.FailureThreshold = 2
+	opt.BreakerCooldown = 300 * time.Millisecond
+	opt.QuarantineCooldown = 1200 * time.Millisecond
+	opt.DispatchRetries = 3
+	opt.BackoffBase = 20 * time.Millisecond
+	opt.BackoffMax = 100 * time.Millisecond
+	coord, err := fleet.New(opt)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	chs := httptestServer(coord.Handler())
+	defer chs.close()
+	base := chs.url
+	fmt.Printf("fleet-chaos-smoke: coordinator on %s, workers %s (chaos-proxied %s) %s\n",
+		base, phs.url, ws[0].url, ws[1].url)
+
+	// Phase 1: a clean sweep through the zero-fault proxy — 12 jobs so
+	// the ring all but surely assigns the proxied worker some of them.
+	matrix := `{"bench":["MT","VA","BL"],"mode":["direct-store"],"config":{"prefetch_depth":[0,2],"sms":[2,4]}}`
+	results, report, err := streamSweep(base, matrix)
+	if err != nil {
+		return err
+	}
+	if len(results) != 12 || report == nil || report.Failed != 0 {
+		return fmt.Errorf("baseline sweep: %d results, report %+v", len(results), report)
+	}
+	var proxied []fleet.Outcome
+	for _, o := range results {
+		if o.Error != "" {
+			return fmt.Errorf("baseline job %.8s failed: %s", o.ID, o.Error)
+		}
+		if o.Worker == phs.url {
+			proxied = append(proxied, o)
+		}
+	}
+	if len(proxied) == 0 {
+		return fmt.Errorf("ring assigned no jobs to the proxied worker across %d jobs; rerun", len(results))
+	}
+	fmt.Printf("fleet-chaos-smoke: baseline sweep %.8s done — %d results, %d via the chaos proxy\n",
+		report.SweepID, report.Completed, len(proxied))
+
+	// Phase 2: partition the proxied worker. Its jobs must still
+	// answer, byte-identical, via the replica, and the repeated
+	// connection resets must trip its breaker.
+	proxy.Partition(true)
+	for i := 0; i < 2; i++ {
+		for _, o := range proxied {
+			body, err := resubmit(base, o.ID, results)
+			if err != nil {
+				return fmt.Errorf("partitioned job %.8s: %w", o.ID, err)
+			}
+			if !bytes.Equal(body, o.Result) {
+				return fmt.Errorf("partitioned job %.8s returned different bytes", o.ID)
+			}
+		}
+	}
+	stats, err := chaosStats(base)
+	if err != nil {
+		return err
+	}
+	if stats["fleet_breaker_trips_total"] == 0 {
+		return fmt.Errorf("partition did not trip the breaker: %v", stats)
+	}
+	fmt.Printf("fleet-chaos-smoke: partition survived — %d jobs re-answered via failover, breaker tripped\n", len(proxied))
+
+	// Phase 3: heal the partition; a health probe must half-open and
+	// reclose the breaker.
+	proxy.Partition(false)
+	if err := awaitWorkerHealthy(base, phs.url, 15*time.Second); err != nil {
+		return fmt.Errorf("breaker did not reclose after heal: %w", err)
+	}
+	stats, err = chaosStats(base)
+	if err != nil {
+		return err
+	}
+	if stats["fleet_breaker_recloses_total"] == 0 {
+		return fmt.Errorf("heal recorded no breaker reclose: %v", stats)
+	}
+	fmt.Printf("fleet-chaos-smoke: partition healed — breaker reclosed via probe\n")
+
+	// Phase 4: serve exactly one corrupted result body. The
+	// coordinator must catch the digest mismatch, quarantine the
+	// worker, and still answer with clean bytes from the replica.
+	proxy.CorruptNext(1)
+	pick := proxied[0]
+	body, err := resubmit(base, pick.ID, results)
+	if err != nil {
+		return fmt.Errorf("job %.8s during corruption: %w", pick.ID, err)
+	}
+	if !bytes.Equal(body, pick.Result) {
+		return fmt.Errorf("corrupt result leaked through for job %.8s", pick.ID)
+	}
+	stats, err = chaosStats(base)
+	if err != nil {
+		return err
+	}
+	if stats["fleet_corrupt_results_total"] == 0 || stats["fleet_quarantines_total"] == 0 {
+		return fmt.Errorf("corruption not detected or worker not quarantined: %v", stats)
+	}
+	if c := proxy.Counts(); c.Corruptions != 1 {
+		return fmt.Errorf("proxy injected %d corruptions, want 1", c.Corruptions)
+	}
+	fmt.Printf("fleet-chaos-smoke: corrupt result caught — worker quarantined, clean bytes served from replica\n")
+
+	// Phase 5: after the quarantine cooldown a successful probe must
+	// requalify the worker.
+	if err := awaitWorkerHealthy(base, phs.url, 20*time.Second); err != nil {
+		return fmt.Errorf("worker not requalified after quarantine cooldown: %w", err)
+	}
+	stats, err = chaosStats(base)
+	if err != nil {
+		return err
+	}
+	if stats["fleet_requalified_total"] == 0 {
+		return fmt.Errorf("requalification not counted: %v", stats)
+	}
+	body, err = resubmit(base, pick.ID, results)
+	if err != nil || !bytes.Equal(body, pick.Result) {
+		return fmt.Errorf("post-requalification job %.8s: %v", pick.ID, err)
+	}
+	fmt.Printf("fleet-chaos-smoke: OK — partition, heal, corruption, quarantine, requalification all verified\n")
+	return nil
+}
+
+// chaosStats fetches the coordinator's counter snapshot.
+func chaosStats(base string) (map[string]uint64, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]uint64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// awaitWorkerHealthy polls GET /v1/workers until the worker at url
+// reports healthy (breaker closed, not quarantined) or the deadline
+// passes.
+func awaitWorkerHealthy(base, url string, within time.Duration) error {
+	//dstore:allow-wallclock smoke-test deadline, never in a simulation result
+	deadline := time.Now().Add(within)
+	var last []byte
+	//dstore:allow-wallclock smoke-test deadline, never in a simulation result
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/workers")
+		if err == nil {
+			var lst struct {
+				Workers []struct {
+					URL     string `json:"url"`
+					Healthy bool   `json:"healthy"`
+				} `json:"workers"`
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			last = b
+			if json.Unmarshal(b, &lst) == nil {
+				for _, w := range lst.Workers {
+					if w.URL == url && w.Healthy {
+						return nil
+					}
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("worker %s not healthy within %v (last: %s)", url, within, last)
 }
 
 // resubmit re-runs one sweep job through the coordinator using the

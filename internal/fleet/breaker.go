@@ -1,0 +1,149 @@
+package fleet
+
+import "time"
+
+// breakerState is the per-worker circuit-breaker state machine
+// (DESIGN.md §13). The breaker replaces the original one-strike
+// markUnhealthy: a worker must fail FailureThreshold consecutive
+// times before the fleet stops dispatching to it, and once open it is
+// reclosed only through a successful probe — one trial request (a
+// health probe or a single dispatched job) is let through after the
+// cooldown, and its outcome decides between reclose and another
+// cooldown round.
+type breakerState uint8
+
+const (
+	// bkClosed: requests flow; consecutive failures are counted.
+	bkClosed breakerState = iota
+	// bkOpen: the worker is cooling down; no requests until the
+	// cooldown elapses.
+	bkOpen
+	// bkHalfOpen: the cooldown elapsed; exactly one trial request is
+	// allowed through. Success recloses, failure reopens.
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkClosed:
+		return "closed"
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one worker's failure-handling state. All transitions run
+// under the owning registry's mutex; times come from the registry's
+// injected clock so tests are deterministic.
+type breaker struct {
+	state breakerState
+	// fails counts consecutive failures while closed. Any success
+	// resets it — which is exactly the flap damping: a worker
+	// alternating pass/fail never accumulates enough to trip.
+	fails int
+	// openedAt stamps the closed→open (or half-open→open) transition;
+	// the cooldown is measured from it.
+	openedAt time.Time
+	// trial marks the half-open probe token as taken.
+	trial bool
+	// quarantined is the integrity flag: the worker served bytes whose
+	// digest did not verify. Quarantine overrides everything — no
+	// dispatches — until QuarantineCooldown has elapsed AND a probe
+	// succeeds.
+	quarantined   bool
+	quarantinedAt time.Time
+}
+
+// allow reports whether a request may be sent to this worker now,
+// advancing open→half-open when the cooldown has elapsed (and
+// consuming the single half-open trial token). Caller holds the
+// registry mutex.
+func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
+	if b.quarantined {
+		return false
+	}
+	switch b.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false
+		}
+		b.state = bkHalfOpen
+		b.trial = true
+		return true
+	case bkHalfOpen:
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+	return false
+}
+
+// success applies a successful request or probe. Returns true when
+// the transition was a reclose (half-open/open → closed).
+func (b *breaker) success() bool {
+	b.fails = 0
+	b.trial = false
+	if b.state != bkClosed {
+		b.state = bkClosed
+		return true
+	}
+	return false
+}
+
+// failure applies a failed request or probe. Returns true when the
+// breaker tripped (→ open) on this failure.
+func (b *breaker) failure(now time.Time, threshold int) bool {
+	switch b.state {
+	case bkClosed:
+		b.fails++
+		if b.fails < threshold {
+			return false
+		}
+		b.state = bkOpen
+		b.openedAt = now
+		return true
+	case bkHalfOpen:
+		// The trial failed: back to cooling down.
+		b.state = bkOpen
+		b.openedAt = now
+		b.trial = false
+		return true
+	case bkOpen:
+		// Already cooling; don't extend the window — a burst of
+		// failures against a downed worker should not push recovery
+		// ever further out.
+		return false
+	}
+	return false
+}
+
+// quarantine forces the breaker open and raises the integrity flag.
+func (b *breaker) quarantine(now time.Time) {
+	b.quarantined = true
+	b.quarantinedAt = now
+	b.state = bkOpen
+	b.openedAt = now
+	b.trial = false
+	b.fails = 0
+}
+
+// requalify clears quarantine if its cooldown has elapsed. The caller
+// invokes this only on a successful probe, making rehabilitation
+// probe-gated: time alone is never enough.
+func (b *breaker) requalify(now time.Time, cooldown time.Duration) bool {
+	if !b.quarantined || now.Sub(b.quarantinedAt) < cooldown {
+		return false
+	}
+	b.quarantined = false
+	b.state = bkClosed
+	b.fails = 0
+	b.trial = false
+	return true
+}

@@ -1,0 +1,206 @@
+package chaosnet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dstore/internal/serve"
+)
+
+// stubWorker answers every GET with a fixed result-bearing response:
+// a JSON envelope plus the digest header covering the result field,
+// like dstore-serve does.
+func stubWorker(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	result := `{"bench":"MT","ticks":12345}`
+	sum := sha256.Sum256([]byte(result))
+	body := fmt.Sprintf(`{"id":"abc","status":"done","result":%s}`, result)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(serve.ResultDigestHeader, hex.EncodeToString(sum[:]))
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(hs.Close)
+	return hs, body
+}
+
+func startProxy(t *testing.T, upstream string, seed uint64, plan FaultPlan) (*Proxy, string) {
+	t.Helper()
+	p, err := New(upstream, seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(p)
+	t.Cleanup(hs.Close)
+	return p, hs.URL
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	up, want := stubWorker(t)
+	p, base := startProxy(t, up.URL, 7, FaultPlan{})
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(base + "/v1/runs/abc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(b) != want {
+			t.Fatalf("request %d altered through zero plan: %v %q", i, err, b)
+		}
+		if resp.Header.Get(serve.ResultDigestHeader) == "" {
+			t.Fatal("digest header dropped by proxy")
+		}
+	}
+	c := p.Counts()
+	if c.Resets != 0 || c.Corruptions != 0 || c.Truncations != 0 || c.Partitioned != 0 {
+		t.Fatalf("zero plan injected faults: %+v", c)
+	}
+}
+
+// TestFaultScheduleDeterministicPerSeed drives the same request
+// sequence through two proxies sharing a seed and plan: the n-th
+// request must meet the same fate on both.
+func TestFaultScheduleDeterministicPerSeed(t *testing.T) {
+	up, _ := stubWorker(t)
+	plan := FaultPlan{Reset: 0.4}
+	_, base1 := startProxy(t, up.URL, 42, plan)
+	_, base2 := startProxy(t, up.URL, 42, plan)
+	_, base3 := startProxy(t, up.URL, 1042, plan)
+
+	fates := func(base string) string {
+		var sb strings.Builder
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(base + "/v1/runs/x")
+			if err != nil {
+				sb.WriteByte('R')
+				continue
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			sb.WriteByte('.')
+		}
+		return sb.String()
+	}
+	f1, f2, f3 := fates(base1), fates(base2), fates(base3)
+	if f1 != f2 {
+		t.Fatalf("same seed diverged:\n  %s\n  %s", f1, f2)
+	}
+	if !strings.Contains(f1, "R") || !strings.Contains(f1, ".") {
+		t.Fatalf("plan with Reset=0.4 produced a degenerate schedule: %s", f1)
+	}
+	if f3 == f1 {
+		t.Fatalf("different seeds produced identical schedules: %s", f1)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	up, want := stubWorker(t)
+	p, base := startProxy(t, up.URL, 3, FaultPlan{})
+
+	p.Partition(true)
+	if _, err := http.Get(base + "/v1/stats"); err == nil {
+		t.Fatal("request crossed an active partition")
+	}
+	p.Partition(false)
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("healed partition still failing: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != want {
+		t.Fatalf("healed partition body: %q", b)
+	}
+	if c := p.Counts(); c.Partitioned == 0 {
+		t.Fatalf("partition not counted: %+v", c)
+	}
+}
+
+// TestCorruptNextBreaksDigestOnce verifies the targeted corruption:
+// exactly one response's body stops matching its advertised digest,
+// and the next is clean again.
+func TestCorruptNextBreaksDigestOnce(t *testing.T) {
+	up, _ := stubWorker(t)
+	p, base := startProxy(t, up.URL, 5, FaultPlan{})
+	p.CorruptNext(1)
+
+	verify := func() bool {
+		resp, err := http.Get(base + "/v1/runs/abc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := resp.Header.Get(serve.ResultDigestHeader)
+		// Extract the result field the digest covers.
+		i := strings.Index(string(b), `"result":`)
+		if i < 0 {
+			t.Fatalf("no result field in %q", b)
+		}
+		payload := b[i+len(`"result":`) : len(b)-1]
+		sum := sha256.Sum256(payload)
+		return hex.EncodeToString(sum[:]) == want
+	}
+	if verify() {
+		t.Fatal("CorruptNext(1) left the first response intact")
+	}
+	if !verify() {
+		t.Fatal("corruption leaked past the scheduled response")
+	}
+	if c := p.Counts(); c.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", c.Corruptions)
+	}
+}
+
+func TestTruncateNextCutsBody(t *testing.T) {
+	up, _ := stubWorker(t)
+	p, base := startProxy(t, up.URL, 9, FaultPlan{})
+	p.TruncateNext(1)
+
+	resp, err := http.Get(base + "/v1/runs/abc")
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatal("truncated response read cleanly")
+		}
+	}
+	if c := p.Counts(); c.Truncations != 1 {
+		t.Fatalf("truncations = %d, want 1", c.Truncations)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	up, _ := stubWorker(t)
+	p, base := startProxy(t, up.URL, 11, FaultPlan{Latency: 1.0, MaxDelay: 30 * time.Millisecond})
+	//dstore:allow-wallclock measuring injected latency in a test
+	startAt := time.Now()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	//dstore:allow-wallclock measuring injected latency in a test
+	elapsed := time.Since(startAt)
+	c := p.Counts()
+	if c.Delays != 5 {
+		t.Fatalf("delays = %d, want 5", c.Delays)
+	}
+	if elapsed == 0 {
+		t.Fatal("no measurable delay injected")
+	}
+}

@@ -1,0 +1,260 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dstore/internal/fleet/chaosnet"
+)
+
+// TestFleetChaosE2E is the fault-tolerance proof over real processes:
+// three workers (one behind a chaos proxy), a journalling coordinator
+// SIGKILLed mid-sweep and restarted, a partition injected and healed,
+// one corrupted result body — and at the end, every one of the 1000
+// sweep results byte-identical to an uninstrumented single-process
+// oracle, with zero failed jobs.
+func TestFleetChaosE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos e2e skipped in -short mode")
+	}
+	serveBin, coordBin := buildBinaries(t)
+	client := &http.Client{Timeout: time.Minute}
+
+	// Three workers with persistent stores; worker 2 is reachable only
+	// through the chaos proxy, so every byte it serves crosses the
+	// fault-injection path.
+	workers := make([]*proc, 3)
+	for i := range workers {
+		workers[i] = startProc(t, serveBin, "dstore-serve listening on ",
+			"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "256",
+			"-store", filepath.Join(t.TempDir(), fmt.Sprintf("store%d", i)))
+	}
+	proxy, err := chaosnet.New(workers[2].url, 1, chaosnet.FaultPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phs := httptest.NewServer(proxy)
+	defer phs.Close()
+
+	journalDir := filepath.Join(t.TempDir(), "journal")
+	coordArgs := []string{
+		"-addr", "127.0.0.1:0",
+		"-workers", workers[0].url + "," + workers[1].url + "," + phs.URL,
+		"-journal", journalDir,
+		"-probe-interval", "300ms", "-probe-timeout", "2s",
+		"-poll-interval", "5ms", "-sweep-workers", "32",
+		"-failure-threshold", "2", "-breaker-cooldown", "500ms",
+		"-quarantine-cooldown", "2s",
+		"-backoff-base", "20ms", "-backoff-max", "200ms",
+	}
+	coord := startProc(t, coordBin, "dstore-coord listening on ", coordArgs...)
+
+	// The same 1000-job matrix the plain e2e uses.
+	matrix := `{
+		"bench": ["MT", "VA", "BL", "NN"],
+		"mode": ["direct-store"],
+		"config": {
+			"prefetch_depth": [0, 1, 2, 3, 4],
+			"max_warps_per_sm": [4, 8, 12, 16, 24],
+			"sms": [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+		}
+	}`
+	const wantJobs = 1000
+
+	req, err := http.NewRequest(http.MethodPost, coord.url+"/v1/sweeps", strings.NewReader(matrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	sweepResp, err := (&http.Client{}).Do(req) // no timeout: stream lives for the sweep
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweepResp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(sweepResp.Body)
+		t.Fatalf("sweep submit: %d: %s", sweepResp.StatusCode, b)
+	}
+	sweepID := sweepResp.Header.Get("X-Dstore-Sweep")
+	if sweepID == "" {
+		t.Fatal("no sweep id on the stream response")
+	}
+
+	// Drain the stream until 150 results are in hand, then SIGKILL the
+	// coordinator — a hard crash, no shutdown path. The stream breaks;
+	// whatever error the broken socket surfaces is expected.
+	preCrash := make(map[int]Outcome)
+	killed := false
+	sc := bufio.NewScanner(sweepResp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev sweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			break // torn line from the dying connection
+		}
+		if ev.Event != "result" {
+			continue
+		}
+		var o Outcome
+		if err := json.Unmarshal(ev.Data, &o); err != nil {
+			break
+		}
+		preCrash[o.Seq] = o
+		if !killed && len(preCrash) == 150 {
+			killed = true
+			if err := coord.cmd.Process.Kill(); err != nil {
+				t.Fatalf("SIGKILL coordinator: %v", err)
+			}
+			t.Logf("SIGKILLed the coordinator after %d streamed results", len(preCrash))
+		}
+	}
+	sweepResp.Body.Close()
+	if !killed {
+		t.Fatal("sweep finished before the kill point")
+	}
+	_, _ = coord.cmd.Process.Wait()
+
+	// Restart over the same journal: the sweep must resume on its own.
+	coord2 := startProc(t, coordBin, "dstore-coord listening on ", coordArgs...)
+	var stats map[string]uint64
+	if err := getJSONInto(client, coord2.url+"/v1/stats", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["fleet_sweeps_resumed_total"] != 1 {
+		t.Fatalf("restarted coordinator resumed %d sweeps, want 1: %v", stats["fleet_sweeps_resumed_total"], stats)
+	}
+	replayed := int(stats["fleet_jobs_replayed_total"])
+	if replayed < 150 || replayed >= wantJobs {
+		t.Fatalf("jobs replayed = %d, want within [150, %d)", replayed, wantJobs)
+	}
+	t.Logf("resume: %d journalled outcomes replayed, %d jobs re-dispatching", replayed, wantJobs-replayed)
+
+	// Reconnect from seq 0: the journalled prefix replays instantly,
+	// then live results follow. While they stream, run the chaos
+	// choreography against the proxied worker: partition, heal, then
+	// one corrupted result body.
+	req, err = http.NewRequest(http.MethodGet, coord2.url+"/v1/sweeps/"+sweepID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream reconnect: %d: %s", resp.StatusCode, b)
+	}
+	var all []Outcome
+	var report *Report
+	partitionAt, healAt, corruptAt := replayed+50, replayed+250, replayed+450
+	sc = bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev sweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case "result":
+			var o Outcome
+			if err := json.Unmarshal(ev.Data, &o); err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, o)
+			switch len(all) {
+			case partitionAt:
+				proxy.Partition(true)
+				t.Logf("partitioned %s at %d results", phs.URL, len(all))
+			case healAt:
+				proxy.Partition(false)
+				t.Logf("healed the partition at %d results", len(all))
+			case corruptAt:
+				proxy.CorruptNext(1)
+				t.Logf("scheduled one corrupt result body at %d results", len(all))
+			}
+		case "report":
+			report = &Report{}
+			if err := json.Unmarshal(ev.Data, report); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Integrity of the final state: every job exactly once, none
+	// failed, and the pre-crash stream's resume tokens still valid —
+	// the replayed prefix is identical, seq for seq.
+	if len(all) != wantJobs {
+		t.Fatalf("streamed %d results, want %d", len(all), wantJobs)
+	}
+	if report == nil || report.Completed != wantJobs || report.Failed != 0 || report.Degraded {
+		t.Fatalf("report after crash + chaos: %+v", report)
+	}
+	seen := make(map[string]bool, wantJobs)
+	for i, o := range all {
+		if o.Error != "" {
+			t.Fatalf("job %.8s failed despite failover: %s", o.ID, o.Error)
+		}
+		if o.Seq != i {
+			t.Fatalf("result %d carries seq %d", i, o.Seq)
+		}
+		if seen[o.ID] {
+			t.Fatalf("job %.8s streamed twice", o.ID)
+		}
+		seen[o.ID] = true
+	}
+	for seq, o := range preCrash { //dstore:allow-maprange per-seq comparison, order free
+		if all[seq].ID != o.ID || !bytes.Equal(all[seq].Result, o.Result) {
+			t.Fatalf("replayed seq %d diverged from the pre-crash stream", seq)
+		}
+	}
+
+	// The chaos must have been felt and handled: the partition tripped
+	// the proxied worker's breaker, a probe reclosed it after the heal,
+	// and the corrupted body was caught and quarantined — never served.
+	if err := getJSONInto(client, coord2.url+"/v1/stats", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["fleet_jobs_failed_total"] != 0 {
+		t.Fatalf("failed jobs after chaos: %v", stats)
+	}
+	if stats["fleet_breaker_trips_total"] == 0 {
+		t.Fatalf("partition did not trip a breaker: %v", stats)
+	}
+	if stats["fleet_corrupt_results_total"] == 0 || stats["fleet_quarantines_total"] == 0 {
+		t.Fatalf("corruption not caught/quarantined: %v", stats)
+	}
+	counts := proxy.Counts()
+	if counts.Partitioned == 0 || counts.Corruptions != 1 {
+		t.Fatalf("proxy injections off: %+v", counts)
+	}
+
+	// Oracle: a fresh single-process worker re-runs every canonical
+	// spec; the fleet's results — crash, partition and corruption
+	// notwithstanding — must match byte for byte.
+	oracle := startProc(t, serveBin, "dstore-serve listening on ",
+		"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "256")
+	oracleResults := runAllOn(t, client, oracle.url, all)
+	for _, o := range all {
+		want, ok := oracleResults[o.ID]
+		if !ok {
+			t.Fatalf("oracle produced no result for %.8s", o.ID)
+		}
+		if !bytes.Equal(o.Result, want) {
+			t.Fatalf("job %.8s differs from oracle:\n  fleet:  %s\n  oracle: %s", o.ID, o.Result, want)
+		}
+	}
+	t.Logf("chaos e2e: %d results byte-identical to oracle after crash-resume + partition + corruption", wantJobs)
+}

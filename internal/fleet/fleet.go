@@ -12,24 +12,31 @@
 // every resubmission of a spec to the same worker, whose
 // content-addressed result cache and warm-prefix snapshot store
 // (persistent when the worker runs with -store) absorb it without
-// re-simulating. The coordinator itself holds no simulation state —
-// every byte it returns came from a worker — so it can restart
-// freely.
+// re-simulating. The coordinator holds no simulation state — every
+// byte it returns came from a worker and is digest-verified against
+// the worker's own content address before it is forwarded — and with
+// a journal directory configured (Options.JournalDir) it can be
+// SIGKILLed mid-sweep and resume on restart, re-dispatching only the
+// jobs whose outcomes had not yet been journalled (DESIGN.md §13).
 package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dstore/internal/serve"
+	"dstore/internal/sim"
 )
 
 // Options configures a Coordinator. The zero value gets sensible
@@ -50,7 +57,8 @@ type Options struct {
 	// SweepWorkers is the number of jobs one sweep dispatches
 	// concurrently. Default 16.
 	SweepWorkers int
-	// ProbeInterval is the health-probe period. Default 2s.
+	// ProbeInterval is the health-probe period (jittered ±20% per
+	// round from Seed). Default 2s.
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe round. Default 2s.
 	ProbeTimeout time.Duration
@@ -66,6 +74,38 @@ type Options struct {
 	// RetryAfterMax caps how long a 429's Retry-After hint is
 	// honoured before retrying anyway. Default 2s.
 	RetryAfterMax time.Duration
+
+	// Seed drives every operational random draw — probe jitter,
+	// backoff jitter — so a fleet's failure handling is reproducible.
+	// Default 1.
+	Seed uint64
+	// FailureThreshold is how many consecutive failures trip a
+	// worker's circuit breaker open. Default 3.
+	FailureThreshold int
+	// BreakerCooldown is how long an open breaker waits before
+	// admitting one half-open trial request. Default 5s.
+	BreakerCooldown time.Duration
+	// QuarantineCooldown is how long an integrity quarantine lasts at
+	// minimum; after it, a successful probe requalifies the worker.
+	// Default 2m.
+	QuarantineCooldown time.Duration
+	// DispatchRetries is how many extra ring passes (beyond the
+	// first) a job gets, with exponential backoff between passes.
+	// Default 3; negative disables retry rounds.
+	DispatchRetries int
+	// BackoffBase is the first-retry backoff; each further round
+	// doubles it up to BackoffMax. Default 100ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the per-round backoff. Default 5s.
+	BackoffMax time.Duration
+	// MaxPending bounds jobs in the dispatch path at once; beyond it
+	// the coordinator sheds load with 429 + Retry-After rather than
+	// queueing without bound. Default 1024; negative means unlimited.
+	MaxPending int
+	// JournalDir, when set, enables sweep crash-recovery: every sweep
+	// writes a WAL under this directory (spec at start, each outcome
+	// as it lands) and New resumes any journal found incomplete.
+	JournalDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +133,33 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfterMax <= 0 {
 		o.RetryAfterMax = 2 * time.Second
 	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.QuarantineCooldown <= 0 {
+		o.QuarantineCooldown = 2 * time.Minute
+	}
+	if o.DispatchRetries == 0 {
+		o.DispatchRetries = 3
+	}
+	if o.DispatchRetries < 0 {
+		o.DispatchRetries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MaxPending == 0 {
+		o.MaxPending = 1024
+	}
 	return o
 }
 
@@ -108,32 +175,48 @@ type Coordinator struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// rng supplies backoff jitter; guarded by rngMu (dispatches are
+	// concurrent, and sim.Rand is not).
+	rngMu sync.Mutex
+	rng   *sim.Rand
+
 	sweepMu sync.Mutex
 	sweeps  map[string]*sweepRun
 
-	dispatched atomic.Uint64 // jobs handed to the dispatch path
-	completed  atomic.Uint64 // jobs that returned a result
-	jobsFailed atomic.Uint64 // jobs that exhausted every replica or failed terminally
-	failovers  atomic.Uint64 // replica advances after a worker error
-	streamed   atomic.Uint64 // sweep results written to streaming clients
-	sweepsRun  atomic.Uint64 // sweeps started
-	sweepsDone atomic.Uint64 // sweeps run to completion
+	pending        atomic.Int64  // jobs in the dispatch path right now
+	dispatched     atomic.Uint64 // jobs handed to the dispatch path
+	completed      atomic.Uint64 // jobs that returned a result
+	jobsFailed     atomic.Uint64 // jobs that exhausted every replica or failed terminally
+	failovers      atomic.Uint64 // replica advances after a worker error
+	retryRounds    atomic.Uint64 // backoff rounds taken after a full ring pass failed
+	shed           atomic.Uint64 // submissions refused at the MaxPending bound
+	corrupt        atomic.Uint64 // worker responses whose digest did not verify
+	streamed       atomic.Uint64 // sweep results written to streaming clients
+	sweepsRun      atomic.Uint64 // sweeps started
+	sweepsDone     atomic.Uint64 // sweeps run to completion
+	sweepsDegraded atomic.Uint64 // completed sweeps carrying failed jobs
+	sweepsResumed  atomic.Uint64 // incomplete journals resumed at startup
+	jobsReplayed   atomic.Uint64 // journalled outcomes restored without re-dispatch
+	journalAppends atomic.Uint64 // records durably appended to sweep journals
+	journalErrors  atomic.Uint64 // journal appends or opens that failed (sweep continues)
 }
 
-// New builds a coordinator over the static worker list and starts the
-// health-probe loop. An unparseable worker URL is the one
-// construction error.
+// New builds a coordinator over the static worker list, resumes any
+// incomplete sweep journals under Options.JournalDir, and starts the
+// health-probe loop. An unparseable worker URL or an unreadable
+// journal directory is a construction error.
 func New(opt Options) (*Coordinator, error) {
 	opt = opt.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		opt:    opt,
 		client: &http.Client{Timeout: opt.RequestTimeout},
+		rng:    sim.NewRand(opt.Seed ^ 0xBACC0FF),
 		sweeps: make(map[string]*sweepRun),
 		ctx:    ctx,
 		cancel: cancel,
 	}
-	c.reg = newRegistry(c.client, opt.Vnodes)
+	c.reg = newRegistry(c.client, opt)
 	for _, w := range opt.Workers {
 		if _, err := c.reg.add(w, true, true); err != nil {
 			cancel()
@@ -156,6 +239,12 @@ func New(opt Options) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
+	if opt.JournalDir != "" {
+		if err := c.loadJournals(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -168,7 +257,8 @@ func New(opt Options) (*Coordinator, error) {
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
 // Close stops the probe loop and aborts in-flight dispatches and
-// sweeps.
+// sweeps. Journals of unfinished sweeps are left incomplete on disk,
+// which is exactly what lets the next New resume them.
 func (c *Coordinator) Close() {
 	c.cancel()
 	c.wg.Wait()
@@ -181,12 +271,47 @@ type terminalError struct{ msg string }
 
 func (e *terminalError) Error() string { return e.msg }
 
+// corruptError marks a response whose body failed digest
+// verification: the worker served bytes that do not match its own
+// advertised content address. The worker is quarantined and the job
+// retried on a replica — corruption is a worker-integrity event, not
+// a property of the job.
+type corruptError struct {
+	worker string
+	detail string
+}
+
+func (e *corruptError) Error() string {
+	return fmt.Sprintf("fleet: corrupt result from %s: %s", e.worker, e.detail)
+}
+
+// digestOf returns the content address (sha256 hex) of a result body,
+// matching serve.ResultDigestHeader's format.
+func digestOf(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// verifyDigest checks a result payload against the digest the worker
+// advertised in its response headers. No header means no claim (an
+// older worker) — nothing to verify.
+func verifyDigest(worker string, hdr http.Header, payload []byte) error {
+	want := hdr.Get(serve.ResultDigestHeader)
+	if want == "" {
+		return nil
+	}
+	if got := digestOf(payload); got != want {
+		return &corruptError{worker: worker, detail: fmt.Sprintf("body digest %.12s… does not match advertised %.12s…", got, want)}
+	}
+	return nil
+}
+
 // jobOutcome is one successfully dispatched job.
 type jobOutcome struct {
-	body    []byte // canonical result document
+	body    []byte // canonical result document, digest-verified
 	worker  string // base URL that answered
 	cached  bool   // answered 200-from-cache on submission
-	workers int    // distinct workers tried (1 = owner answered)
+	workers int    // dispatch attempts spent (1 = owner answered first try)
 }
 
 // do performs one HTTP call against a worker and slurps the body.
@@ -250,65 +375,120 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// runJob dispatches one canonical job to the fleet: the ring owner
-// first, then each successive replica until one produces the result.
-// Worker-level failures (network, 5xx, shutdown-cancelled jobs) fail
-// over; terminal failures (bad spec, deterministic simulation
-// failure) do not.
+// backoff computes the pause before retry round n: exponential from
+// BackoffBase, capped at BackoffMax, with seeded equal-jitter (half
+// the delay fixed, half drawn from the seeded stream) so retrying
+// dispatchers decorrelate without losing reproducibility.
+func (c *Coordinator) backoff(round int) time.Duration {
+	d := c.opt.BackoffBase
+	for i := 0; i < round && d < c.opt.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opt.BackoffMax {
+		d = c.opt.BackoffMax
+	}
+	half := uint64(d) / 2
+	c.rngMu.Lock()
+	j := c.rng.Uint64n(half + 1)
+	c.rngMu.Unlock()
+	return time.Duration(half + j)
+}
+
+// runJob dispatches one canonical job to the fleet: a pass over the
+// job's replicas in breaker-filtered ring order, then — if every
+// admitted worker failed — further passes after exponential backoff,
+// so a transient cluster-wide blip (a partition healing, workers
+// restarting) is ridden out instead of failed through. Worker-level
+// failures feed the breaker; digest mismatches quarantine the worker;
+// terminal failures (bad spec, deterministic simulation failure) stop
+// immediately.
 func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte) (*jobOutcome, error) {
 	c.dispatched.Add(1)
+	c.pending.Add(1)
+	defer c.pending.Add(-1)
 	if c.opt.JobDeadline > 0 {
 		//dstore:allow-wallclock job deadline is operational
 		dctx, cancel := context.WithTimeout(ctx, c.opt.JobDeadline)
 		defer cancel()
 		ctx = dctx
 	}
-	owners := c.reg.currentRing().owners(id, c.opt.Replicas)
-	if len(owners) == 0 {
-		c.jobsFailed.Add(1)
-		return nil, &terminalError{"fleet: no workers registered"}
-	}
-	// Healthy replicas first; the rest stay in ring order as a last
-	// resort (a probe may simply not have caught a recovery yet).
-	order := make([]string, 0, len(owners))
-	for _, u := range owners {
-		if c.reg.healthy(u) {
-			order = append(order, u)
-		}
-	}
-	for _, u := range owners {
-		if !c.reg.healthy(u) {
-			order = append(order, u)
-		}
-	}
 	var lastErr error
-	for i, u := range order {
-		out, err := c.runOn(ctx, u, id, spec)
-		if err == nil {
-			out.workers = i + 1
-			c.completed.Add(1)
-			return out, nil
-		}
-		var term *terminalError
-		if errors.As(err, &term) {
+	attempts, rounds := 0, 0
+	for round := 0; ; round++ {
+		rounds++
+		owners := c.reg.currentRing().owners(id, c.opt.Replicas)
+		if len(owners) == 0 {
 			c.jobsFailed.Add(1)
-			return nil, err
+			return nil, &terminalError{"fleet: no workers registered"}
 		}
-		lastErr = err
-		c.reg.markUnhealthy(u)
-		if i+1 < len(order) {
+		for _, u := range c.reg.dispatchOrder(owners) {
+			attempts++
+			out, err := c.runOn(ctx, u, id, spec)
+			if err == nil {
+				c.reg.recordSuccess(u)
+				out.workers = attempts
+				c.completed.Add(1)
+				return out, nil
+			}
+			var term *terminalError
+			if errors.As(err, &term) {
+				c.jobsFailed.Add(1)
+				return nil, err
+			}
+			var corr *corruptError
+			if errors.As(err, &corr) {
+				c.corrupt.Add(1)
+				c.reg.quarantineWorker(u)
+			} else {
+				c.reg.recordFailure(u)
+			}
+			lastErr = err
 			c.failovers.Add(1)
+			if ctx.Err() != nil {
+				c.jobsFailed.Add(1)
+				return nil, fmt.Errorf("fleet: job %.8s: %w", id, lastErr)
+			}
 		}
-		if ctx.Err() != nil {
+		if round >= c.opt.DispatchRetries {
+			break
+		}
+		c.retryRounds.Add(1)
+		if err := sleepCtx(ctx, c.backoff(round)); err != nil {
 			break
 		}
 	}
 	c.jobsFailed.Add(1)
-	return nil, fmt.Errorf("fleet: job %.8s failed on all %d replicas tried: %w", id, len(order), lastErr)
+	if lastErr == nil {
+		lastErr = errors.New("no dispatchable worker (breakers open or quarantined)")
+	}
+	return nil, fmt.Errorf("fleet: job %.8s failed after %d attempts over %d rounds: %w", id, attempts, rounds, lastErr)
+}
+
+// retryAfterHint parses a Retry-After header in either RFC 9110 form
+// — delta-seconds or an HTTP-date — capped at max. Absent or
+// unparseable values fall back to max; a past date or zero delta
+// becomes a short pause rather than a hot loop.
+func retryAfterHint(v string, max time.Duration) time.Duration {
+	d := max
+	if ra, err := strconv.Atoi(v); err == nil && ra >= 0 {
+		if hint := time.Duration(ra) * time.Second; hint < d {
+			d = hint
+		}
+	} else if t, err := http.ParseTime(v); err == nil {
+		//dstore:allow-wallclock an HTTP-date Retry-After is defined relative to real time
+		if hint := time.Until(t); hint < d {
+			d = hint
+		}
+	}
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	return d
 }
 
 // runOn pushes one job through one worker: submit, honour
-// backpressure, poll to completion, fetch the result.
+// backpressure, poll to completion, fetch and digest-verify the
+// result.
 func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (*jobOutcome, error) {
 	for {
 		code, hdr, body, err := c.do(ctx, http.MethodPost, base+"/v1/runs", spec)
@@ -324,22 +504,16 @@ func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (
 			if len(rr.Result) == 0 {
 				return nil, fmt.Errorf("fleet: %s returned 200 with no result", base)
 			}
+			if err := verifyDigest(base, hdr, rr.Result); err != nil {
+				return nil, err
+			}
 			return &jobOutcome{body: rr.Result, worker: base, cached: true}, nil
 		case code == http.StatusAccepted:
 			return c.awaitResult(ctx, base, id)
 		case code == http.StatusTooManyRequests:
 			// Backpressure: honour Retry-After (capped) and resubmit to
 			// the same worker — its queue draining is the fast path.
-			d := c.opt.RetryAfterMax
-			if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && ra >= 0 {
-				if hint := time.Duration(ra) * time.Second; hint < d {
-					d = hint
-				}
-			}
-			if d <= 0 {
-				d = 50 * time.Millisecond
-			}
-			if err := sleepCtx(ctx, d); err != nil {
+			if err := sleepCtx(ctx, retryAfterHint(hdr.Get("Retry-After"), c.opt.RetryAfterMax)); err != nil {
 				return nil, err
 			}
 		case code == http.StatusBadRequest:
@@ -351,10 +525,10 @@ func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (
 }
 
 // awaitResult polls an accepted job to completion on one worker and
-// returns its canonical result document.
+// returns its canonical result document, digest-verified.
 func (c *Coordinator) awaitResult(ctx context.Context, base, id string) (*jobOutcome, error) {
 	for {
-		code, _, body, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id, nil)
+		code, hdr, body, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -368,14 +542,20 @@ func (c *Coordinator) awaitResult(ctx context.Context, base, id string) (*jobOut
 		switch rr.Status {
 		case "done":
 			if len(rr.Result) > 0 {
+				if err := verifyDigest(base, hdr, rr.Result); err != nil {
+					return nil, err
+				}
 				return &jobOutcome{body: rr.Result, worker: base, cached: rr.Cached}, nil
 			}
-			code, _, res, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id+"/result", nil)
+			code, rhdr, res, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id+"/result", nil)
 			if err != nil {
 				return nil, err
 			}
 			if code != http.StatusOK {
 				return nil, fmt.Errorf("fleet: result of %.8s on %s: %d: %s", id, base, code, res)
+			}
+			if err := verifyDigest(base, rhdr, res); err != nil {
+				return nil, err
 			}
 			return &jobOutcome{body: res, worker: base}, nil
 		case "failed":
@@ -433,12 +613,30 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// shedLoad refuses the request with 429 + Retry-After when the
+// dispatch path is at its MaxPending bound — bounded queueing, so an
+// overloaded coordinator degrades by deflecting rather than by
+// accumulating unbounded in-flight work.
+func (c *Coordinator) shedLoad(w http.ResponseWriter) bool {
+	max := c.opt.MaxPending
+	if max <= 0 || c.pending.Load() < int64(max) {
+		return false
+	}
+	c.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "fleet: coordinator at capacity (%d dispatches in flight); retry later", max)
+	return true
+}
+
 // handleSubmit implements POST /v1/runs at the fleet level: validate
 // and canonicalize the spec locally (a bad spec never reaches a
 // worker), route by hash ring, and answer synchronously with the
 // worker's result — the coordinator absorbs the poll loop so clients
 // see one round trip.
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if c.shedLoad(w) {
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
@@ -463,6 +661,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Dstore-Worker", out.worker)
+	w.Header().Set(serve.ResultDigestHeader, digestOf(out.body))
 	writeJSON(w, http.StatusOK, runResp{ID: id, Status: "done", Cached: out.cached, Result: out.body})
 }
 
@@ -470,7 +669,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // job's replicas in ring order, returning the first conclusive
 // answer. A 404 from one worker is not conclusive — the job may live
 // on a successor after a failover — so the walk continues and 404 is
-// only returned once every replica has denied knowledge.
+// only returned once every replica has denied knowledge. Responses
+// that advertise a content digest are verified before forwarding; a
+// mismatch quarantines the worker and the walk moves on.
 func (c *Coordinator) handleRunProxy(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	owners := c.reg.currentRing().owners(id, c.opt.Replicas)
@@ -485,10 +686,17 @@ func (c *Coordinator) handleRunProxy(w http.ResponseWriter, r *http.Request) {
 	for _, u := range owners {
 		code, hdr, body, err := c.do(r.Context(), http.MethodGet, u+r.URL.Path, nil)
 		if err != nil {
-			c.reg.markUnhealthy(u)
+			c.reg.recordFailure(u)
 			continue
 		}
 		tried++
+		if code == http.StatusOK {
+			if err := c.verifyProxied(u, r.URL.Path, hdr, body); err != nil {
+				c.corrupt.Add(1)
+				c.reg.quarantineWorker(u)
+				continue
+			}
+		}
 		if code != http.StatusNotFound {
 			w.Header().Set("X-Dstore-Worker", u)
 			copyHeader(w, hdr)
@@ -507,9 +715,30 @@ func (c *Coordinator) handleRunProxy(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(lastBody)
 }
 
+// verifyProxied digest-checks a proxied 200 body. Raw documents
+// (/result, /trace) are covered whole; a status envelope's digest
+// covers its embedded result field.
+func (c *Coordinator) verifyProxied(worker, path string, hdr http.Header, body []byte) error {
+	if hdr.Get(serve.ResultDigestHeader) == "" {
+		return nil
+	}
+	payload := body
+	if !strings.HasSuffix(path, "/result") && !strings.HasSuffix(path, "/trace") {
+		var rr runResp
+		if err := json.Unmarshal(body, &rr); err != nil {
+			return &corruptError{worker: worker, detail: fmt.Sprintf("digest-bearing envelope unparseable: %v", err)}
+		}
+		payload = rr.Result
+	}
+	return verifyDigest(worker, hdr, payload)
+}
+
 func copyHeader(w http.ResponseWriter, hdr http.Header) {
 	if ct := hdr.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if dg := hdr.Get(serve.ResultDigestHeader); dg != "" {
+		w.Header().Set(serve.ResultDigestHeader, dg)
 	}
 }
 

@@ -422,9 +422,15 @@ func TestSweepFailsOverDeadWorker(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close()
 
-	base, c := startCoord(t, Options{Workers: []string{w1, deadURL}, SweepWorkers: 4})
-	results, report, _ := runSweepNDJSON(t, base, sweepMatrix)
-	if len(results) != 4 || report == nil || report.Failed != 0 {
+	// FailureThreshold 1 restores the old one-strike behavior this
+	// test pins: the first refused connection trips the breaker. The
+	// 16-job matrix (vs the usual 4) makes it overwhelmingly likely
+	// the dead worker is first owner for at least one job — ring
+	// placement depends on the ephemeral port.
+	base, c := startCoord(t, Options{Workers: []string{w1, deadURL}, SweepWorkers: 4, FailureThreshold: 1})
+	m := `{"bench":["MT","VA"],"mode":["direct-store"],"config":{"prefetch_depth":[0,1],"sms":[2,4],"max_warps_per_sm":[4,8]}}`
+	results, report, _ := runSweepNDJSON(t, base, m)
+	if len(results) != 16 || report == nil || report.Failed != 0 {
 		t.Fatalf("sweep with a dead worker: %d results, report %+v", len(results), report)
 	}
 	for _, o := range results {
@@ -436,8 +442,11 @@ func TestSweepFailsOverDeadWorker(t *testing.T) {
 		t.Fatal("no failovers recorded despite a dead ring member")
 	}
 	st := coordStats(t, base)
-	if st["fleet_jobs_failed_total"] != 0 || st["fleet_jobs_completed_total"] != 4 {
+	if st["fleet_jobs_failed_total"] != 0 || st["fleet_jobs_completed_total"] != 16 {
 		t.Fatalf("stats after failover sweep: %v", st)
+	}
+	if st["fleet_breaker_trips_total"] == 0 {
+		t.Fatalf("dead worker never tripped its breaker: %v", st)
 	}
 	if st["fleet_workers_healthy"] != 1 {
 		t.Fatalf("dead worker still counted healthy: %v", st)

@@ -1,0 +1,219 @@
+// Sweep crash-recovery: every sweep writes a WAL (internal/store's
+// checksummed append-only log) under Options.JournalDir — one header
+// record carrying the expanded job set, then one record per outcome
+// as it lands, then the report. A coordinator killed mid-sweep leaves
+// the journal without a report record; New finds it, restores the
+// journalled outcomes (so reconnecting watchers replay them by resume
+// token), and re-dispatches only the jobs with no outcome on disk.
+// See DESIGN.md §13 for the format and versioning contract.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"dstore/internal/store"
+)
+
+// journalVersion is bumped on any incompatible record change; a
+// journal with a different version is set aside, never misread.
+const journalVersion = 1
+
+// Journal record types.
+const (
+	journalTypeSweep   = "sweep"   // header: sweep identity + expanded job set
+	journalTypeOutcome = "outcome" // one finished job
+	journalTypeReport  = "report"  // terminal: the aggregate report
+)
+
+// journalJob is one expanded matrix point as journalled: everything
+// needed to re-dispatch it after a crash.
+type journalJob struct {
+	Index int             `json:"index"`
+	ID    string          `json:"id"`
+	Spec  json.RawMessage `json:"spec"`
+}
+
+// journalRecord is the one wire shape for all record types.
+type journalRecord struct {
+	V       int          `json:"v"`
+	Type    string       `json:"type"`
+	SweepID string       `json:"sweep_id,omitempty"`
+	Total   int          `json:"total,omitempty"`
+	Jobs    []journalJob `json:"jobs,omitempty"`
+	Outcome *Outcome     `json:"outcome,omitempty"`
+	Report  *Report      `json:"report,omitempty"`
+}
+
+// sweepJournal is one sweep's durable log. Appends are best-effort by
+// design: a journal write failure degrades crash-recovery (the job
+// would be re-dispatched after a crash, and re-dispatch is idempotent
+// — content-addressed jobs hit worker caches) but never fails the
+// sweep itself.
+type sweepJournal struct {
+	wal     *store.WAL
+	appends *atomic.Uint64
+	errs    *atomic.Uint64
+}
+
+func (j *sweepJournal) append(rec journalRecord) {
+	if j == nil || j.wal == nil {
+		return
+	}
+	rec.V = journalVersion
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = j.wal.Append(b)
+	}
+	if err != nil {
+		j.errs.Add(1)
+		return
+	}
+	j.appends.Add(1)
+}
+
+func (j *sweepJournal) close() {
+	if j == nil || j.wal == nil {
+		return
+	}
+	_ = j.wal.Close()
+	j.wal = nil
+}
+
+// newSweepJournal opens the journal for a fresh sweep and writes its
+// header record. A leftover file for the same sweep ID (one set aside
+// and restored by hand, say) is replaced, not appended to — mixing
+// two runs' outcome streams would corrupt resume accounting.
+func (c *Coordinator) newSweepJournal(id string, jobs []sweepJob) (*sweepJournal, error) {
+	path := filepath.Join(c.opt.JournalDir, id+".wal")
+	wal, recs, err := store.OpenWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		wal.Close()
+		if err := os.Remove(path); err != nil {
+			return nil, err
+		}
+		if wal, _, err = store.OpenWAL(path); err != nil {
+			return nil, err
+		}
+	}
+	jl := &sweepJournal{wal: wal, appends: &c.journalAppends, errs: &c.journalErrors}
+	hdr := journalRecord{Type: journalTypeSweep, SweepID: id, Total: len(jobs)}
+	hdr.Jobs = make([]journalJob, 0, len(jobs))
+	for _, j := range jobs {
+		hdr.Jobs = append(hdr.Jobs, journalJob{Index: j.index, ID: j.id, Spec: json.RawMessage(j.canon)})
+	}
+	jl.append(hdr)
+	return jl, nil
+}
+
+// loadJournals scans Options.JournalDir at startup: completed sweeps
+// are restored read-only (status, stream replay and report survive
+// the restart), incomplete ones resume dispatching. A journal that
+// cannot be understood — bad header, wrong version, unparseable
+// record — is renamed aside for post-mortem rather than taking the
+// coordinator down.
+func (c *Coordinator) loadJournals() error {
+	if err := os.MkdirAll(c.opt.JournalDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: journal dir: %w", err)
+	}
+	paths, err := filepath.Glob(filepath.Join(c.opt.JournalDir, "*.wal"))
+	if err != nil {
+		return fmt.Errorf("fleet: journal dir: %w", err)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := c.loadJournal(path); err != nil {
+			c.journalErrors.Add(1)
+			_ = os.Rename(path, path+".corrupt")
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) loadJournal(path string) error {
+	wal, recs, err := store.OpenWAL(path)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		wal.Close()
+		return fmt.Errorf("fleet: journal %s has no header", path)
+	}
+	var hdr journalRecord
+	if err := json.Unmarshal(recs[0], &hdr); err != nil {
+		wal.Close()
+		return fmt.Errorf("fleet: journal %s: %w", path, err)
+	}
+	if hdr.Type != journalTypeSweep || hdr.V != journalVersion ||
+		hdr.SweepID == "" || hdr.Total != len(hdr.Jobs) {
+		wal.Close()
+		return fmt.Errorf("fleet: journal %s: bad header (type %q, v%d, %d/%d jobs)",
+			path, hdr.Type, hdr.V, len(hdr.Jobs), hdr.Total)
+	}
+
+	s := newSweepRun(hdr.SweepID, hdr.Total)
+	completed := make(map[string]bool, len(recs))
+	var rep *Report
+	for _, raw := range recs[1:] {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			wal.Close()
+			return fmt.Errorf("fleet: journal %s: %w", path, err)
+		}
+		switch rec.Type {
+		case journalTypeOutcome:
+			if rec.Outcome == nil || completed[rec.Outcome.ID] {
+				continue
+			}
+			o := *rec.Outcome
+			o.Seq = len(s.outcomes)
+			s.outcomes = append(s.outcomes, o)
+			if o.Error != "" {
+				s.failed++
+			}
+			if o.Cached {
+				s.cached++
+			}
+			completed[o.ID] = true
+			c.jobsReplayed.Add(1)
+		case journalTypeReport:
+			rep = rec.Report
+		}
+	}
+
+	c.sweepMu.Lock()
+	c.sweeps[hdr.SweepID] = s
+	c.sweepMu.Unlock()
+
+	if rep != nil {
+		s.report = rep
+		s.done = true
+		wal.Close()
+		return nil
+	}
+
+	// Incomplete: keep appending to the same journal and re-dispatch
+	// only the jobs with no outcome on disk.
+	s.jl = &sweepJournal{wal: wal, appends: &c.journalAppends, errs: &c.journalErrors}
+	remaining := make([]sweepJob, 0, hdr.Total-len(completed))
+	for _, j := range hdr.Jobs {
+		if !completed[j.ID] {
+			remaining = append(remaining, sweepJob{index: j.Index, id: j.ID, canon: []byte(j.Spec)})
+		}
+	}
+	c.sweepsRun.Add(1)
+	c.sweepsResumed.Add(1)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.runSweep(s, remaining)
+	}()
+	return nil
+}

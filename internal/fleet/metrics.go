@@ -28,6 +28,20 @@ var metricDefs = []struct {
 	{"fleet_sweeps_completed_total", "counter"},
 	{"fleet_sweeps_active", "gauge"},
 	{"fleet_sweep_results_streamed_total", "counter"},
+	{"fleet_dispatch_retry_rounds_total", "counter"},
+	{"fleet_breaker_trips_total", "counter"},
+	{"fleet_breaker_recloses_total", "counter"},
+	{"fleet_workers_quarantined", "gauge"},
+	{"fleet_quarantines_total", "counter"},
+	{"fleet_requalified_total", "counter"},
+	{"fleet_corrupt_results_total", "counter"},
+	{"fleet_sweeps_degraded_total", "counter"},
+	{"fleet_sweeps_resumed_total", "counter"},
+	{"fleet_jobs_replayed_total", "counter"},
+	{"coord_pending_jobs", "gauge"},
+	{"coord_shed_total", "counter"},
+	{"coord_journal_appends_total", "counter"},
+	{"coord_journal_errors_total", "counter"},
 }
 
 // snapshot materializes the scalar metrics as a stats.Set in
@@ -35,8 +49,13 @@ var metricDefs = []struct {
 func (c *Coordinator) snapshot() *stats.Set {
 	healthy, total := c.reg.healthyCount()
 	probes, probeFailures := c.reg.probeCounts()
+	trips, recloses, quarantines, requalified := c.reg.breakerCounts()
 	started := c.sweepsRun.Load()
 	done := c.sweepsDone.Load()
+	pending := c.pending.Load()
+	if pending < 0 {
+		pending = 0
+	}
 	values := map[string]uint64{
 		"fleet_workers":                      uint64(total),
 		"fleet_workers_healthy":              uint64(healthy),
@@ -50,6 +69,20 @@ func (c *Coordinator) snapshot() *stats.Set {
 		"fleet_sweeps_completed_total":       done,
 		"fleet_sweeps_active":                started - done,
 		"fleet_sweep_results_streamed_total": c.streamed.Load(),
+		"fleet_dispatch_retry_rounds_total":  c.retryRounds.Load(),
+		"fleet_breaker_trips_total":          trips,
+		"fleet_breaker_recloses_total":       recloses,
+		"fleet_workers_quarantined":          uint64(c.reg.quarantinedCount()),
+		"fleet_quarantines_total":            quarantines,
+		"fleet_requalified_total":            requalified,
+		"fleet_corrupt_results_total":        c.corrupt.Load(),
+		"fleet_sweeps_degraded_total":        c.sweepsDegraded.Load(),
+		"fleet_sweeps_resumed_total":         c.sweepsResumed.Load(),
+		"fleet_jobs_replayed_total":          c.jobsReplayed.Load(),
+		"coord_pending_jobs":                 uint64(pending),
+		"coord_shed_total":                   c.shed.Load(),
+		"coord_journal_appends_total":        c.journalAppends.Load(),
+		"coord_journal_errors_total":         c.journalErrors.Load(),
 	}
 	set := stats.NewSet()
 	for _, d := range metricDefs {
@@ -88,6 +121,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}},
 		{"fleet_worker_executed_total", "counter", func(st workerState) string {
 			return fmt.Sprintf("%d", st.Executed)
+		}},
+		{"fleet_worker_breaker_open", "gauge", func(st workerState) string {
+			if st.Breaker != "closed" {
+				return "1"
+			}
+			return "0"
+		}},
+		{"fleet_worker_quarantined", "gauge", func(st workerState) string {
+			if st.Quarantined {
+				return "1"
+			}
+			return "0"
 		}},
 	}
 	for _, m := range perWorker {

@@ -10,19 +10,32 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dstore/internal/sim"
 )
 
 // workerState is what the coordinator knows about one dstore-serve
 // node: static identity (the base URL, which is also its hash-ring
-// identity) plus the latest health probe's findings.
+// identity) plus the latest health probe's findings and the breaker
+// view derived from its failure history.
 type workerState struct {
 	URL string `json:"url"`
-	// Healthy is flipped false by a failed probe or a failed dispatch
-	// and true again by the next successful probe.
+	// Healthy mirrors the breaker: true iff the breaker is closed, the
+	// worker is not quarantined, and (for dynamically added workers)
+	// at least one probe or dispatch has succeeded.
 	Healthy bool `json:"healthy"`
 	// Static records whether the worker came from the -workers list
 	// (true) or POST /v1/workers (false).
 	Static bool `json:"static"`
+	// Breaker is the circuit state: "closed", "open", or "half-open".
+	Breaker string `json:"breaker"`
+	// ConsecutiveFailures counts failures since the last success while
+	// the breaker is closed (it trips at the failure threshold).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Quarantined marks a worker that served a result whose digest did
+	// not verify. It is excluded from dispatch until the quarantine
+	// cooldown elapses and a probe succeeds.
+	Quarantined bool `json:"quarantined"`
 	// QueueDepth is the worker's inflight-job gauge from its last
 	// /v1/stats scrape.
 	QueueDepth uint64 `json:"queue_depth"`
@@ -35,25 +48,44 @@ type workerState struct {
 	Executed uint64 `json:"executed"`
 }
 
-// registry tracks fleet membership and health, owns the hash ring,
-// and runs the periodic prober.
+// registry tracks fleet membership and health, owns the hash ring and
+// the per-worker circuit breakers, and runs the periodic prober.
 type registry struct {
-	client *http.Client
-	vnodes int
+	client             *http.Client
+	vnodes             int
+	failThreshold      int
+	cooldown           time.Duration
+	quarantineCooldown time.Duration
+	// now is the clock for breaker transitions, injected so tests can
+	// drive cooldowns deterministically.
+	now func() time.Time
 
 	mu      sync.Mutex
 	workers map[string]*workerState
+	brk     map[string]*breaker
 	ring    *ring
+	// rng drives the probe-interval jitter, seeded from Options.Seed
+	// so a fleet's probe schedule is reproducible. Guarded by mu.
+	rng *sim.Rand
 
 	probes, probeFailures uint64
+	// breaker/quarantine counters for /v1/metrics.
+	trips, recloses, quarantines, requalified uint64
 }
 
-func newRegistry(client *http.Client, vnodes int) *registry {
+func newRegistry(client *http.Client, opt Options) *registry {
 	return &registry{
-		client:  client,
-		vnodes:  vnodes,
+		client:             client,
+		vnodes:             opt.Vnodes,
+		failThreshold:      opt.FailureThreshold,
+		cooldown:           opt.BreakerCooldown,
+		quarantineCooldown: opt.QuarantineCooldown,
+		//dstore:allow-wallclock breaker cooldowns are operational fleet state, never simulation results
+		now:     time.Now,
 		workers: make(map[string]*workerState),
-		ring:    buildRing(nil, vnodes),
+		brk:     make(map[string]*breaker),
+		ring:    buildRing(nil, opt.Vnodes),
+		rng:     sim.NewRand(opt.Seed ^ 0xFEE7C0DE),
 	}
 }
 
@@ -76,7 +108,9 @@ func normalizeWorkerURL(raw string) (string, error) {
 // add registers a worker (idempotent) and rebuilds the ring. The
 // worker starts unhealthy until its first successful probe unless
 // assumeHealthy is set (static -workers entries, so a fleet is usable
-// the instant it boots).
+// the instant it boots). Its breaker starts closed either way — an
+// unprobed dynamic worker is dispatchable, just ranked behind workers
+// with a confirmed pulse.
 func (r *registry) add(rawURL string, static, assumeHealthy bool) (string, error) {
 	u, err := normalizeWorkerURL(rawURL)
 	if err != nil {
@@ -90,7 +124,8 @@ func (r *registry) add(rawURL string, static, assumeHealthy bool) (string, error
 		}
 		return u, nil
 	}
-	r.workers[u] = &workerState{URL: u, Healthy: assumeHealthy, Static: static}
+	r.workers[u] = &workerState{URL: u, Healthy: assumeHealthy, Static: static, Breaker: bkClosed.String()}
+	r.brk[u] = &breaker{}
 	r.rebuildLocked()
 	return u, nil
 }
@@ -101,6 +136,20 @@ func (r *registry) rebuildLocked() {
 		urls = append(urls, u)
 	}
 	r.ring = buildRing(urls, r.vnodes)
+}
+
+// refreshLocked syncs a worker's display fields from its breaker.
+func (r *registry) refreshLocked(u string) {
+	w, b := r.workers[u], r.brk[u]
+	if w == nil || b == nil {
+		return
+	}
+	w.Breaker = b.state.String()
+	w.ConsecutiveFailures = b.fails
+	w.Quarantined = b.quarantined
+	if b.state != bkClosed || b.quarantined {
+		w.Healthy = false
+	}
 }
 
 // snapshot returns the current ring and the health view. The ring is
@@ -144,14 +193,97 @@ func (r *registry) healthyCount() (int, int) {
 	return n, len(r.workers)
 }
 
-// markUnhealthy records a dispatch-path failure so the ring walk
-// skips the worker until a probe resurrects it.
-func (r *registry) markUnhealthy(url string) {
+// quarantinedCount returns how many workers are quarantined.
+func (r *registry) quarantinedCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if w, ok := r.workers[url]; ok {
-		w.Healthy = false
+	n := 0
+	for _, b := range r.brk { //dstore:allow-maprange count only
+		if b.quarantined {
+			n++
+		}
 	}
+	return n
+}
+
+// dispatchOrder filters owners down to workers whose breakers admit a
+// request right now (consuming half-open trial tokens), confirmed-
+// healthy workers first. Quarantined and cooling (open) workers are
+// excluded entirely; retry rounds in runJob re-evaluate, so an open
+// breaker naturally becomes a half-open trial once its cooldown ends.
+func (r *registry) dispatchOrder(owners []string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var healthy, rest []string
+	for _, u := range owners {
+		b := r.brk[u]
+		if b == nil || !b.allow(now, r.cooldown) {
+			if b != nil {
+				r.refreshLocked(u)
+			}
+			continue
+		}
+		r.refreshLocked(u)
+		if w := r.workers[u]; w != nil && w.Healthy {
+			healthy = append(healthy, u)
+		} else {
+			rest = append(rest, u)
+		}
+	}
+	return append(healthy, rest...)
+}
+
+// recordFailure notes a dispatch-path failure against the worker's
+// breaker. Unlike the old one-strike markUnhealthy, a single failure
+// only increments the consecutive count; the worker leaves the ring
+// walk once the threshold trips the breaker open.
+func (r *registry) recordFailure(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.brk[url]
+	if b == nil {
+		return
+	}
+	if b.failure(r.now(), r.failThreshold) {
+		r.trips++
+	}
+	r.refreshLocked(url)
+}
+
+// recordSuccess notes a dispatch-path success, reclosing a half-open
+// breaker and resetting the consecutive-failure count.
+func (r *registry) recordSuccess(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.brk[url]
+	if b == nil {
+		return
+	}
+	if b.success() {
+		r.recloses++
+	}
+	if w := r.workers[url]; w != nil {
+		w.Healthy = true
+	}
+	r.refreshLocked(url)
+}
+
+// quarantineWorker flags url as having served corrupt bytes: breaker
+// forced open, excluded from dispatch until the quarantine cooldown
+// elapses and a probe succeeds.
+func (r *registry) quarantineWorker(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.brk[url]
+	if b == nil {
+		return
+	}
+	if !b.quarantined {
+		r.quarantines++
+	}
+	b.quarantine(r.now())
+	r.refreshLocked(url)
 }
 
 // probeAll scrapes every worker's /v1/stats once, updating health and
@@ -202,17 +334,42 @@ func (r *registry) probeOne(ctx context.Context, url string) {
 	r.recordProbe(url, &st, true)
 }
 
+// recordProbe feeds a probe result through the worker's breaker. A
+// successful probe is the rehabilitation path: it recloses an open or
+// half-open breaker and — once the quarantine cooldown has elapsed —
+// requalifies a quarantined worker.
 func (r *registry) recordProbe(url string, st *workerStats, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	w, present := r.workers[url]
-	if !present {
+	b := r.brk[url]
+	if !present || b == nil {
 		return
 	}
+	now := r.now()
 	if !ok {
 		r.probeFailures++
-		w.Healthy = false
+		if b.failure(now, r.failThreshold) {
+			r.trips++
+		}
+		r.refreshLocked(url)
 		return
+	}
+	if b.quarantined {
+		if !b.requalify(now, r.quarantineCooldown) {
+			// Quarantine is sticky: a pulse alone does not clear it
+			// before the cooldown.
+			r.refreshLocked(url)
+			return
+		}
+		r.requalified++
+	} else if b.state == bkOpen && !b.allow(now, r.cooldown) {
+		// Still cooling down; the probe success neither recloses nor
+		// counts against the worker. The post-cooldown probe will.
+		return
+	}
+	if b.success() {
+		r.recloses++
 	}
 	w.Healthy = true
 	w.QueueDepth = st.Inflight
@@ -222,23 +379,41 @@ func (r *registry) recordProbe(url string, st *workerStats, ok bool) {
 	} else {
 		w.CacheHitRate = 0
 	}
+	r.refreshLocked(url)
 }
 
-// probeLoop runs probeAll every interval until ctx is cancelled.
+// jitteredInterval spreads the probe period ±20% with seeded
+// randomness, so several coordinators (or one restarted on the same
+// seed state) don't probe every worker in lockstep.
+func (r *registry) jitteredInterval(interval time.Duration) time.Duration {
+	span := uint64(interval) / 5
+	if span == 0 {
+		return interval
+	}
+	r.mu.Lock()
+	off := r.rng.Uint64n(2*span + 1)
+	r.mu.Unlock()
+	return interval - time.Duration(span) + time.Duration(off)
+}
+
+// probeLoop runs probeAll roughly every interval (jittered ±20%) until
+// ctx is cancelled. A timer per round — rather than a ticker — lets
+// each round draw fresh jitter, and the select exits promptly on
+// cancellation even mid-wait.
 func (r *registry) probeLoop(ctx context.Context, interval, timeout time.Duration) {
-	//dstore:allow-wallclock fleet health probing is operational, never part of a simulation result
-	t := time.NewTicker(interval)
-	defer t.Stop()
 	for {
+		//dstore:allow-wallclock fleet health probing is operational, never part of a simulation result
+		t := time.NewTimer(r.jitteredInterval(interval))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return
 		case <-t.C:
-			//dstore:allow-wallclock probe deadline is operational
-			pctx, cancel := context.WithTimeout(ctx, timeout)
-			r.probeAll(pctx)
-			cancel()
 		}
+		//dstore:allow-wallclock probe deadline is operational
+		pctx, cancel := context.WithTimeout(ctx, timeout)
+		r.probeAll(pctx)
+		cancel()
 	}
 }
 
@@ -247,4 +422,11 @@ func (r *registry) probeCounts() (uint64, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.probes, r.probeFailures
+}
+
+// breakerCounts returns (trips, recloses, quarantines, requalified).
+func (r *registry) breakerCounts() (uint64, uint64, uint64, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trips, r.recloses, r.quarantines, r.requalified
 }

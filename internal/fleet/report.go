@@ -61,7 +61,12 @@ type Report struct {
 	// disk) without re-simulating.
 	Cached int `json:"cached"`
 	// Failovers counts jobs that needed more than one worker.
-	Failovers int            `json:"failovers"`
+	Failovers int `json:"failovers"`
+	// Degraded marks a completed sweep carrying failed jobs: the
+	// results present are good, but the matrix is not fully covered.
+	// Partial coverage is reported, never silently dropped — and never
+	// fails the sweep wholesale.
+	Degraded bool           `json:"degraded,omitempty"`
 	Workers   []WorkerLoad   `json:"workers"`
 	Frontier  []FrontierPoint `json:"frontier"`
 	Best      []BestEntry     `json:"best,omitempty"`
@@ -82,6 +87,7 @@ type Report struct {
 // through the same format the repo's regression tooling consumes.
 func (c *Coordinator) buildReport(sweepID string, total int, outcomes []Outcome) *Report {
 	rep := &Report{SweepID: sweepID, Total: total, Completed: len(outcomes)}
+	rep.Degraded = rep.Completed < rep.Total
 
 	byWorker := make(map[string]*WorkerLoad)
 	type point struct {
@@ -99,6 +105,7 @@ func (c *Coordinator) buildReport(sweepID string, total int, outcomes []Outcome)
 	for _, o := range ordered {
 		if o.Error != "" {
 			rep.Failed++
+			rep.Degraded = true
 			continue
 		}
 		if o.Cached {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -164,7 +165,9 @@ type Outcome struct {
 
 // sweepRun is one sweep's lifecycle: outcomes append as jobs finish,
 // watchers follow the slice under cond, and the report lands at
-// completion.
+// completion. With a journal attached, every append is durable before
+// any watcher can observe it — so a resume token a client holds is
+// always at or behind what a restarted coordinator replays.
 type sweepRun struct {
 	id    string
 	total int
@@ -176,6 +179,7 @@ type sweepRun struct {
 	cached   int
 	done     bool
 	report   *Report
+	jl       *sweepJournal
 }
 
 func newSweepRun(id string, total int) *sweepRun {
@@ -194,6 +198,10 @@ func (s *sweepRun) append(o Outcome) {
 	if o.Cached {
 		s.cached++
 	}
+	// Journalled under the lock, after seq assignment and before the
+	// broadcast: journal order is seq order, and no watcher sees an
+	// outcome that is not on disk.
+	s.jl.append(journalRecord{Type: journalTypeOutcome, SweepID: s.id, Outcome: &o})
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -202,6 +210,23 @@ func (s *sweepRun) finish(rep *Report) {
 	s.mu.Lock()
 	s.report = rep
 	s.done = true
+	if rep != nil {
+		s.jl.append(journalRecord{Type: journalTypeReport, SweepID: s.id, Report: rep})
+	}
+	s.jl.close()
+	s.jl = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// abort releases watchers at coordinator shutdown without recording a
+// verdict: the journal is closed with no report record, which is
+// exactly the incomplete state the next boot resumes from.
+func (s *sweepRun) abort() {
+	s.mu.Lock()
+	s.done = true
+	s.jl.close()
+	s.jl = nil
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -238,6 +263,7 @@ func (s *sweepRun) status() map[string]any {
 		"failed":    s.failed,
 		"cached":    s.cached,
 		"done":      s.done,
+		"degraded":  s.failed > 0,
 	}
 	if s.report != nil {
 		st["report"] = s.report
@@ -257,6 +283,15 @@ func (c *Coordinator) startSweep(jobs []sweepJob) (*sweepRun, bool) {
 		return s, false
 	}
 	s := newSweepRun(id, len(jobs))
+	if c.opt.JournalDir != "" {
+		if jl, err := c.newSweepJournal(id, jobs); err == nil {
+			s.jl = jl
+		} else {
+			// A sweep that cannot journal still runs; it just cannot
+			// survive a coordinator crash.
+			c.journalErrors.Add(1)
+		}
+	}
 	c.sweeps[id] = s
 	c.sweepMu.Unlock()
 
@@ -284,6 +319,11 @@ func (c *Coordinator) runSweep(s *sweepRun, jobs []sweepJob) {
 			defer wg.Done()
 			for j := range feed {
 				out, err := c.runJob(c.ctx, j.id, j.canon)
+				if err != nil && c.ctx.Err() != nil {
+					// Coordinator shutdown, not a job verdict: leave the
+					// job un-journalled so a restart re-dispatches it.
+					continue
+				}
 				o := Outcome{Index: j.index, ID: j.id, Spec: j.canon}
 				if err != nil {
 					o.Error = err.Error()
@@ -306,11 +346,19 @@ func (c *Coordinator) runSweep(s *sweepRun, jobs []sweepJob) {
 	close(feed)
 	wg.Wait()
 
+	if c.ctx.Err() != nil {
+		s.abort()
+		return
+	}
 	s.mu.Lock()
 	outcomes := make([]Outcome, len(s.outcomes))
 	copy(outcomes, s.outcomes)
 	s.mu.Unlock()
-	s.finish(c.buildReport(s.id, len(jobs), outcomes))
+	rep := c.buildReport(s.id, s.total, outcomes)
+	if rep.Degraded {
+		c.sweepsDegraded.Add(1)
+	}
+	s.finish(rep)
 	c.sweepsDone.Add(1)
 }
 
@@ -352,10 +400,31 @@ func (c *Coordinator) handleSweepStream(w http.ResponseWriter, r *http.Request) 
 	c.streamSweep(w, r, s)
 }
 
-// streamSweep writes the sweep's event stream: every outcome from seq
-// 0 (streams attached late replay history first, so the view is
-// complete regardless of attach time), then the report event once the
-// sweep completes.
+// resumeSeq reads the client's resume position: a standard SSE
+// `Last-Event-ID` header (the id of the last event it saw — resume
+// after it), or a `?from=N` query parameter (resume at N) for NDJSON
+// clients. Default is 0: full replay.
+func resumeSeq(r *http.Request) int {
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if n, err := strconv.Atoi(lei); err == nil && n >= 0 {
+			return n + 1
+		}
+	}
+	if f := r.URL.Query().Get("from"); f != "" {
+		if n, err := strconv.Atoi(f); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// streamSweep writes the sweep's event stream: every outcome from the
+// client's resume position (seq 0 by default, so streams attached
+// late replay history first and the view is complete regardless of
+// attach time), then the report event once the sweep completes. Each
+// result event carries its seq as the SSE event id, so a client
+// reconnecting — even to a restarted coordinator — resumes exactly
+// where its stream broke via Last-Event-ID.
 func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, s *sweepRun) {
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {
@@ -381,13 +450,17 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, s *swe
 	defer stopWake()
 	cancelled := func() bool { return ctx.Err() != nil }
 
-	writeEvent := func(event string, v any) bool {
+	writeEvent := func(event string, id int, v any) bool {
 		b, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
 		if sse {
-			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+			if id >= 0 {
+				_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, b)
+			} else {
+				_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+			}
 		} else {
 			_, err = fmt.Fprintf(w, "{\"event\":%q,\"data\":%s}\n", event, b)
 		}
@@ -398,12 +471,12 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, s *swe
 		return true
 	}
 
-	for seq := 0; ; seq++ {
+	for seq := resumeSeq(r); ; seq++ {
 		o, drained := s.next(seq, cancelled)
 		if drained {
 			break
 		}
-		if !writeEvent("result", o) {
+		if !writeEvent("result", o.Seq, o) {
 			return
 		}
 		c.streamed.Add(1)
@@ -415,7 +488,7 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, s *swe
 	rep := s.report
 	s.mu.Unlock()
 	if rep != nil {
-		writeEvent("report", rep)
+		writeEvent("report", -1, rep)
 	}
 }
 

@@ -3,6 +3,8 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -484,6 +486,21 @@ func (s *Server) Close() {
 	_ = s.Shutdown(context.Background())
 }
 
+// ResultDigestHeader advertises the SHA-256 (hex) of the result or
+// trace document a response carries — the payload's content address.
+// For an envelope response the digest covers the embedded result
+// field, not the envelope. Coordinators verify it end to end before
+// caching or forwarding, so a worker (or the network path to it)
+// serving corrupt bytes is detected rather than trusted.
+const ResultDigestHeader = "X-Dstore-Result-Digest"
+
+// setResultDigest stamps ResultDigestHeader for payload. Must be
+// called before the body (or status code) is written.
+func setResultDigest(w http.ResponseWriter, payload []byte) {
+	sum := sha256.Sum256(payload)
+	w.Header().Set(ResultDigestHeader, hex.EncodeToString(sum[:]))
+}
+
 // runResponse is the envelope for submission and status responses.
 type runResponse struct {
 	ID     string          `json:"id"`
@@ -552,6 +569,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// and rerun to regenerate it.
 		_, traceOK := s.traces.lookup(id)
 		if !norm.Trace || traceOK {
+			setResultDigest(w, body)
 			writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
 			return
 		}
@@ -593,6 +611,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if body, ok := s.cache.lookup(id); ok {
+		setResultDigest(w, body)
 		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
 		return
 	}
@@ -605,6 +624,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if body, ok := s.cache.lookup(id); ok {
 		w.Header().Set("Content-Type", "application/json")
+		setResultDigest(w, body)
 		_, _ = w.Write(body)
 		return
 	}
@@ -629,6 +649,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if body, ok := s.traces.lookup(id); ok {
 		w.Header().Set("Content-Type", "application/json")
+		setResultDigest(w, body)
 		_, _ = w.Write(body)
 		return
 	}

@@ -105,6 +105,22 @@ var knownKeys = map[string]bool{
 	"fleet_sweeps_completed_total":       true,
 	"fleet_sweeps_active":                true,
 	"fleet_sweep_results_streamed_total": true,
+	"fleet_dispatch_retry_rounds_total":  true,
+	"fleet_breaker_trips_total":          true,
+	"fleet_breaker_recloses_total":       true,
+	"fleet_workers_quarantined":          true,
+	"fleet_quarantines_total":            true,
+	"fleet_requalified_total":            true,
+	"fleet_corrupt_results_total":        true,
+	"fleet_sweeps_degraded_total":        true,
+	"fleet_sweeps_resumed_total":         true,
+	"fleet_jobs_replayed_total":          true,
+
+	// fleet coordinator process-local queue and journal (internal/fleet)
+	"coord_pending_jobs":          true,
+	"coord_shed_total":            true,
+	"coord_journal_appends_total": true,
+	"coord_journal_errors_total":  true,
 }
 
 // KnownKey reports whether name is a registered counter key.

@@ -260,7 +260,10 @@ func namespaceOf(key string) string {
 }
 
 // quarantine moves a failed entry aside (never deletes: the bytes may
-// matter for a post-mortem) and counts it.
+// matter for a post-mortem) and counts it. Concurrent readers of the
+// same torn entry race here; rename is atomic, so exactly one of them
+// moves the file — only that one counts, the losers' renames fail on
+// the now-missing source and are deliberately silent.
 func (s *Store) quarantine(path, key string) {
 	dst := filepath.Join(s.dir, quarantineDir, strings.ReplaceAll(key, "/", "_"))
 	for i := 0; ; i++ {
@@ -273,7 +276,9 @@ func (s *Store) quarantine(path, key string) {
 			break
 		}
 	}
-	_ = os.Rename(path, dst)
+	if os.Rename(path, dst) != nil {
+		return // a racing reader already moved (or removed) it
+	}
 	s.mu.Lock()
 	s.corrupt++
 	s.mu.Unlock()

@@ -358,3 +358,69 @@ func TestClosedStoreRefuses(t *testing.T) {
 		t.Fatal("Put succeeded on closed store")
 	}
 }
+
+// TestConcurrentGetOfSameTornObject races many readers onto one entry
+// that rotted on disk after Open: every reader must get a miss (never
+// the corrupt bytes), and exactly one of them must win the quarantine
+// rename — one file in quarantine/, one Corrupt count, no
+// double-counting from the racers whose rename finds the source
+// already moved.
+func TestConcurrentGetOfSameTornObject(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	key := keyOf("torn")
+	if err := s.Put("result", key, []byte("torn-body")); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntryFile(t, dir, "result", key)
+
+	const readers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	served := make(chan []byte, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if body, ok := s.Get("result", key); ok {
+				served <- body
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(served)
+	for body := range served {
+		t.Fatalf("a reader was served the torn entry: %q", body)
+	}
+
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want exactly 1 (quarantine double-counted)", st.Corrupt)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("Entries = %d, want 0 after quarantine", st.Entries)
+	}
+	qfiles, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qfiles) != 1 {
+		names := make([]string, 0, len(qfiles))
+		for _, f := range qfiles {
+			names = append(names, f.Name())
+		}
+		t.Fatalf("quarantine holds %d files %v, want exactly 1", len(qfiles), names)
+	}
+	// The original slot must be gone and reusable.
+	if _, err := os.Lstat(filepath.Join(dir, "result", key[:2], key)); !os.IsNotExist(err) {
+		t.Fatalf("torn entry still present after quarantine: %v", err)
+	}
+	if err := s.Put("result", key, []byte("torn-body")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("result", key); !ok || string(got) != "torn-body" {
+		t.Fatalf("rewritten entry: %q, %v", got, ok)
+	}
+}

@@ -1,0 +1,196 @@
+// Write-ahead log: the append-oriented sibling of the store's
+// fsync-rename entries, built for the fleet coordinator's sweep
+// journal (DESIGN.md §13). Where a store entry is written once and
+// renamed into place, a WAL grows record by record — so its crash
+// contract is framing, not renaming: every record is length-prefixed
+// and CRC-checksummed, every append is fsynced before it is
+// acknowledged, and Open truncates a torn tail (the half-written
+// record of a crashed appender) back to the last intact record
+// instead of refusing to read the file.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// walMagic heads every WAL file, versioned like entryMagic so a
+// layout change quarantines old journals instead of misreading them.
+const walMagic = "DSWAL1\n"
+
+// walFrameLen is the per-record frame: u32 body length + u32 CRC-32C
+// of the body.
+const walFrameLen = 8
+
+// maxWALRecord bounds one record so a corrupt length prefix cannot
+// drive a giant allocation.
+const maxWALRecord = 64 << 20
+
+// ErrWALCorrupt reports a WAL whose header (not merely its tail) is
+// unreadable. Callers should set the file aside and start fresh — the
+// bytes may matter for a post-mortem, like a quarantined entry.
+var ErrWALCorrupt = errors.New("store: corrupt WAL header")
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL is an append-only checksummed record log. Safe for concurrent
+// Append; Open replays existing records and positions for append.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	closed  bool
+	records uint64
+	bytes   int64
+}
+
+// OpenWAL opens (or creates) the log at path and returns every intact
+// record already in it, in append order. A torn tail — a final record
+// whose frame or checksum does not verify, as a crashed appender
+// leaves behind — is truncated away; the records before it are
+// unaffected. A file whose magic header does not verify returns
+// ErrWALCorrupt.
+func OpenWAL(path string) (*WAL, [][]byte, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	recs, err := w.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, recs, nil
+}
+
+// replay validates the header (writing it into an empty file), reads
+// every intact record, and truncates the file after the last one.
+func (w *WAL) replay() ([][]byte, error) {
+	raw, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if len(raw) == 0 {
+		if _, err := w.f.Write([]byte(walMagic)); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := syncDir(filepath.Dir(w.path)); err != nil {
+			return nil, err
+		}
+		w.bytes = int64(len(walMagic))
+		return nil, nil
+	}
+	if len(raw) < len(walMagic) || string(raw[:len(walMagic)]) != walMagic {
+		return nil, fmt.Errorf("%w: %s", ErrWALCorrupt, w.path)
+	}
+	var recs [][]byte
+	off := len(walMagic)
+	good := off
+	for off < len(raw) {
+		if len(raw)-off < walFrameLen {
+			break // torn frame
+		}
+		n := binary.LittleEndian.Uint32(raw[off:])
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		if n > maxWALRecord || len(raw)-off-walFrameLen < int(n) {
+			break // torn or garbage length
+		}
+		body := raw[off+walFrameLen : off+walFrameLen+int(n)]
+		if crc32.Checksum(body, walTable) != sum {
+			break // torn body
+		}
+		rec := make([]byte, n)
+		copy(rec, body)
+		recs = append(recs, rec)
+		off += walFrameLen + int(n)
+		good = off
+	}
+	if good < len(raw) {
+		if err := w.f.Truncate(int64(good)); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(int64(good), 0); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w.records = uint64(len(recs))
+	w.bytes = int64(good)
+	return recs, nil
+}
+
+// Append durably appends one record: frame + body written, then
+// fsynced, before Append returns. Safe for concurrent use; records
+// land in Append-call order under the internal lock.
+func (w *WAL) Append(rec []byte) error {
+	if len(rec) > maxWALRecord {
+		return fmt.Errorf("store: WAL record of %d bytes exceeds the %d cap", len(rec), maxWALRecord)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("store: WAL closed")
+	}
+	buf := make([]byte, walFrameLen+len(rec))
+	binary.LittleEndian.PutUint32(buf, uint32(len(rec)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(rec, walTable))
+	copy(buf[walFrameLen:], rec)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w.records++
+	w.bytes += int64(len(buf))
+	return nil
+}
+
+// Records returns how many records the log holds (replayed + appended).
+func (w *WAL) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Bytes returns the log's on-disk size.
+func (w *WAL) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close syncs and closes the log. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j", "sweep.wal")
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL replayed %d records", len(recs))
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf(`{"seq":%d,"body":"record %d"}`, i, i))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 50 {
+		t.Fatalf("Records() = %d, want 50", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i := range recs {
+		if !bytes.Equal(recs[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], want[i])
+		}
+	}
+	// The reopened log keeps appending after the replayed tail.
+	if err := w2.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Records() != 51 {
+		t.Fatalf("Records() after reopen append = %d, want 51", w2.Records())
+	}
+}
+
+// TestWALTornTailTruncated simulates an appender crash at every
+// possible byte boundary of the final record: replay must return all
+// intact records, drop the torn one, and leave the log appendable.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.wal")
+	w, _, err := OpenWAL(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("alpha"), []byte("beta-record"), []byte("gamma")}
+	var offsets []int64 // file size after each append
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, w.Bytes())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation point strictly inside the last record's frame.
+	for cut := offsets[1] + 1; cut < offsets[2]; cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("torn-%d.wal", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, replayed, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(replayed) != 2 {
+			t.Fatalf("cut at %d: replayed %d records, want 2", cut, len(replayed))
+		}
+		// Appending after truncation must produce a clean 3-record log.
+		if err := w2.Append([]byte("delta")); err != nil {
+			t.Fatal(err)
+		}
+		w2.Close()
+		_, again, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != 3 || string(again[2]) != "delta" {
+			t.Fatalf("cut at %d: post-truncation append lost: %q", cut, again)
+		}
+	}
+}
+
+// TestWALCorruptTailChecksum flips a byte inside the last record's
+// body: the record must be dropped (checksum), earlier records kept.
+func TestWALCorruptTailChecksum(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flip.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	mark := w.Bytes()
+	if err := w.Append([]byte("flip-me")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[mark+walFrameLen+2] ^= 0x40 // inside the second record's body
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || string(recs[0]) != "keep-me" {
+		t.Fatalf("replay after bit flip: %q, want just keep-me", recs)
+	}
+}
+
+func TestWALBadMagicIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil {
+		t.Fatal("bad magic opened without error")
+	}
+}
+
+func TestWALConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.wal")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := w.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.Close()
+	_, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 200 {
+		t.Fatalf("replayed %d records, want 200", len(recs))
+	}
+}
