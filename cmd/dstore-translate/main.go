@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -79,7 +80,13 @@ func main() {
 		return
 	}
 
-	for path, content := range tr.Files {
+	paths := make([]string, 0, len(tr.Files))
+	for path := range tr.Files { //dstore:allow-maprange sorted immediately below
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		content := tr.Files[path]
 		out := path + ".ds"
 		if *outDir != "" {
 			out = filepath.Join(*outDir, filepath.Base(path))

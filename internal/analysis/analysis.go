@@ -15,6 +15,11 @@
 //	//dstore:allow-statskey <why>    — dynamic stats counter key
 //	//dstore:allow-reentry <why>     — callback re-enters the engine
 //	//dstore:allow-loopcapture <why> — loop-variable capture is intended
+//	//dstore:allow-alloc <why>       — hot-path allocation is intentional
+//	//dstore:allow-unhandled <why>   — declared table row with no handler arm
+//	//dstore:allow-undeclared <why>  — Transition call outside the declared table
+//	//dstore:allow-uncovered <why>   — declared table row the model checker
+//	                                   provably cannot reach
 //
 // An annotation applies to the line it sits on or the line directly
 // below it, so both trailing and preceding comment styles work. The

@@ -8,7 +8,7 @@ import (
 // all is the production analyzer set, in the order dstore-lint runs
 // them.
 func all() []*Analyzer {
-	return []*Analyzer{Determinism, StatsKey, EventSafety, AllocFree}
+	return []*Analyzer{Determinism, StatsKey, EventSafety, AllocFree, Tablecover}
 }
 
 // TestFixtureViolations loads the seeded-violation fixture by its
@@ -69,23 +69,72 @@ func TestFixtureViolations(t *testing.T) {
 	}
 }
 
-// TestAppliesScoping checks the package filter: cmd/ and examples/ are
-// exempt from the determinism contract, internal packages are not.
+// TestTablecoverFixture loads the tablecover fixture — a miniature
+// protocol package with one seeded violation per rule (unhandled
+// declared row, undeclared handler arm, dead transition) plus an
+// annotated twin for each escape hatch — and checks every seed is
+// caught and every twin suppressed.
+func TestTablecoverFixture(t *testing.T) {
+	diags, err := Run("", []string{"dstore/internal/analysis/testdata/src/tablecover"}, all())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []struct {
+		file   string
+		line   int
+		substr string
+	}{
+		{"ctrl.go", 37, "covers no declared table row (possible states I, events EvStore)"},
+		{"table.go", 63, "declared transition (S, EvEvict) never fires"},
+		{"table.go", 67, "declared transition (I, EvPush) has no handler arm"},
+	}
+	if len(diags) != len(want) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(want))
+		for _, d := range diags {
+			t.Logf("  %s", d)
+		}
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "tablecover" && strings.HasSuffix(d.Pos.Filename, w.file) &&
+				d.Pos.Line == w.line && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing tablecover diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// TestAppliesScoping checks the package filters: examples/ are exempt
+// from the determinism contract, internal packages and commands are
+// not — but commands sit in the entry-point tier (wall clock allowed,
+// randomness and map-range still checked).
 func TestAppliesScoping(t *testing.T) {
 	cases := []struct {
-		pkg  string
-		want bool
+		pkg        string
+		want       bool
+		entryPoint bool
 	}{
-		{"dstore", true},
-		{"dstore/internal/sim", true},
-		{"dstore/internal/analysis/testdata/src/fixture", true},
-		{"dstore/cmd/dstore-lint", false},
-		{"dstore/examples/bench", false},
-		{"other/internal/sim", false},
+		{"dstore", true, false},
+		{"dstore/internal/sim", true, false},
+		{"dstore/internal/fleet", true, false},
+		{"dstore/internal/store", true, false},
+		{"dstore/internal/analysis/testdata/src/fixture", true, false},
+		{"dstore/cmd/dstore-lint", true, true},
+		{"dstore/cmd/dstore-modelcheck", true, true},
+		{"dstore/examples/bench", false, false},
+		{"other/internal/sim", false, false},
 	}
 	for _, c := range cases {
 		if got := isDeterministicPkg(c.pkg); got != c.want {
 			t.Errorf("isDeterministicPkg(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+		if got := isEntryPointPkg(c.pkg); got != c.entryPoint {
+			t.Errorf("isEntryPointPkg(%q) = %v, want %v", c.pkg, got, c.entryPoint)
 		}
 	}
 }

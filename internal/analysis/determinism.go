@@ -13,17 +13,19 @@ import (
 // legitimately reads the wall clock, but each such read must carry a
 // //dstore:allow-wallclock annotation so nothing new sneaks into the
 // result-producing paths (the content-addressed cache depends on
-// byte-identical results).
+// byte-identical results). Commands (cmd/) carry the weaker
+// entry-point tier — see isEntryPointPkg.
 var DeterministicPackages = []string{
 	"dstore",
 	"dstore/internal/",
+	"dstore/cmd/",
 }
 
 // isDeterministicPkg reports whether pkgPath falls under the
 // determinism contract: an exact match for entries without a trailing
-// slash, a prefix match for entries with one. cmd/ and examples/ are
-// exempt: they are process entry points (timing flags, profiling)
-// whose output is not part of a simulation transcript.
+// slash, a prefix match for entries with one. examples/ are exempt:
+// they are demonstration scaffolding whose output is not part of a
+// simulation transcript.
 func isDeterministicPkg(pkgPath string) bool {
 	for _, p := range DeterministicPackages {
 		if strings.HasSuffix(p, "/") {
@@ -35,6 +37,16 @@ func isDeterministicPkg(pkgPath string) bool {
 		}
 	}
 	return false
+}
+
+// isEntryPointPkg reports whether pkgPath is a process entry point
+// (cmd/). Entry points keep the randomness and map-iteration rules —
+// a CLI whose output order or content varies per run is a real bug —
+// but are exempt from the wall-clock rule: timing output and progress
+// reporting are their job, and annotating every timer would bury the
+// signal.
+func isEntryPointPkg(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "dstore/cmd/")
 }
 
 // wallClockFuncs are the time-package functions that read the wall
@@ -83,7 +95,7 @@ func runDeterminism(pass *Pass) error {
 			case *ast.CallExpr:
 				ref := pass.funcOf(n)
 				if ref != nil && ref.Recv == "" && ref.PkgPath == "time" && wallClockFuncs[ref.Name] {
-					if !pass.Allowed(n.Pos(), "wallclock") {
+					if !isEntryPointPkg(pass.Pkg.PkgPath) && !pass.Allowed(n.Pos(), "wallclock") {
 						pass.Reportf(n.Pos(), "time.%s in deterministic package: simulation "+
 							"results must not depend on the wall clock "+
 							"(annotate //dstore:allow-wallclock <why> if this never reaches a result)", ref.Name)

@@ -201,7 +201,8 @@ func (c *Ctrl) AttachObserver(o *obs.Observer, gpuSide bool) {
 	c.obs = o
 	c.obsID = o.Component(c.name)
 	c.obsMem = o.Component(c.mem.Name())
-	o.SetStateNamer(func(s uint8) string { return StateName(State(s)) })
+	namer := c.mem.protocol().StateName
+	o.SetStateNamer(func(s uint8) string { return namer(State(s)) })
 	c.l2.SetAccessHook(func(a memsys.Addr, hit bool) {
 		o.CacheAccess(c.engine.Now(), c.obsID, a, 2, hit, gpuSide)
 	})
@@ -285,7 +286,7 @@ func (c *Ctrl) processReq(req *memsys.Request, quiet bool) {
 				return
 			}
 		}
-		if st, hit := lookupL2(line); hit && CanRead(st) {
+		if st, hit := lookupL2(line); hit && Transition(st, EvLoadHit).OK {
 			c.fillL1(line)
 			req.Ver = c.lines.at(line).ver
 			c.complete(req, c.cfg.L1HitLat+c.cfg.L2HitLat)
@@ -454,16 +455,19 @@ func (c *Ctrl) processDirectStore(req *memsys.Request, line memsys.Addr) {
 	}
 	c.directStores.Inc()
 	// Remote store from I/S/M/MM always ends in I locally (bold
-	// transitions in Fig. 3). The direct region is never CPU-cached in
-	// translated programs, so this is normally a no-op.
+	// transitions in Fig. 3) — one row of the shared table, consulted so
+	// tablecover ties this handler to its declared transitions. The
+	// direct region is never CPU-cached in translated programs, so the
+	// non-I rows are defensive.
 	if c.l1 != nil {
 		c.l1.Invalidate(line)
 	}
-	if c.l2.Contains(line) {
-		if c.obs != nil {
-			st, _, _ := c.l2.Probe(line)
-			c.obsState(line, st, I)
+	if st, _, hit := c.l2.Probe(line); hit {
+		out := Transition(st, EvDirectStore)
+		if !out.OK {
+			panic(fmt.Sprintf("coherence %s: direct store illegal from %s", c.name, StateName(st)))
 		}
+		c.obsState(line, st, out.Next)
 		c.l2.Invalidate(line)
 		c.lines.at(line).ver = 0
 	}
@@ -539,7 +543,14 @@ func (c *Ctrl) applyPutx(p PutxMsg) {
 		e, _ := c.mshr.Lookup(line)
 		e.Superseded = true
 	}
-	st, dirty := PushInstallState(c.cfg.PushWriteThrough)
+	// Consult the push row for the resident state (I when absent; a
+	// retry or a line the slice read back in M lands on a valid copy).
+	cur, _, _ := c.l2.Probe(line)
+	out := Transition(cur, PushEvent(c.cfg.PushWriteThrough))
+	if !out.OK {
+		panic(fmt.Sprintf("coherence %s: push install illegal from %s", c.name, StateName(cur)))
+	}
+	st, dirty := out.Next, out.Dirty == DirtySet
 	if c.cfg.PushWriteThrough {
 		// Ablation: pushes write through to memory and install
 		// exclusive-clean, so evictions are silent.
@@ -561,7 +572,11 @@ func (c *Ctrl) installLine(line memsys.Addr, st State, dirty bool, ver uint64) {
 	if !evicted {
 		return
 	}
-	c.obsState(v.Addr, State(v.State), I)
+	vout := Transition(State(v.State), EvEvict)
+	if !vout.OK {
+		panic(fmt.Sprintf("coherence %s: evicting %#x from illegal state %s", c.name, uint64(v.Addr), StateName(State(v.State))))
+	}
+	c.obsState(v.Addr, State(v.State), vout.Next)
 	if c.l1 != nil {
 		c.l1.Invalidate(v.Addr)
 	}
@@ -746,6 +761,14 @@ func (c *Ctrl) receiveData(d DataMsg) {
 			}
 		}
 		if !bypassed {
+			// Fill legality against the resident state: I on a plain
+			// miss, S or O on the upgrade path (the stale copy survives
+			// until the grant lands).
+			prev, _, _ := c.l2.Probe(line)
+			fe, feOK := FillEvent(grant)
+			if out := Transition(prev, fe); !feOK || !out.OK {
+				panic(fmt.Sprintf("coherence %s: fill %s illegal from %s", c.name, StateName(grant), StateName(prev)))
+			}
 			c.installLine(line, grant, d.Owned, d.Ver)
 		}
 	}
@@ -766,10 +789,10 @@ func (c *Ctrl) receiveData(d DataMsg) {
 				w.Ver = fillVer
 			}
 			c.engine.ScheduleArg(0, completeReq, w)
-		case ok && (st == MM || st == M):
-			if st == M {
-				c.l2.SetState(line, MM)
-				c.obsState(line, M, MM)
+		case ok && Transition(st, EvStoreHit).OK:
+			if out := Transition(st, EvStoreHit); out.Next != st {
+				c.l2.SetState(line, out.Next)
+				c.obsState(line, st, out.Next)
 			}
 			c.l2.SetDirty(line, true)
 			c.lines.at(line).ver = w.Ver

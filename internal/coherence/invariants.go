@@ -7,15 +7,31 @@ import (
 	"dstore/internal/memsys"
 )
 
-// CheckInvariants validates the MOESI single-writer/multi-reader
-// invariants for the given lines across every registered peer cache:
+// SetProtocol selects the registered protocol whose invariant set
+// CheckInvariants evaluates. The default is the plain heap protocol;
+// core.NewSystem wires the flavour matching its mode flags.
+func (m *MemCtrl) SetProtocol(p Protocol) { m.proto = &p }
+
+// protocol returns the configured protocol, defaulting to heap.
+func (m *MemCtrl) protocol() *Protocol {
+	if m.proto == nil {
+		p := ProtocolFor(false, false, false)
+		m.proto = &p
+	}
+	return m.proto
+}
+
+// CheckInvariants validates the registered protocol's invariant set
+// for the given lines across every registered peer cache — for the
+// standard protocols: at most one owner (MM, M or O) per line, and an
+// exclusive holder (MM or M) implies every other cache is I. The
+// system must be drained first (every line is viewed as quiescent);
+// in-flight transactions are an error by themselves. Data-value
+// invariants need a version oracle and are skipped here — the chaos
+// harness layers its own oracle on top.
 //
-//   - at most one owner (MM, M or O) per line;
-//   - an exclusive holder (MM or M) implies every other cache is I;
-//   - no in-flight transactions remain (the system must be drained).
-//
-// It is a debugging/verification aid for tests and for users embedding
-// the simulator; a non-nil error means a protocol bug.
+// It is a debugging/verification aid for tests and for users
+// embedding the simulator; a non-nil error means a protocol bug.
 func (m *MemCtrl) CheckInvariants(lines []memsys.Addr) error {
 	if !m.Idle() {
 		return fmt.Errorf("coherence: %d transactions still in flight\n%s", m.busyCount, m.TransactionDump())
@@ -25,33 +41,40 @@ func (m *MemCtrl) CheckInvariants(lines []memsys.Addr) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	proto := m.protocol()
+	v := LineView{
+		N:         len(names),
+		States:    make([]State, len(names)),
+		Dirty:     make([]bool, len(names)),
+		Vers:      make([]uint64, len(names)),
+		Names:     names,
+		Quiescent: true,
+	}
 	for _, a := range lines {
 		line := memsys.LineAlign(a)
-		owners := 0
-		exclusive := false
-		holders := 0
-		var desc string
-		for _, name := range names {
-			st := m.peers[name].State(line)
-			if st == I {
-				continue
-			}
-			holders++
-			desc += fmt.Sprintf(" %s=%s", name, StateName(st))
-			switch st {
-			case MM, M:
-				owners++
-				exclusive = true
-			case O:
-				owners++
-			}
+		v.Line = fmt.Sprintf("%#x", uint64(line))
+		for i, name := range names {
+			c := m.peers[name]
+			v.States[i] = c.State(line)
+			v.Vers[i] = c.Ver(line)
 		}
-		if owners > 1 {
-			return fmt.Errorf("coherence: line %#x has %d owners:%s", uint64(line), owners, desc)
-		}
-		if exclusive && holders > 1 {
-			return fmt.Errorf("coherence: line %#x exclusive with %d holders:%s", uint64(line), holders, desc)
+		if msg := proto.CheckLineView(&v, nil); msg != "" {
+			return fmt.Errorf("coherence: %s%s", msg, holderDesc(&v))
 		}
 	}
 	return nil
+}
+
+// holderDesc renders the non-I holders of a line for error reports.
+func holderDesc(v *LineView) string {
+	desc := ""
+	for i := 0; i < v.N; i++ {
+		if v.States[i] != I {
+			desc += fmt.Sprintf(" %s=%s", v.name(i), StateName(v.States[i]))
+		}
+	}
+	if desc == "" {
+		return ""
+	}
+	return " holders:" + desc
 }

@@ -31,6 +31,10 @@ type MemCtrl struct {
 	// slice owning the address.
 	probeTargets func(addr memsys.Addr, requester string) []string
 
+	// proto is the registered protocol flavour whose invariant set
+	// CheckInvariants evaluates (see registry.go); nil defaults to heap.
+	proto *Protocol
+
 	// busy and dramVer are dense per-line tables (see lineTab); queued
 	// stays a map — it only holds lines with a transaction collision.
 	busy      lineTab[*txn]

@@ -1,0 +1,354 @@
+package coherence
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the protocol registry: each coherence flavour the
+// simulator implements is a first-class Protocol value — its slice of
+// the shared transition table, the message classes it puts on the
+// wire, and the invariant set that defines its correctness. The model
+// checker (internal/modelcheck), the runtime invariant checker
+// (MemCtrl.CheckInvariants, consumed by the chaos harness), the obs
+// state timeline and the DESIGN.md Appendix-A renderer all consume
+// the registry, so adding a protocol means registering one value —
+// not touching four hardcoded mode switches.
+
+// Protocol is one registered coherence protocol flavour.
+type Protocol struct {
+	// Name identifies the protocol in sweeps, reports and DESIGN.md.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+
+	// Config surface: the mode flags that select this flavour at
+	// runtime (CtrlConfig / modelcheck.Config).
+	//
+	// Direct enables the direct-store region: CPU pushes over the
+	// dedicated network, GPU-side caching, CPU remote loads.
+	Direct bool
+	// Resilient enables the seq-numbered acknowledged push protocol
+	// (retry, NACK, duplicate suppression).
+	Resilient bool
+	// WriteThroughPush selects the §III-F ablation: pushes install
+	// exclusive-clean (M) and write through to memory.
+	WriteThroughPush bool
+
+	// Events is the subset of table events this flavour exercises; the
+	// Appendix-A renderer shows only these columns.
+	Events []Event
+	// Messages lists the wire message classes the flavour uses.
+	Messages []string
+	// Invariants is the safety-invariant set checked over LineView by
+	// both the model checker and MemCtrl.CheckInvariants.
+	Invariants []Invariant
+	// StateName names a raw protocol state for display (the obs
+	// state-timeline namer).
+	StateName func(State) string
+}
+
+// LineView is a protocol-neutral snapshot of one line's coherence
+// state across all agents — the common ground between the model
+// checker's abstract state and the runtime controllers. Invariants
+// are written against it so both consumers share one definition.
+type LineView struct {
+	// Line is a display label ("0", "0x40080").
+	Line string
+	// N is the number of agents; States/Dirty/Vers hold [0,N).
+	N      int
+	States []State
+	Dirty  []bool
+	// Vers are the data versions each copy holds (ghost values from
+	// the store oracle; meaningful only when HasVersions).
+	Vers []uint64
+	// Names optionally labels agents for reports; nil falls back to
+	// "agent<i>".
+	Names []string
+	// MemVer and Latest are memory's version and the newest written
+	// version (HasVersions only — the runtime checker has no global
+	// ghost counter, so data-value invariants are skipped there).
+	MemVer      uint64
+	Latest      uint64
+	HasVersions bool
+	// Quiescent reports nothing is in flight for the line: no
+	// transaction, queued request, message, outstanding miss,
+	// buffered writeback or pending push.
+	Quiescent bool
+}
+
+func (v *LineView) name(i int) string {
+	if i < len(v.Names) {
+		return v.Names[i]
+	}
+	return fmt.Sprintf("agent%d", i)
+}
+
+// owners counts owner copies (MM, M, O) and reports whether any is
+// exclusive (MM, M), plus the number of non-I holders.
+func (v *LineView) owners() (owners, holders int, exclusive bool) {
+	for i := 0; i < v.N; i++ {
+		switch v.States[i] {
+		case MM, M:
+			owners++
+			holders++
+			exclusive = true
+		case O:
+			owners++
+			holders++
+		case S:
+			holders++
+		}
+	}
+	return
+}
+
+// Invariant is one safety property over a line view. Check returns ""
+// when the invariant holds, or a violation message.
+type Invariant struct {
+	Name string
+	Doc  string
+	// QuiescentOnly restricts the check to quiescent lines (ownership
+	// is transferred atomically, but holder counts and data versions
+	// are only meaningful once traffic drains).
+	QuiescentOnly bool
+	// NeedsVersions restricts the check to consumers with a version
+	// oracle (the model checker and the chaos harness; the plain
+	// runtime checker has none).
+	NeedsVersions bool
+	Check         func(v *LineView) string
+}
+
+// Applies reports whether the invariant can be evaluated on v.
+func (inv *Invariant) Applies(v *LineView) bool {
+	if inv.QuiescentOnly && !v.Quiescent {
+		return false
+	}
+	if inv.NeedsVersions && !v.HasVersions {
+		return false
+	}
+	return true
+}
+
+// The shared invariant set. Every registered protocol checks all
+// four; a future protocol family (e.g. timestamp coherence) can swap
+// its own definitions in.
+var (
+	// InvSWMROwner: at most one owner copy per line, always — even
+	// mid-transaction, ownership transfer is atomic.
+	InvSWMROwner = Invariant{
+		Name: "swmr-owner",
+		Doc:  "at most one owner (MM, M or O) per line, at all times",
+		Check: func(v *LineView) string {
+			owners, _, _ := v.owners()
+			if owners > 1 {
+				return fmt.Sprintf("SWMR violation: line %s has %d owners", v.Line, owners)
+			}
+			return ""
+		},
+	}
+
+	// InvExclusiveSole: an exclusive holder is the only holder once
+	// the line drains.
+	InvExclusiveSole = Invariant{
+		Name:          "exclusive-sole-holder",
+		Doc:           "an exclusive copy (MM, M) implies every other cache is I at quiescence",
+		QuiescentOnly: true,
+		Check: func(v *LineView) string {
+			_, holders, exclusive := v.owners()
+			if exclusive && holders > 1 {
+				return fmt.Sprintf("SWMR violation: line %s exclusive with %d holders at quiescence", v.Line, holders)
+			}
+			return ""
+		},
+	}
+
+	// InvDataCopies: every surviving copy holds the newest version.
+	InvDataCopies = Invariant{
+		Name:          "data-value-copies",
+		Doc:           "every valid copy holds the newest written version at quiescence",
+		QuiescentOnly: true,
+		NeedsVersions: true,
+		Check: func(v *LineView) string {
+			for i := 0; i < v.N; i++ {
+				if v.States[i] != I && v.Vers[i] != v.Latest {
+					return fmt.Sprintf("data-value violation: %s line %s holds v%d at quiescence, newest is v%d (lost store)",
+						v.name(i), v.Line, v.Vers[i], v.Latest)
+				}
+			}
+			return ""
+		},
+	}
+
+	// InvDataMemory: with no owner left, memory itself must be
+	// current.
+	InvDataMemory = Invariant{
+		Name:          "data-value-memory",
+		Doc:           "with no owner at quiescence, memory holds the newest version",
+		QuiescentOnly: true,
+		NeedsVersions: true,
+		Check: func(v *LineView) string {
+			owners, _, _ := v.owners()
+			if owners == 0 && v.MemVer != v.Latest {
+				return fmt.Sprintf("data-value violation: line %s has no owner at quiescence but memory holds v%d, newest is v%d",
+					v.Line, v.MemVer, v.Latest)
+			}
+			return ""
+		},
+	}
+)
+
+// StandardInvariants returns the shared invariant set in evaluation
+// order.
+func StandardInvariants() []Invariant {
+	return []Invariant{InvSWMROwner, InvExclusiveSole, InvDataCopies, InvDataMemory}
+}
+
+// Event subsets per flavour. The heap protocol is plain MOESI-Hammer;
+// the direct flavours add the push/remote-load columns.
+func heapEvents() []Event {
+	return []Event{
+		EvLoadHit, EvStoreHit, EvProbeShare, EvProbeInv,
+		EvFillS, EvFillM, EvFillMM, EvEvict,
+	}
+}
+
+func directEvents(writeThrough bool) []Event {
+	push := EvPushInstall
+	if writeThrough {
+		push = EvPushInstallWT
+	}
+	return append(heapEvents(), EvProbeSnoop, push, EvDirectStore)
+}
+
+// Wire message classes per flavour.
+func heapMessages() []string {
+	return []string{"GETS", "GETX", "WB", "Probe", "Ack", "Data", "Unblock"}
+}
+
+func directMessages(resilient bool) []string {
+	m := append(heapMessages(), "RemoteLoad", "Putx")
+	if resilient {
+		m = append(m, "PushAck")
+	}
+	return m
+}
+
+// protocols is the registry, in display order. Kept as a function so
+// every caller gets a fresh value (the slices are shared-read only by
+// convention, but a sweep mutating its copy must not corrupt the
+// registry).
+func protocols() []Protocol {
+	return []Protocol{
+		{
+			Name:       "heap",
+			Doc:        "broadcast MOESI-Hammer over the shared crossbar (no direct-store region)",
+			Events:     heapEvents(),
+			Messages:   heapMessages(),
+			Invariants: StandardInvariants(),
+			StateName:  StateName,
+		},
+		{
+			Name:       "direct",
+			Doc:        "MOESI-Hammer plus the paper's direct-store extension: fire-and-forget pushes install MM at the owning GPU L2 slice",
+			Direct:     true,
+			Events:     directEvents(false),
+			Messages:   directMessages(false),
+			Invariants: StandardInvariants(),
+			StateName:  StateName,
+		},
+		{
+			Name:       "resilient",
+			Doc:        "direct store with seq-numbered acknowledged pushes: retry on NACK or loss, receiver-side duplicate suppression",
+			Direct:     true,
+			Resilient:  true,
+			Events:     directEvents(false),
+			Messages:   directMessages(true),
+			Invariants: StandardInvariants(),
+			StateName:  StateName,
+		},
+		{
+			Name:             "write-through-push",
+			Doc:              "the §III-F ablation: pushes install exclusive-clean (M) and write through to memory",
+			Direct:           true,
+			WriteThroughPush: true,
+			Events:           directEvents(true),
+			Messages:         directMessages(false),
+			Invariants:       StandardInvariants(),
+			StateName:        StateName,
+		},
+	}
+}
+
+// Protocols returns every registered protocol in display order.
+func Protocols() []Protocol { return protocols() }
+
+// ProtocolByName resolves a registered protocol.
+func ProtocolByName(name string) (Protocol, bool) {
+	for _, p := range protocols() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Protocol{}, false
+}
+
+// ProtocolFor maps mode flags to the registered protocol they select.
+func ProtocolFor(direct, resilient, writeThroughPush bool) Protocol {
+	name := "heap"
+	switch {
+	case writeThroughPush:
+		name = "write-through-push"
+	case resilient:
+		name = "resilient"
+	case direct:
+		name = "direct"
+	}
+	p, _ := ProtocolByName(name)
+	return p
+}
+
+// CheckLineView runs the protocol's invariant set over one line view,
+// returning the first violation message or "". count, when non-nil,
+// receives one increment per invariant evaluated (indexed like
+// Invariants) — the model checker's per-invariant statistics.
+func (p *Protocol) CheckLineView(v *LineView, count []uint64) string {
+	for i := range p.Invariants {
+		inv := &p.Invariants[i]
+		if !inv.Applies(v) {
+			continue
+		}
+		if count != nil {
+			count[i]++
+		}
+		if msg := inv.Check(v); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// AppendixA renders the per-protocol transition tables for DESIGN.md:
+// one section per registered protocol showing only the event columns
+// that flavour exercises, kept in sync by TestProtocolTableAppendix.
+func AppendixA() string {
+	var b strings.Builder
+	for i, p := range protocols() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "### %s\n\n%s.\n\n", p.Name, p.Doc)
+		fmt.Fprintf(&b, "Messages: %s.\n", strings.Join(p.Messages, ", "))
+		fmt.Fprintf(&b, "Invariants: %s.\n\n", invariantNames(p.Invariants))
+		b.WriteString(protocolTableFor(p.Events))
+	}
+	return b.String()
+}
+
+func invariantNames(invs []Invariant) string {
+	names := make([]string, len(invs))
+	for i, inv := range invs {
+		names[i] = inv.Name
+	}
+	return strings.Join(names, ", ")
+}

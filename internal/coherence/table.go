@@ -69,6 +69,42 @@ func EventName(ev Event) string {
 	}
 }
 
+// EventIdent returns the Go identifier of an event constant
+// ("EvLoadHit"), as opposed to EventName's display form ("LoadHit").
+// The model checker's reachability dump records events under these
+// names so the tablecover analyzer can resolve them back to values by
+// package-scope lookup, independent of display formatting.
+func EventIdent(ev Event) string {
+	switch ev {
+	case EvLoadHit:
+		return "EvLoadHit"
+	case EvStoreHit:
+		return "EvStoreHit"
+	case EvProbeShare:
+		return "EvProbeShare"
+	case EvProbeInv:
+		return "EvProbeInv"
+	case EvProbeSnoop:
+		return "EvProbeSnoop"
+	case EvFillS:
+		return "EvFillS"
+	case EvFillM:
+		return "EvFillM"
+	case EvFillMM:
+		return "EvFillMM"
+	case EvPushInstall:
+		return "EvPushInstall"
+	case EvPushInstallWT:
+		return "EvPushInstallWT"
+	case EvDirectStore:
+		return "EvDirectStore"
+	case EvEvict:
+		return "EvEvict"
+	default:
+		return fmt.Sprintf("Event(%d)", uint8(ev))
+	}
+}
+
 // ProbeEvent maps a wire probe kind to its table event.
 func ProbeEvent(k ProbeKind) Event {
 	switch k {
@@ -171,10 +207,13 @@ var table = func() [NumStates][NumEvents]Outcome {
 	set(MM, EvProbeInv, Outcome{Next: I, Data: DirtyData, Dirty: DirtyClear})
 
 	// PrbSnoop: an uncacheable RemoteLoad reads through; nobody
-	// changes state.
+	// changes state. RemoteLoads target the direct region, whose only
+	// cached copy is the homing GPU slice's M/MM (no other agent may
+	// GETS a direct line), so the S and O rows are declared for
+	// totality but can never fire.
 	set(I, EvProbeSnoop, Outcome{Next: I})
-	set(S, EvProbeSnoop, Outcome{Next: S, Present: true})
-	set(O, EvProbeSnoop, Outcome{Next: O, Data: DirtyIfDirty})
+	set(S, EvProbeSnoop, Outcome{Next: S, Present: true})      //dstore:allow-uncovered no sharer can exist on a direct line to snoop
+	set(O, EvProbeSnoop, Outcome{Next: O, Data: DirtyIfDirty}) //dstore:allow-uncovered no owner downgrade can exist on a direct line to snoop
 	set(M, EvProbeSnoop, Outcome{Next: M, Data: DirtyIfDirty})
 	set(MM, EvProbeSnoop, Outcome{Next: MM, Data: DirtyData})
 
@@ -190,14 +229,38 @@ var table = func() [NumStates][NumEvents]Outcome {
 
 	// Direct-store push install: the blue dashed I→MM transition of
 	// Fig. 3. A re-push to a resident line (retry, or a line the slice
-	// read back) also lands in MM; the write-through ablation installs
-	// exclusive-clean instead.
-	for st := State(0); st < NumStates; st++ {
+	// read back in M) also lands in MM; the write-through ablation
+	// installs exclusive-clean instead. Rows are declared for all five
+	// states (the table is total over resident states), but grouped by
+	// reachability so the tablecover dead-transition check can pin its
+	// annotations to exactly the rows the model checker cannot fire.
+	for _, st := range []State{I, M, MM} {
 		set(st, EvPushInstall, Outcome{Next: MM, Dirty: DirtySet})
+	}
+	for _, st := range []State{I, M} {
 		set(st, EvPushInstallWT, Outcome{Next: M, Dirty: DirtyClear})
-		// Direct store (CPU side): the bold I/S/M/MM → I transitions
-		// of Fig. 3 — the store is never cached locally.
-		set(st, EvDirectStore, Outcome{Next: I, Dirty: DirtyClear})
+	}
+	for _, st := range []State{S, O} {
+		// A direct-region line is cached only by its homing GPU L2
+		// slice, and no other agent may GETS it — so the slice can
+		// never be downgraded to S or O and a push can never land on
+		// such a copy. Declared for totality.
+		set(st, EvPushInstall, Outcome{Next: MM, Dirty: DirtySet})    //dstore:allow-uncovered no sharer/owner downgrade can exist on a direct line
+		set(st, EvPushInstallWT, Outcome{Next: M, Dirty: DirtyClear}) //dstore:allow-uncovered no sharer/owner downgrade can exist on a direct line
+	}
+	// Under the write-through ablation every install is exclusive-clean
+	// M, and the slice never stores direct lines itself, so a push can
+	// never find an MM copy.
+	set(MM, EvPushInstallWT, Outcome{Next: M, Dirty: DirtyClear}) //dstore:allow-uncovered write-through installs are always clean, so MM never occurs
+
+	// Direct store (CPU side): the bold I/S/M/MM → I transitions of
+	// Fig. 3 — the store is never cached locally. Only the I row is
+	// reachable: the reserved region "can never be cached on the CPU
+	// side" (§III-E), so the non-I rows are the runtime's defensive
+	// path, declared for totality.
+	set(I, EvDirectStore, Outcome{Next: I, Dirty: DirtyClear})
+	for _, st := range []State{S, O, M, MM} {
+		set(st, EvDirectStore, Outcome{Next: I, Dirty: DirtyClear}) //dstore:allow-uncovered the direct region is never CPU-cached in translated programs
 	}
 	return t
 }()
@@ -277,21 +340,33 @@ func FillEvent(grant State) (Event, bool) {
 // direct-store PUTX: MM and dirty in the paper's scheme, M and clean
 // under the write-through ablation.
 func PushInstallState(writeThrough bool) (State, bool) {
-	if writeThrough {
-		return M, false
-	}
-	return MM, true
+	out := Transition(I, PushEvent(writeThrough))
+	return out.Next, out.Dirty == DirtySet
 }
 
-// ProtocolTable renders the transition relation as a GitHub-flavoured
-// markdown table — the generated appendix in DESIGN.md, kept in sync
-// by TestProtocolTableInSync.
+// PushEvent maps the write-through flag to the PUTX install event.
+func PushEvent(writeThrough bool) Event {
+	if writeThrough {
+		return EvPushInstallWT
+	}
+	return EvPushInstall
+}
+
+// ProtocolTable renders the full transition relation as a
+// GitHub-flavoured markdown table (every event column). The DESIGN.md
+// appendix uses AppendixA, which renders one table per registered
+// protocol over its own event subset.
 func ProtocolTable() string {
-	events := []Event{
+	return protocolTableFor([]Event{
 		EvLoadHit, EvStoreHit, EvProbeShare, EvProbeInv, EvProbeSnoop,
 		EvFillS, EvFillM, EvFillMM, EvPushInstall, EvPushInstallWT,
 		EvDirectStore, EvEvict,
-	}
+	})
+}
+
+// protocolTableFor renders the transition table restricted to the
+// given event columns.
+func protocolTableFor(events []Event) string {
 	states := []State{I, S, O, M, MM}
 	var b strings.Builder
 	b.WriteString("| State |")

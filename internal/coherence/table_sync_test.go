@@ -16,8 +16,8 @@ const (
 )
 
 // TestProtocolTableAppendix keeps DESIGN.md's Appendix A in sync with
-// the generated protocol table. On drift, rerun with -update to
-// regenerate the block between the markers.
+// the per-protocol tables rendered from the registry. On drift, rerun
+// with -update to regenerate the block between the markers.
 func TestProtocolTableAppendix(t *testing.T) {
 	doc, err := os.ReadFile(designPath)
 	if err != nil {
@@ -30,7 +30,7 @@ func TestProtocolTableAppendix(t *testing.T) {
 		t.Fatalf("DESIGN.md is missing the %s / %s markers", beginMarker, endMarker)
 	}
 
-	want := "\n" + ProtocolTable()
+	want := "\n" + AppendixA()
 	got := text[begin+len(beginMarker) : end]
 	if got == want {
 		return

@@ -329,6 +329,10 @@ func NewSystem(cfg Config) *System {
 			}
 			return out
 		})
+	s.Mem.SetProtocol(coherence.ProtocolFor(
+		cfg.Mode.DirectStoreEnabled(),
+		cfg.Chaos != nil && cfg.Chaos.Resilience.Enabled,
+		cfg.PushWriteThrough))
 
 	if cfg.RegionDirectory {
 		shift := cfg.RegionShift

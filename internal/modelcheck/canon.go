@@ -1,0 +1,186 @@
+package modelcheck
+
+import "bytes"
+
+// Canonical-ordering symmetry reduction: the model treats some
+// entities uniformly, so states differing only by a relabelling of
+// those entities are behaviourally identical. When Config.Symmetry is
+// on, every discovered state is replaced by the lexicographically
+// smallest member of its orbit before being fingerprinted, so each
+// orbit is explored once.
+//
+// Interchangeable entities (each a sound group generator because no
+// rule distinguishes the swapped pair):
+//   - middle agents — neither the CPU (agent 0, the only push sender
+//     and remote loader) nor a GPU slice (the home of a direct line);
+//   - two heap lines (DirectLines == 0), or two direct lines homed at
+//     the same slice (gpus() == 1) — per-line rules are identical and
+//     all budgets are shared;
+//   - (GPU slice, homed direct line) pairs when gpus() == 2 and both
+//     lines are direct: slices are distinguished only by which line
+//     they home, so swapping lines and slices together is invisible.
+//
+// The group is the closure of those generators (all compositions are
+// enumerated below); for the standard sweep configs it is trivial and
+// canonicalisation is skipped entirely.
+
+// perm is one group element: a relabelling of agents and lines.
+type perm struct {
+	agents [maxAgents]uint8
+	lines  [maxLines]uint8
+}
+
+func identityPerm(cfg Config) perm {
+	var p perm
+	for a := 0; a < maxAgents; a++ {
+		p.agents[a] = uint8(a)
+	}
+	for l := 0; l < maxLines; l++ {
+		p.lines[l] = uint8(l)
+	}
+	return p
+}
+
+// symGroup enumerates the non-identity group elements for cfg, or nil
+// when symmetry is off or the group is trivial.
+func symGroup(cfg Config) []perm {
+	if !cfg.Symmetry {
+		return nil
+	}
+	id := identityPerm(cfg)
+
+	// Agent-side generators applied as full elements: the middle-agent
+	// swap (at most two middle agents fit in maxAgents).
+	agentPerms := []perm{id}
+	firstMid, lastMid := 1, cfg.Agents-cfg.gpus()-1
+	if lastMid > firstMid {
+		p := id
+		p.agents[firstMid], p.agents[lastMid] = p.agents[lastMid], p.agents[firstMid]
+		agentPerms = append(agentPerms, p)
+	}
+
+	// Line-side generators (possibly coupled to a GPU-slice swap).
+	linePerms := []perm{id}
+	if cfg.Lines == 2 {
+		switch {
+		case cfg.DirectLines == 0, cfg.DirectLines == 2 && cfg.gpus() == 1:
+			p := id
+			p.lines[0], p.lines[1] = 1, 0
+			linePerms = append(linePerms, p)
+		case cfg.DirectLines == 2 && cfg.gpus() == 2:
+			p := id
+			p.lines[0], p.lines[1] = 1, 0
+			g0, g1 := homeAgent(cfg, 0), homeAgent(cfg, 1)
+			p.agents[g0], p.agents[g1] = p.agents[g1], p.agents[g0]
+			linePerms = append(linePerms, p)
+		}
+	}
+
+	// Closure: compose every agent element with every line element.
+	var group []perm
+	for _, ap := range agentPerms {
+		for _, lp := range linePerms {
+			var c perm
+			for a := 0; a < maxAgents; a++ {
+				c.agents[a] = lp.agents[ap.agents[a]]
+			}
+			c.lines = lp.lines
+			if c != id {
+				group = append(group, c)
+			}
+		}
+	}
+	return group
+}
+
+// applyPerm returns s relabelled by p. Message kinds carry agent ids
+// in kind-specific fields (see the msg kind table in model.go); the
+// multiset is re-sorted afterwards so the encoding stays canonical.
+func applyPerm(cfg Config, s *state, p *perm) state {
+	var ns state
+	for a := 0; a < cfg.Agents; a++ {
+		na := p.agents[a]
+		for l := 0; l < cfg.Lines; l++ {
+			nl := p.lines[l]
+			ns.st[na][nl] = s.st[a][l]
+			ns.dirty[na][nl] = s.dirty[a][l]
+			ns.ver[na][nl] = s.ver[a][l]
+			ns.wb[na][nl] = s.wb[a][l]
+			ns.wbStale[na][nl] = s.wbStale[a][l]
+			ns.pend[na][nl] = s.pend[a][l]
+			ns.super[na][nl] = s.super[a][l]
+		}
+	}
+	for l := 0; l < cfg.Lines; l++ {
+		nl := p.lines[l]
+		ns.mem[nl] = s.mem[l]
+		ns.latest[nl] = s.latest[l]
+		ns.busy[nl] = s.busy[l]
+		ns.nq[nl] = s.nq[l]
+		ns.lastPushVer[nl] = s.lastPushVer[l]
+		t := s.txn[l]
+		if t != (txnState{}) {
+			t.from = p.agents[t.from]
+		}
+		ns.txn[nl] = t
+		for i := 0; i < int(s.nq[l]); i++ {
+			e := s.queue[l][i]
+			e.from = p.agents[e.from]
+			ns.queue[nl][i] = e
+		}
+	}
+	ns.storesLeft = s.storesLeft
+	ns.evictsLeft = s.evictsLeft
+	ns.loadsLeft = s.loadsLeft
+	ns.nackLeft = s.nackLeft
+	ns.dupLeft = s.dupLeft
+	ns.ordered = s.ordered
+	ns.pushSeq = s.pushSeq
+	ns.pushPend = s.pushPend
+	ns.applied = s.applied
+	ns.pushVer = s.pushVer
+	// Only written entries are relabelled: unused slots stay zero so
+	// the permuted state matches what the permuted run would produce.
+	for seq := 1; seq <= int(s.pushSeq); seq++ {
+		ns.pushLine[seq] = p.lines[s.pushLine[seq]]
+	}
+	ns.nmsgs = s.nmsgs
+	for i := 0; i < int(s.nmsgs); i++ {
+		m := s.msgs[i]
+		m.line = p.lines[m.line]
+		switch m.kind {
+		case kReq:
+			m.b = p.agents[m.b]
+		case kProbe:
+			m.b = p.agents[m.b]
+			m.c = p.agents[m.c]
+		case kAck, kData, kUnblock, kWBDone:
+			m.a = p.agents[m.a]
+		}
+		// kPutx (a=ver, b=seq) and kPushAck (a=seq) carry no agent ids.
+		ns.msgs[i] = m
+	}
+	for i := 1; i < int(ns.nmsgs); i++ {
+		for j := i; j > 0 && msgLess(ns.msgs[j], ns.msgs[j-1]); j-- {
+			ns.msgs[j], ns.msgs[j-1] = ns.msgs[j-1], ns.msgs[j]
+		}
+	}
+	return ns
+}
+
+// canonical returns the smallest orbit member of s under group (the
+// state itself when the group is empty).
+func canonical(cfg Config, group []perm, s state) state {
+	if len(group) == 0 {
+		return s
+	}
+	best := s
+	bb := stateBytes(&best)
+	for i := range group {
+		cand := applyPerm(cfg, &s, &group[i])
+		if bytes.Compare(stateBytes(&cand), bb) < 0 {
+			best = cand
+		}
+	}
+	return best
+}

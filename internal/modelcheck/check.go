@@ -1,67 +1,15 @@
 package modelcheck
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dstore/internal/coherence"
 )
-
-// checkState validates the safety invariants in one state, returning a
-// violation message or "".
-//
-//   - SWMR ownership: at most one owner (MM, M or O) per line, always
-//     — even mid-transaction, ownership transfer is atomic.
-//   - At line-quiescent states (no transaction, queue entry, message,
-//     miss, writeback or push in flight for the line) the full
-//     single-writer/multi-reader and data-value invariants hold: an
-//     exclusive holder is the sole holder, every valid copy holds the
-//     newest version, and with no owner memory itself must be current.
-//   - Deadlock freedom: with work outstanding, some step must remain
-//     enabled (messages or DRAM completions).
-func checkState(cfg Config, s *state) string {
-	for l := 0; l < cfg.Lines; l++ {
-		owners := 0
-		holders := 0
-		exclusive := false
-		for a := 0; a < cfg.Agents; a++ {
-			switch coherence.State(s.st[a][l]) {
-			case coherence.MM, coherence.M:
-				owners++
-				holders++
-				exclusive = true
-			case coherence.O:
-				owners++
-				holders++
-			case coherence.S:
-				holders++
-			}
-		}
-		if owners > 1 {
-			return fmt.Sprintf("SWMR violation: line %d has %d owners", l, owners)
-		}
-		if !lineQuiescent(cfg, s, l) {
-			continue
-		}
-		if exclusive && holders > 1 {
-			return fmt.Sprintf("SWMR violation: line %d exclusive with %d holders at quiescence", l, holders)
-		}
-		for a := 0; a < cfg.Agents; a++ {
-			if coherence.State(s.st[a][l]) != coherence.I && s.ver[a][l] != s.latest[l] {
-				return fmt.Sprintf("data-value violation: agent%d line %d holds v%d at quiescence, newest is v%d (lost store)",
-					a, l, s.ver[a][l], s.latest[l])
-			}
-		}
-		if owners == 0 && s.mem[l] != s.latest[l] {
-			return fmt.Sprintf("data-value violation: line %d has no owner at quiescence but memory holds v%d, newest is v%d",
-				l, s.mem[l], s.latest[l])
-		}
-	}
-	if s.nmsgs == 0 && !anyDramPending(cfg, s) && workOutstanding(cfg, s) {
-		return "deadlock: work outstanding but no step enabled"
-	}
-	return ""
-}
 
 // lineQuiescent reports whether nothing is in flight for line l.
 func lineQuiescent(cfg Config, s *state, l int) bool {
@@ -115,10 +63,21 @@ func workOutstanding(cfg Config, s *state) bool {
 // Result summarises one exhaustive exploration.
 type Result struct {
 	Config      Config
+	Workers     int // worker count the run used
 	States      int // distinct states reached
 	Transitions int // transitions explored
 	MaxDepth    int // longest shortest-path from the initial state
-	Violation   *Violation
+	// Invariants counts, per registered invariant (plus the checker's
+	// own deadlock and mm-install checks), how many times the check was
+	// evaluated — the per-invariant work profile of the run.
+	Invariants []InvariantCount
+	Violation  *Violation
+}
+
+// InvariantCount is the evaluation count of one invariant.
+type InvariantCount struct {
+	Name   string `json:"name"`
+	Checks uint64 `json:"checks"`
 }
 
 // Violation is a failed invariant with its minimal counterexample: the
@@ -143,90 +102,357 @@ func (v *Violation) Error() string {
 	return b.String()
 }
 
-// Check exhaustively explores every reachable state of the configured
-// model breadth-first, stopping at the first invariant violation. A
-// nil Result.Violation means the protocol is safe within the
-// configured bounds.
-func Check(cfg Config) (*Result, error) {
+// CoveragePair is one fired protocol-table row.
+type CoveragePair struct {
+	State coherence.State
+	Event coherence.Event
+}
+
+// Options tunes an exploration.
+type Options struct {
+	// Workers is the BFS worker count; 0 means GOMAXPROCS. Results —
+	// state counts, invariant counts and counterexample traces — are
+	// identical at any worker count.
+	Workers int
+	// Coverage, when non-nil, collects every (state, event) table row
+	// the model fires. Recording costs a mutex per transition, so it is
+	// reserved for the reachability dump and the cross-validation fuzz
+	// test, not routine checking.
+	Coverage map[CoveragePair]bool
+}
+
+// checker is the per-run immutable context shared by workers.
+type checker struct {
+	cfg   Config
+	proto coherence.Protocol
+	group []perm
+	table *fpTable
+	pushE coherence.Event
+}
+
+// Extra checker-owned invariant slots appended after the registry's.
+const (
+	extraDeadlock = iota
+	extraMMInstall
+	numExtra
+)
+
+// worker is one BFS worker's private scratch: the next-frontier chunk
+// it builds, its candidate violations, statistics, and a preallocated
+// LineView so invariant checking allocates nothing per state.
+type worker struct {
+	view        coherence.LineView
+	counts      []uint64
+	next        []state
+	nextFP      []uint64
+	cands       []cand
+	transitions int
+	scratch     state // successor buffer, reused across every expansion
+}
+
+// cand is one discovered violation, kept until the level barrier and
+// then deterministically minimised. It deliberately carries nothing
+// about HOW the violation was discovered: which worker found it and
+// from which parent are races, so the trace is reconstructed from the
+// visited table's parent chain, whose per-level min-fingerprint
+// tie-break has settled deterministically by the time exploration
+// stops.
+type cand struct {
+	depth int32
+	msg   string
+	st    state // the violating state
+}
+
+// candLess orders candidates: shallowest first, then by the violating
+// state's byte encoding, then message — a total order independent of
+// discovery order, so the reported counterexample is byte-identical
+// at any worker count.
+func candLess(a, b *cand) bool {
+	if a.depth != b.depth {
+		return a.depth < b.depth
+	}
+	if c := bytes.Compare(stateBytes(&a.st), stateBytes(&b.st)); c != 0 {
+		return c < 0
+	}
+	return a.msg < b.msg
+}
+
+// checkState evaluates the registered protocol's invariant set (plus
+// the deadlock heuristic) on one state, returning a violation message
+// or "". Each unique state is checked exactly once, when first
+// inserted into the visited set.
+func (c *checker) checkState(w *worker, s *state) string {
+	v := &w.view
+	for l := 0; l < c.cfg.Lines; l++ {
+		v.Line = lineLabels[l]
+		for a := 0; a < c.cfg.Agents; a++ {
+			v.States[a] = coherence.State(s.st[a][l])
+			v.Dirty[a] = s.dirty[a][l] != 0
+			v.Vers[a] = uint64(s.ver[a][l])
+		}
+		v.MemVer = uint64(s.mem[l])
+		v.Latest = uint64(s.latest[l])
+		v.Quiescent = lineQuiescent(c.cfg, s, l)
+		if msg := c.proto.CheckLineView(v, w.counts); msg != "" {
+			return msg
+		}
+	}
+	w.counts[len(c.proto.Invariants)+extraDeadlock]++
+	if s.nmsgs == 0 && !anyDramPending(c.cfg, s) && workOutstanding(c.cfg, s) {
+		return "deadlock: work outstanding but no step enabled"
+	}
+	return ""
+}
+
+var lineLabels = [maxLines]string{"0", "1"}
+
+func newChecker(cfg Config) *checker {
+	return &checker{
+		cfg:   cfg,
+		proto: coherence.ProtocolFor(cfg.DirectLines > 0, cfg.Resilient, cfg.WriteThroughPush),
+		group: symGroup(cfg),
+		table: newFPTable(),
+		pushE: coherence.PushEvent(cfg.WriteThroughPush),
+	}
+}
+
+func (c *checker) newWorker() *worker {
+	names := make([]string, c.cfg.Agents)
+	for a := range names {
+		names[a] = fmt.Sprintf("agent%d", a)
+	}
+	return &worker{
+		view: coherence.LineView{
+			N:           c.cfg.Agents,
+			States:      make([]coherence.State, c.cfg.Agents),
+			Dirty:       make([]bool, c.cfg.Agents),
+			Vers:        make([]uint64, c.cfg.Agents),
+			Names:       names,
+			HasVersions: true,
+		},
+		counts: make([]uint64, len(c.proto.Invariants)+numExtra),
+	}
+}
+
+// Check explores with default options (all cores).
+func Check(cfg Config) (*Result, error) { return CheckOpts(cfg, Options{}) }
+
+// CheckOpts exhaustively explores every reachable state of the
+// configured model with a level-synchronous parallel BFS over a
+// hash-compacted visited set, stopping at the first BFS level
+// containing an invariant violation. A nil Result.Violation means the
+// protocol is safe within the configured bounds.
+//
+// Determinism: the visited set is keyed by state fingerprints, parent
+// pointers tie-break to the smallest fingerprint within a level, and
+// violations are minimised under candLess after each level barrier —
+// so States, Invariants and the counterexample are independent of
+// worker count and scheduling.
+func CheckOpts(cfg Config, opt Options) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	init := initial(cfg)
-	res := &Result{Config: cfg, States: 1}
-	if v := checkState(cfg, &init); v != "" {
-		res.Violation = &Violation{Message: v, Final: dump(cfg, &init)}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c := newChecker(cfg)
+	res := &Result{Config: cfg, Workers: workers}
+
+	ws := make([]*worker, workers)
+	for i := range ws {
+		ws[i] = c.newWorker()
+	}
+
+	// Per-worker recorders count mm-install checks (every push install
+	// the model fires) and feed the optional coverage set.
+	var covMu sync.Mutex
+	recFor := func(w *worker) recorder {
+		return func(agent, line int, st coherence.State, ev coherence.Event, next coherence.State) {
+			if ev == c.pushE {
+				w.counts[len(c.proto.Invariants)+extraMMInstall]++
+			}
+			if opt.Coverage != nil {
+				covMu.Lock()
+				opt.Coverage[CoveragePair{State: st, Event: ev}] = true
+				covMu.Unlock()
+			}
+		}
+	}
+
+	c.table.par = workers > 1
+	init := canonical(cfg, c.group, initial(cfg))
+	initFP := fpState(&init)
+	c.table.insert(initFP, initFP, 0)
+	if msg := c.checkState(ws[0], &init); msg != "" {
+		res.States, res.Violation = 1, &Violation{Message: msg, Final: dump(cfg, &init)}
+		c.mergeCounts(res, ws)
 		return res, nil
 	}
 
-	nodes := []state{init}
-	index := map[state]int32{init: 0}
-	parent := []int32{-1}
-	depth := []int32{0}
+	frontier := []state{init}
+	frontierFP := []uint64{initFP}
+	var best *cand
+	for depth := int32(0); len(frontier) > 0; depth++ {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				rec := recFor(w)
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(frontier) {
+						return
+					}
+					s, pfp := &frontier[i], frontierFP[i]
+					emitted := 0
+					successorsInto(cfg, s, &w.scratch, false, rec, func(ns *state, _ string, viol string) {
+						emitted++
+						w.transitions++
+						if len(c.group) > 0 {
+							*ns = canonical(cfg, c.group, *ns)
+						}
+						fp := fpState(ns)
+						if c.table.insert(fp, pfp, depth+1) {
+							if viol == "" {
+								viol = c.checkState(w, ns)
+							}
+							if n := len(w.next); n < cap(w.next) {
+								// Reused frontier backing: every slot is either
+								// a former state or append-zeroed, so the dead-
+								// slots-zero invariant copyLive needs holds and
+								// the live-prefix copy is enough.
+								w.next = w.next[:n+1]
+								copyLive(&w.next[n], ns)
+							} else {
+								w.next = append(w.next, *ns)
+							}
+							w.nextFP = append(w.nextFP, fp)
+						}
+						if viol != "" {
+							w.cands = append(w.cands, cand{depth: depth + 1, msg: viol, st: *ns})
+						}
+					})
+					if emitted == 0 && workOutstanding(cfg, s) {
+						// Exact deadlock: work outstanding, no enabled step
+						// at all (the in-state heuristic can miss states
+						// whose remaining messages are all undeliverable).
+						w.cands = append(w.cands, cand{depth: depth, msg: "deadlock: work outstanding but no step enabled",
+							st: *s})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
 
-	for head := 0; head < len(nodes) && res.Violation == nil; head++ {
-		s := nodes[head]
-		successors(cfg, &s, false, func(ns state, _ string, viol string) {
-			if res.Violation != nil {
-				return
-			}
-			res.Transitions++
-			if viol == "" {
-				viol = checkState(cfg, &ns)
-			}
-			if _, seen := index[ns]; !seen {
-				index[ns] = int32(len(nodes))
-				nodes = append(nodes, ns)
-				parent = append(parent, int32(head))
-				d := depth[head] + 1
-				depth = append(depth, d)
-				if int(d) > res.MaxDepth {
-					res.MaxDepth = int(d)
+		for _, w := range ws {
+			for i := range w.cands {
+				if best == nil || candLess(&w.cands[i], best) {
+					cp := w.cands[i]
+					best = &cp
 				}
 			}
-			if viol != "" {
-				res.Violation = &Violation{
-					Message: viol,
-					Trace:   tracePath(cfg, nodes, parent, head, &ns),
-					Final:   dump(cfg, &ns),
-				}
+			w.cands = w.cands[:0]
+		}
+		var next []state
+		var nextFP []uint64
+		if len(ws) == 1 {
+			// Single worker: its chunk IS the next frontier — swap the
+			// backing arrays instead of copying ~300 bytes per state.
+			w := ws[0]
+			next, nextFP = w.next, w.nextFP
+			w.next, w.nextFP = frontier[:0], frontierFP[:0]
+		} else {
+			next, nextFP = frontier[:0], frontierFP[:0]
+			for _, w := range ws {
+				next = append(next, w.next...)
+				nextFP = append(nextFP, w.nextFP...)
+				w.next, w.nextFP = w.next[:0], w.nextFP[:0]
 			}
-		})
+		}
+		if best != nil {
+			break
+		}
+		if len(next) > 0 {
+			res.MaxDepth = int(depth) + 1
+		}
+		frontier, frontierFP = next, nextFP
 	}
-	res.States = len(nodes)
+
+	res.States = c.table.count()
+	c.mergeCounts(res, ws)
+	if best != nil {
+		res.Violation = c.buildViolation(best, init, initFP)
+	}
 	return res, nil
 }
 
-// tracePath rebuilds the action labels from the initial state to the
-// violating state ns (reached from nodes[last]). Labels are not stored
-// during exploration; each edge on the (short) path is re-derived by
-// re-running the parent's successors and matching the child.
-func tracePath(cfg Config, nodes []state, parent []int32, last int, ns *state) []string {
-	var path []int
-	for i := int32(last); i != -1; i = parent[i] {
-		path = append(path, int(i))
+func (c *checker) mergeCounts(res *Result, ws []*worker) {
+	for _, w := range ws {
+		res.Transitions += w.transitions
 	}
-	// Reverse into root-first order.
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
+	names := make([]string, 0, len(c.proto.Invariants)+numExtra)
+	for i := range c.proto.Invariants {
+		names = append(names, c.proto.Invariants[i].Name)
 	}
-	var trace []string
-	for i := 0; i+1 < len(path); i++ {
-		trace = append(trace, edgeLabel(cfg, &nodes[path[i]], &nodes[path[i+1]]))
+	names = append(names, "deadlock", "mm-install")
+	for i, name := range names {
+		var n uint64
+		for _, w := range ws {
+			n += w.counts[i]
+		}
+		res.Invariants = append(res.Invariants, InvariantCount{Name: name, Checks: n})
 	}
-	trace = append(trace, edgeLabel(cfg, &nodes[last], ns))
-	return trace
 }
 
-// edgeLabel finds the action taking from to to.
-func edgeLabel(cfg Config, from, to *state) string {
-	label := "?"
-	found := false
-	successors(cfg, from, true, func(c state, l, _ string) {
-		if !found && c == *to {
-			label, found = l, true
+// buildViolation reconstructs the minimal counterexample for the
+// chosen candidate: walk the fingerprint parent chain back to the
+// root, forward-replay successors matching each fingerprint to recover
+// the action labels, then label the final violating step by exact
+// state match.
+func (c *checker) buildViolation(v *cand, init state, initFP uint64) *Violation {
+	// Parent chain, root-first, from the visited table: every
+	// candidate's state was inserted before its violation was
+	// detected, and the table's per-level min-parent tie-break is the
+	// deterministic path source (the discovering worker's own parent
+	// is a race).
+	var chain []uint64
+	for fp := fpState(&v.st); ; {
+		chain = append(chain, fp)
+		e, ok := c.table.lookup(fp)
+		if !ok || e.depth == 0 {
+			break
 		}
-	})
-	return label
+		fp = e.parentFP
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	var trace []string
+	cur := init
+	for _, fp := range chain[1:] {
+		found := false
+		successors(c.cfg, &cur, true, nil, func(ns *state, label, _ string) {
+			if found {
+				return
+			}
+			cns := canonical(c.cfg, c.group, *ns)
+			if fpState(&cns) == fp {
+				cur, found = cns, true
+				trace = append(trace, label)
+			}
+		})
+		if !found {
+			// Fingerprint collision broke the chain (probability ~1e-7
+			// per run); report what we have.
+			trace = append(trace, "<trace lost to fingerprint collision>")
+			break
+		}
+	}
+	return &Violation{Message: v.msg, Trace: trace, Final: dump(c.cfg, &v.st)}
 }
 
 // dump renders a state for counterexample reports.

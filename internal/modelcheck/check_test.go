@@ -131,7 +131,9 @@ func TestOrderedNetClean(t *testing.T) {
 func TestConfigValidate(t *testing.T) {
 	bad := []Config{
 		{Agents: 1, Lines: 1, MaxStores: 1},
-		{Agents: 4, Lines: 1, MaxStores: 1},
+		{Agents: 5, Lines: 1, MaxStores: 1},
+		{Agents: 3, Lines: 1, MaxStores: 1, GPUs: 3},
+		{Agents: 2, Lines: 1, MaxStores: 1, GPUs: 2},
 		{Agents: 2, Lines: 0, MaxStores: 1},
 		{Agents: 2, Lines: 3, MaxStores: 1},
 		{Agents: 2, Lines: 1, DirectLines: 2, MaxStores: 1},

@@ -34,7 +34,7 @@ import (
 // Model bounds. The state struct is fixed-size and comparable so it
 // can key the visited map directly.
 const (
-	maxAgents = 3
+	maxAgents = 4
 	maxLines  = 2
 	maxQueue  = 6
 	maxMsgs   = 24
@@ -92,10 +92,14 @@ func ParseMutation(s string) (Mutation, error) {
 
 // Config selects the model instance to explore.
 type Config struct {
-	// Agents is the number of coherent cache agents (2..3). Agent 0 is
-	// the CPU controller (the only push sender); the last agent is the
-	// GPU L2 slice that homes the direct-store region.
+	// Agents is the number of coherent cache agents (2..4). Agent 0 is
+	// the CPU controller (the only push sender); the last GPUs agents
+	// are GPU L2 slices homing the direct-store region.
 	Agents int
+	// GPUs is the number of GPU L2 slice agents (1..2; 0 means 1).
+	// Direct line l is homed at slice l % GPUs, mirroring the
+	// simulator's address-interleaved slice routing.
+	GPUs int
 	// Lines is the number of cache lines (1..2).
 	Lines int
 	// DirectLines makes the first DirectLines lines direct-store
@@ -142,6 +146,13 @@ type Config struct {
 	// The unordered default explores strictly more interleavings; the
 	// refinement is what makes multi-line products tractable.
 	OrderedNet bool
+	// Symmetry enables canonical-ordering symmetry reduction: states
+	// that differ only by a permutation of interchangeable middle
+	// agents (the non-CPU, non-GPU cache agents), of identical heap
+	// lines, or of identical (GPU slice, homed line) pairs are explored
+	// once. Sound because the model treats those entities uniformly;
+	// see canon.go.
+	Symmetry bool
 	// Mutation optionally re-introduces a known bug.
 	Mutation Mutation
 }
@@ -159,9 +170,24 @@ func (c Config) String() string {
 	if c.OrderedNet {
 		net = "ordered"
 	}
-	return fmt.Sprintf("agents=%d lines=%d direct=%d stores=%d evicts=%s loads=%s bypass=%v wtpush=%v resilient=%v nacks=%d dups=%d net=%s mutation=%s",
+	s := fmt.Sprintf("agents=%d lines=%d direct=%d stores=%d evicts=%s loads=%s bypass=%v wtpush=%v resilient=%v nacks=%d dups=%d net=%s mutation=%s",
 		c.Agents, c.Lines, c.DirectLines, c.MaxStores, ev, ld, c.Bypass, c.WriteThroughPush,
 		c.Resilient, c.MaxNacks, c.MaxDups, net, c.Mutation)
+	if c.gpus() > 1 {
+		s += fmt.Sprintf(" gpus=%d", c.gpus())
+	}
+	if c.Symmetry {
+		s += " symmetry=on"
+	}
+	return s
+}
+
+// gpus returns the normalised GPU slice count (the zero value means 1).
+func (c Config) gpus() int {
+	if c.GPUs == 0 {
+		return 1
+	}
+	return c.GPUs
 }
 
 func (c Config) validate() error {
@@ -178,6 +204,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("modelcheck: evicts must be 0..15 (0 = unbounded)")
 	case c.MaxLoads < 0 || c.MaxLoads > 15:
 		return fmt.Errorf("modelcheck: loads must be 0..15 (0 = unbounded)")
+	case c.GPUs < 0 || c.GPUs > 2:
+		return fmt.Errorf("modelcheck: gpus must be 1..2")
+	case c.gpus() > c.Agents-1:
+		return fmt.Errorf("modelcheck: gpus must leave at least the CPU agent")
 	}
 	return nil
 }
@@ -356,13 +386,14 @@ func (s *state) send(m msg) {
 
 // take removes message i, preserving sort order. Removing an ordered
 // message advances the rest of its destination's FIFO (in unordered
-// mode every ord is 0, so the pass is a no-op).
+// mode every ord is 0, so the whole pass is skipped — it is a per-
+// delivery scan of the multiset on the checker's hottest path).
 func (s *state) take(i int) msg {
 	m := s.msgs[i]
 	copy(s.msgs[i:], s.msgs[i+1:int(s.nmsgs)])
 	s.nmsgs--
 	s.msgs[s.nmsgs] = msg{}
-	if d := dstOf(m); d != dstNone {
+	if d := dstOf(m); s.ordered != 0 && d != dstNone {
 		moved := false
 		for j := 0; j < int(s.nmsgs); j++ {
 			if s.msgs[j].ord > 0 && dstOf(s.msgs[j]) == d {
@@ -414,5 +445,11 @@ func (s *state) invalidate(a, l int) {
 // isDirect reports whether line l is in the direct-store region.
 func isDirect(cfg Config, l int) bool { return l < cfg.DirectLines }
 
-// gpuAgent returns the index of the GPU L2 slice agent.
-func gpuAgent(cfg Config) int { return cfg.Agents - 1 }
+// homeAgent returns the index of the GPU L2 slice agent homing direct
+// line l (address-interleaved across the last gpus() agents).
+func homeAgent(cfg Config, l int) int {
+	return cfg.Agents - cfg.gpus() + l%cfg.gpus()
+}
+
+// isGPU reports whether agent a is a GPU L2 slice.
+func isGPU(cfg Config, a int) bool { return a >= cfg.Agents-cfg.gpus() }

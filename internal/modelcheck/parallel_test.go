@@ -1,0 +1,178 @@
+package modelcheck
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+)
+
+// TestStateNoPadding pins the precondition of the fingerprint byte
+// view: the state struct must have no padding, or unsafe bytes would
+// include garbage and break canonical hashing. Every field is uint8 or
+// an array/struct of uint8s, so the flat byte count must equal
+// unsafe.Sizeof.
+func TestStateNoPadding(t *testing.T) {
+	var flat func(reflect.Type) uintptr
+	flat = func(ty reflect.Type) uintptr {
+		switch ty.Kind() {
+		case reflect.Uint8:
+			return 1
+		case reflect.Array:
+			return uintptr(ty.Len()) * flat(ty.Elem())
+		case reflect.Struct:
+			var n uintptr
+			for i := 0; i < ty.NumField(); i++ {
+				n += flat(ty.Field(i).Type)
+			}
+			return n
+		default:
+			t.Fatalf("state contains non-uint8 kind %v", ty.Kind())
+			return 0
+		}
+	}
+	if got, want := flat(reflect.TypeOf(state{})), unsafe.Sizeof(state{}); got != want {
+		t.Fatalf("state has padding: %d flat bytes, %d with padding", got, want)
+	}
+}
+
+// TestParallelDeterminism requires identical results — state counts,
+// invariant counts, and byte-identical counterexamples — at every
+// worker count, on both clean and violating configurations. Run under
+// -race this also exercises the worker pool for data races.
+func TestParallelDeterminism(t *testing.T) {
+	cfgs := []Config{
+		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2},
+		{Agents: 3, Lines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2, Mutation: MutSkipInvalidate},
+		{Agents: 3, Lines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2, Bypass: true, Mutation: MutBypassNoWBBuf},
+		{Agents: 4, GPUs: 2, Lines: 2, DirectLines: 2, MaxStores: 1, MaxEvicts: 1, MaxLoads: 1, Symmetry: true},
+	}
+	for _, cfg := range cfgs {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			base, err := CheckOpts(cfg, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4} {
+				got, err := CheckOpts(cfg, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.States != base.States || got.Transitions != base.Transitions || got.MaxDepth != base.MaxDepth {
+					t.Errorf("workers=%d: states/transitions/depth %d/%d/%d, want %d/%d/%d",
+						workers, got.States, got.Transitions, got.MaxDepth, base.States, base.Transitions, base.MaxDepth)
+				}
+				if !reflect.DeepEqual(got.Invariants, base.Invariants) {
+					t.Errorf("workers=%d: invariant counts %v, want %v", workers, got.Invariants, base.Invariants)
+				}
+				switch {
+				case (got.Violation == nil) != (base.Violation == nil):
+					t.Errorf("workers=%d: violation presence differs", workers)
+				case got.Violation != nil && got.Violation.Error() != base.Violation.Error():
+					t.Errorf("workers=%d: counterexample differs:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+						workers, base.Violation.Error(), workers, got.Violation.Error())
+				}
+			}
+		})
+	}
+}
+
+// TestSymmetryReduction: symmetry must shrink (or at worst preserve)
+// the state count without changing the verdict, and the canonical map
+// must be a sound orbit representative (canonical(perm(s)) ==
+// canonical(s) for every group element).
+func TestSymmetryReduction(t *testing.T) {
+	cfg := Config{Agents: 4, GPUs: 2, Lines: 2, DirectLines: 2, MaxStores: 1, MaxEvicts: 1, MaxLoads: 1}
+	plain, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Symmetry = true
+	folded, err := Check(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Violation != nil || folded.Violation != nil {
+		t.Fatalf("unexpected violation (plain=%v folded=%v)", plain.Violation, folded.Violation)
+	}
+	if folded.States >= plain.States {
+		t.Errorf("symmetry did not reduce: %d states folded vs %d plain", folded.States, plain.States)
+	}
+	t.Logf("symmetry: %d states vs %d plain (%.1f%%)", folded.States, plain.States,
+		100*float64(folded.States)/float64(plain.States))
+
+	// Orbit soundness on a sample of reachable states.
+	group := symGroup(cfg)
+	if len(group) == 0 {
+		t.Fatal("expected a nontrivial symmetry group")
+	}
+	seen := 0
+	frontier := []state{initial(cfg)}
+	visited := map[state]bool{frontier[0]: true}
+	for len(frontier) > 0 && seen < 2000 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		seen++
+		c := canonical(cfg, group, s)
+		for gi := range group {
+			p := applyPerm(cfg, &s, &group[gi])
+			if pc := canonical(cfg, group, p); pc != c {
+				t.Fatalf("canonical not orbit-invariant for group element %d", gi)
+			}
+		}
+		successors(cfg, &s, false, nil, func(ns *state, _, _ string) {
+			if !visited[*ns] {
+				visited[*ns] = true
+				frontier = append(frontier, *ns)
+			}
+		})
+	}
+}
+
+// TestFingerprintSanity: the fingerprint must distinguish near-equal
+// states (single byte flips) and be stable for equal ones.
+func TestFingerprintSanity(t *testing.T) {
+	var s state
+	base := fingerprint(stateBytes(&s))
+	if base != fingerprint(stateBytes(&s)) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	seen := map[uint64]bool{base: true}
+	for i := 0; i < stateSize; i++ {
+		var m state
+		stateBytes(&m)[i] = 1
+		fp := fingerprint(stateBytes(&m))
+		if seen[fp] {
+			t.Fatalf("fingerprint collision on byte %d flip", i)
+		}
+		seen[fp] = true
+	}
+}
+
+// TestFPTable exercises insert/lookup/grow and the min-parent rule.
+func TestFPTable(t *testing.T) {
+	tab := newFPTable()
+	for i := uint64(1); i <= 100_000; i++ {
+		if !tab.insert(i, i/2, int32(i%40)) {
+			t.Fatalf("fresh insert %d reported seen", i)
+		}
+	}
+	if tab.insert(7, 3, 7%40) {
+		t.Fatal("duplicate insert reported fresh")
+	}
+	if tab.count() != 100_000 {
+		t.Fatalf("count = %d, want 100000", tab.count())
+	}
+	// Same depth, smaller parent wins; larger parent is ignored.
+	tab.insert(7, 1, 7%40)
+	if e, ok := tab.lookup(7); !ok || e.parentFP != 1 {
+		t.Fatalf("min-parent update failed: %+v ok=%v", e, ok)
+	}
+	tab.insert(7, 0, 12) // different depth: no update
+	if e, _ := tab.lookup(7); e.parentFP != 1 || e.depth != 7%40 {
+		t.Fatalf("cross-depth update should not happen: %+v", e)
+	}
+	if _, ok := tab.lookup(999_999_999); ok {
+		t.Fatal("lookup of absent fp succeeded")
+	}
+}

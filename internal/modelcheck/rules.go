@@ -6,6 +6,18 @@ import (
 	"dstore/internal/coherence"
 )
 
+// recorder observes every protocol-table row the model fires:
+// (agent, line, state, event) → next state. Nil in the hot exploration
+// loop; the -coverage reachability dump and the cross-validation fuzz
+// test install one.
+type recorder func(agent, line int, st coherence.State, ev coherence.Event, next coherence.State)
+
+func (r recorder) rec(agent, line int, st coherence.State, ev coherence.Event, next coherence.State) {
+	if r != nil {
+		r(agent, line, st, ev, next)
+	}
+}
+
 // successors enumerates every state reachable from s in one atomic
 // step and hands each to emit together with an action label and, when
 // the step itself violated an invariant (push install state), a
@@ -18,7 +30,16 @@ import (
 // delivery order is completely nondeterministic. DRAM completions are
 // modelled as separate steps so the speculative-read-vs-probe race is
 // explored both ways.
-func successors(cfg Config, s *state, labels bool, emit func(ns state, label, viol string)) {
+func successors(cfg Config, s *state, labels bool, rc recorder, emit func(ns *state, label, viol string)) {
+	var scratch state
+	successorsInto(cfg, s, &scratch, labels, rc, emit)
+}
+
+// successorsInto is successors with a caller-owned scratch successor,
+// reused for every emitted step: emit callers copy what they keep, so
+// the exploration workers pass a long-lived buffer and the expansion
+// allocates nothing.
+func successorsInto(cfg Config, s, scratch *state, labels bool, rc recorder, emit func(ns *state, label, viol string)) {
 	lbl := func(format string, args ...any) string {
 		if !labels {
 			return ""
@@ -26,21 +47,35 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 		return fmt.Sprintf(format, args...)
 	}
 
+	// homeAgent involves a modulo; hoist it out of the agent×line scan.
+	var home [maxLines]uint8
+	for l := 0; l < cfg.Lines; l++ {
+		home[l] = uint8(homeAgent(cfg, l))
+	}
+
 	for a := 0; a < cfg.Agents; a++ {
 		for l := 0; l < cfg.Lines; l++ {
 			direct := isDirect(cfg, l)
-			gpu := a == gpuAgent(cfg)
-			canDemand := !direct || gpu // direct lines are only cached by the GPU slice
+			// Direct lines are only cached by their homing GPU slice.
+			canDemand := !direct || a == int(home[l])
 
 			st := coherence.State(s.st[a][l])
 			idle := s.pend[a][l] == pendNone
+
+			// Resident loads hit without changing state — no successor,
+			// but the LoadHit row fires (coverage). Guarded on rc: the
+			// argument Transition lookup is pure recording overhead.
+			if rc != nil && canDemand && st != coherence.I {
+				rc.rec(a, l, st, coherence.EvLoadHit, coherence.Transition(st, coherence.EvLoadHit).Next)
+			}
 
 			// Load miss → GETS. Loads that hit (resident line or own
 			// non-stale writeback buffer) change no state and are
 			// skipped; a stale buffer entry forces the protocol path.
 			if canDemand && idle && st == coherence.I && (s.wb[a][l] == 0 || s.wbStale[a][l] != 0) &&
 				(cfg.MaxLoads == 0 || s.loadsLeft > 0) {
-				ns := *s
+				ns := scratch
+				copyLive(ns, s)
 				if cfg.MaxLoads > 0 {
 					ns.loadsLeft--
 				}
@@ -54,7 +89,9 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 			if !direct && idle && s.storesLeft > 0 {
 				if out := coherence.Transition(st, coherence.EvStoreHit); out.OK {
 					// MM commit in place / silent M→MM upgrade.
-					ns := *s
+					rc.rec(a, l, st, coherence.EvStoreHit, out.Next)
+					ns := scratch
+					copyLive(ns, s)
 					ns.st[a][l] = uint8(out.Next)
 					ns.dirty[a][l] = 1
 					ns.latest[l]++
@@ -63,13 +100,15 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 					emit(ns, lbl("agent%d: store hit line %d → v%d", a, l, ns.latest[l]), "")
 				} else if st == coherence.S || st == coherence.O {
 					// Upgrade: other copies must be invalidated first.
-					ns := *s
+					ns := scratch
+					copyLive(ns, s)
 					ns.pend[a][l] = pendStore
 					ns.storesLeft--
 					ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETX), b: uint8(a)})
 					emit(ns, lbl("agent%d: store upgrade line %d (GETX)", a, l), "")
 				} else if st == coherence.I {
-					ns := *s
+					ns := scratch
+					copyLive(ns, s)
 					ns.pend[a][l] = pendStore
 					ns.storesLeft--
 					ns.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETX), b: uint8(a)})
@@ -77,7 +116,8 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 					if cfg.Bypass {
 						// Bypass-dirty-victim flavour: the fill will not
 						// allocate; the store writes through.
-						nb := *s
+						nb := scratch
+						copyLive(nb, s)
 						nb.pend[a][l] = pendBypass
 						nb.storesLeft--
 						nb.send(msg{kind: kReq, line: uint8(l), a: uint8(coherence.GETX), b: uint8(a)})
@@ -89,7 +129,13 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 			// Spontaneous eviction (capacity is abstracted away).
 			if canDemand && idle && st != coherence.I &&
 				(cfg.MaxEvicts == 0 || s.evictsLeft > 0) {
-				ns := *s
+				evOut := coherence.Transition(st, coherence.EvEvict)
+				if !evOut.OK {
+					panic("modelcheck: illegal evict")
+				}
+				rc.rec(a, l, st, coherence.EvEvict, evOut.Next)
+				ns := scratch
+				copyLive(ns, s)
 				if cfg.MaxEvicts > 0 {
 					ns.evictsLeft--
 				}
@@ -105,11 +151,17 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 				}
 			}
 
-			// Direct-store push (CPU agent only, direct lines only).
+			// Direct-store push (CPU agent only, direct lines only). The
+			// CPU side is the table's DirectStore row: never cached
+			// locally, so it fires from I.
 			if a == 0 && direct && s.storesLeft > 0 {
+				if rc != nil {
+					rc.rec(a, l, coherence.I, coherence.EvDirectStore, coherence.Transition(coherence.I, coherence.EvDirectStore).Next)
+				}
 				if cfg.Resilient {
 					if s.pushSeq < maxSeqs && pendingPushesForLine(s, l) < 2 {
-						ns := *s
+						ns := scratch
+						copyLive(ns, s)
 						ns.latest[l]++
 						ns.storesLeft--
 						seq := ns.pushSeq + 1
@@ -123,7 +175,8 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 				} else if !putxInFlight(s, l) {
 					// Fire-and-forget pushes ride a dedicated FIFO link:
 					// one in flight per line models the in-order delivery.
-					ns := *s
+					ns := scratch
+					copyLive(ns, s)
 					ns.latest[l]++
 					ns.storesLeft--
 					ns.send(msg{kind: kPutx, line: uint8(l), a: ns.latest[l]})
@@ -134,7 +187,8 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 			// Uncacheable remote load of the direct region (CPU reading
 			// results back) — exercises the PrbSnoop row.
 			if a == 0 && direct && idle && (cfg.MaxLoads == 0 || s.loadsLeft > 0) {
-				ns := *s
+				ns := scratch
+				copyLive(ns, s)
 				if cfg.MaxLoads > 0 {
 					ns.loadsLeft--
 				}
@@ -154,18 +208,19 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 		if t.flags&tDramPending == 0 || t.flags&tDramDone != 0 {
 			continue
 		}
-		ns := *s
+		ns := scratch
+		copyLive(ns, s)
 		nt := &ns.txn[l]
 		if t.typ == uint8(coherence.WB) {
 			// Memory committed the writeback (the version was recorded at
 			// transaction start, matching memctrl.start): notify the
 			// writer and close the transaction.
 			ns.send(msg{kind: kWBDone, line: uint8(l), a: t.from, b: t.ver})
-			finishTxn(cfg, &ns, l)
+			finishTxn(cfg, ns, l)
 			emit(ns, lbl("memctl: WB v%d line %d committed", t.ver, l), "")
 		} else {
 			nt.flags |= tDramDone
-			maybeSendFromMemory(&ns, l)
+			maybeSendFromMemory(ns, l)
 			emit(ns, lbl("memctl: speculative DRAM read line %d done", l), "")
 		}
 	}
@@ -188,16 +243,29 @@ func successors(cfg Config, s *state, labels bool, emit func(ns state, label, vi
 			// send order: versions are monotone, so deliver lowest first.
 			continue
 		}
-		for _, v := range deliveryVariants(cfg, s, m) {
-			ns := *s
-			if v != variantDup {
-				ns.take(i)
-			} else {
-				ns.dupLeft--
+		if m.kind == kProbe && cfg.Mutation == MutSkipInvalidate ||
+			m.kind == kPutx && cfg.Resilient {
+			// Multi-variant receives (skip-invalidate mutation, NACK and
+			// duplicate injection) are enumerated out of line.
+			variants, nvar := deliveryVariants(cfg, s, m)
+			for _, v := range variants[:nvar] {
+				ns := scratch
+				copyLive(ns, s)
+				if v != variantDup {
+					ns.take(i)
+				} else {
+					ns.dupLeft--
+				}
+				label, viol := deliver(cfg, ns, m, v, labels, rc)
+				emit(ns, label, viol)
 			}
-			label, viol := deliver(cfg, &ns, m, v, labels)
-			emit(ns, label, viol)
+			continue
 		}
+		ns := scratch
+		copyLive(ns, s)
+		ns.take(i)
+		label, viol := deliver(cfg, ns, m, variantNormal, labels, rc)
+		emit(ns, label, viol)
 	}
 }
 
@@ -210,25 +278,29 @@ const (
 )
 
 // deliveryVariants lists how message m may be received in state s.
-func deliveryVariants(cfg Config, s *state, m msg) []int {
+// Fixed-size return: the hot loop calls this once per in-flight
+// message, so a slice would mean one heap allocation per delivery.
+func deliveryVariants(cfg Config, s *state, m msg) (vs [3]int, n int) {
+	vs[0], n = variantNormal, 1
 	switch m.kind {
 	case kProbe:
 		if cfg.Mutation == MutSkipInvalidate && probeWouldInvalidate(s, m) {
-			return []int{variantNormal, variantSkipInvalidate}
+			vs[n] = variantSkipInvalidate
+			n++
 		}
 	case kPutx:
-		vs := []int{variantNormal}
 		if cfg.Resilient && m.b != 0 {
 			if s.nackLeft > 0 {
-				vs = append(vs, variantNack)
+				vs[n] = variantNack
+				n++
 			}
 			if s.dupLeft > 0 {
-				vs = append(vs, variantDup)
+				vs[n] = variantDup
+				n++
 			}
 		}
-		return vs
 	}
-	return []int{variantNormal}
+	return vs, n
 }
 
 // probeWouldInvalidate reports whether delivering probe m takes the
@@ -248,7 +320,7 @@ func probeWouldInvalidate(s *state, m msg) bool {
 
 // deliver applies message m (already removed from the multiset unless
 // duplicated) to ns.
-func deliver(cfg Config, ns *state, m msg, variant int, labels bool) (label, viol string) {
+func deliver(cfg Config, ns *state, m msg, variant int, labels bool, rc recorder) (label, viol string) {
 	lbl := func(format string, args ...any) string {
 		if !labels {
 			return ""
@@ -271,13 +343,13 @@ func deliver(cfg Config, ns *state, m msg, variant int, labels bool) (label, vio
 		return lbl("memctl: start %s from agent%d line %d", coherence.ReqType(m.a), m.b, l), ""
 
 	case kProbe:
-		return deliverProbe(cfg, ns, m, variant, lbl)
+		return deliverProbe(cfg, ns, m, variant, lbl, rc)
 
 	case kAck:
 		return deliverAck(cfg, ns, m, lbl)
 
 	case kData:
-		return deliverData(cfg, ns, m, lbl)
+		return deliverData(cfg, ns, m, lbl, rc)
 
 	case kUnblock:
 		if ns.busy[l] == 0 {
@@ -296,7 +368,7 @@ func deliver(cfg Config, ns *state, m msg, variant int, labels bool) (label, vio
 		return lbl("agent%d: WB v%d line %d acknowledged", a, m.b, l), ""
 
 	case kPutx:
-		return deliverPutx(cfg, ns, m, variant, lbl)
+		return deliverPutx(cfg, ns, m, variant, lbl, rc)
 
 	case kPushAck:
 		seq := m.a
@@ -347,7 +419,7 @@ func startTxn(cfg Config, ns *state, l int, e reqEntry) {
 // deliverProbe is ctrl.answerProbe: the writeback buffer supplies
 // in-flight dirty evictions, everything else is a row of the shared
 // protocol table.
-func deliverProbe(cfg Config, ns *state, m msg, variant int, lbl func(string, ...any) string) (string, string) {
+func deliverProbe(cfg Config, ns *state, m msg, variant int, lbl func(string, ...any) string, rc recorder) (string, string) {
 	a, l := int(m.b), int(m.line)
 	kind := coherence.ProbeKind(m.a)
 	requester := m.c
@@ -370,6 +442,7 @@ func deliverProbe(cfg Config, ns *state, m msg, variant int, lbl func(string, ..
 	}
 
 	out := coherence.Transition(st, coherence.ProbeEvent(kind))
+	rc.rec(a, l, st, coherence.ProbeEvent(kind), out.Next)
 	var flags uint8
 	if out.Present {
 		flags |= fPresent
@@ -491,7 +564,7 @@ func finishTxn(cfg Config, ns *state, l int) {
 }
 
 // deliverData is ctrl.receiveData: complete the outstanding miss.
-func deliverData(cfg Config, ns *state, m msg, lbl func(string, ...any) string) (string, string) {
+func deliverData(cfg Config, ns *state, m msg, lbl func(string, ...any) string, rc recorder) (string, string) {
 	a, l := int(m.a), int(m.line)
 	grant := coherence.State(m.b)
 	if grant == coherence.I {
@@ -525,6 +598,7 @@ func deliverData(cfg Config, ns *state, m msg, lbl func(string, ...any) string) 
 		if !out.OK {
 			panic("modelcheck: illegal fill")
 		}
+		rc.rec(a, l, coherence.State(ns.st[a][l]), ev, out.Next)
 		ns.st[a][l] = uint8(out.Next)
 		if m.d&fOwned != 0 {
 			ns.dirty[a][l] = 1
@@ -536,6 +610,7 @@ func deliverData(cfg Config, ns *state, m msg, lbl func(string, ...any) string) 
 		if !out.OK {
 			panic("modelcheck: illegal exclusive fill")
 		}
+		rc.rec(a, l, coherence.State(ns.st[a][l]), coherence.EvFillMM, out.Next)
 		ns.st[a][l] = uint8(out.Next)
 		ns.dirty[a][l] = 1
 		ns.latest[l]++
@@ -558,7 +633,7 @@ func deliverData(cfg Config, ns *state, m msg, lbl func(string, ...any) string) 
 }
 
 // deliverPutx is the GPU slice's ReceivePutx.
-func deliverPutx(cfg Config, ns *state, m msg, variant int, lbl func(string, ...any) string) (string, string) {
+func deliverPutx(cfg Config, ns *state, m msg, variant int, lbl func(string, ...any) string, rc recorder) (string, string) {
 	l := int(m.line)
 	ver, seq := m.a, m.b
 	if variant == variantNack {
@@ -577,7 +652,7 @@ func deliverPutx(cfg Config, ns *state, m msg, variant int, lbl func(string, ...
 			return lbl("gpu: duplicate/stale push seq %d line %d re-acked%s", seq, l, dup), ""
 		}
 	}
-	viol := applyPush(cfg, ns, l, ver)
+	viol := applyPush(cfg, ns, l, ver, rc)
 	if seq != 0 {
 		ns.applied |= 1 << seq
 		ns.lastPushVer[l] = ver
@@ -591,12 +666,18 @@ func deliverPutx(cfg Config, ns *state, m msg, variant int, lbl func(string, ...
 // PushInstallState, superseding any fill in flight, and check the MM-
 // install invariant — write permission must arrive with the data
 // (§III-F), except under the deliberate write-through ablation.
-func applyPush(cfg Config, ns *state, l int, ver uint8) string {
-	g := gpuAgent(cfg)
+func applyPush(cfg Config, ns *state, l int, ver uint8, rc recorder) string {
+	g := homeAgent(cfg, l)
 	if ns.pend[g][l] != pendNone {
 		ns.super[g][l] = 1
 	}
-	st, dirty := coherence.PushInstallState(cfg.WriteThroughPush)
+	cur := coherence.State(ns.st[g][l])
+	out := coherence.Transition(cur, coherence.PushEvent(cfg.WriteThroughPush))
+	if !out.OK {
+		panic("modelcheck: illegal push install")
+	}
+	rc.rec(g, l, cur, coherence.PushEvent(cfg.WriteThroughPush), out.Next)
+	st, dirty := out.Next, out.Dirty == coherence.DirtySet
 	if cfg.Mutation == MutPushInstallS {
 		st, dirty = coherence.S, false
 	}

@@ -1,9 +1,14 @@
 package modelcheck
 
+import "dstore/internal/coherence"
+
 // StandardSweep is the default verification portfolio: the set of
 // configurations `dstore-modelcheck` (and CI) explore on every run.
-// Budgets are chosen so the whole sweep finishes in well under a
-// minute while still covering every protocol flavour:
+// The single-line leg is generated from the protocol registry — one
+// deep run per registered flavour — so registering a new protocol
+// automatically puts it under the checker. Budgets are chosen so the
+// whole sweep finishes in well under a minute while still covering
+// every protocol flavour:
 //
 //   - Single-line configurations carry the deepest budgets. Lines are
 //     independent in the protocol — the memory controller serialises,
@@ -18,23 +23,38 @@ package modelcheck
 //     confusion, line-indexing slips). Full interleaving of two
 //     independent subsystems multiplies their state spaces, so the
 //     products run with bounded eviction and load budgets.
+//   - The 2-GPU product verifies the address-interleaved multi-slice
+//     topology (two direct lines homed at two different GPU L2
+//     slices) under symmetry reduction — the configuration the
+//     parallel fingerprint checker exists for.
 func StandardSweep() []Config {
-	return []Config{
-		// The deep heap-line run: every store flavour including the
-		// bypass-dirty-victim path, unbounded evictions and loads.
-		{Agents: 3, Lines: 1, DirectLines: 0, MaxStores: 2, Bypass: true},
-		// The direct-store region: fire-and-forget pushes, GPU-side
-		// caching, CPU remote loads.
-		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2},
-		// Resilient pushes with injected NACKs and duplicated
-		// deliveries (the chaos layer's direct-link faults).
-		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2,
-			Resilient: true, MaxNacks: 1, MaxDups: 1},
-		// The §III-F write-through push ablation (install M, not MM).
-		{Agents: 3, Lines: 1, DirectLines: 1, MaxStores: 2, WriteThroughPush: true},
+	var cfgs []Config
+	// One deep single-line run per registered protocol flavour. The
+	// heap flavour additionally exercises the bypass-dirty-victim
+	// store path; the resilient flavour gets NACK and duplicate
+	// injection budgets (the chaos layer's direct-link faults).
+	for _, p := range coherence.Protocols() {
+		cfg := Config{Agents: 3, Lines: 1, MaxStores: 2}
+		if p.Direct {
+			cfg.DirectLines = 1
+		} else {
+			cfg.Bypass = true
+		}
+		if p.Resilient {
+			cfg.MaxNacks, cfg.MaxDups = 1, 1
+		}
+		cfg.Resilient = p.Resilient
+		cfg.WriteThroughPush = p.WriteThroughPush
+		cfgs = append(cfgs, cfg)
+	}
+	return append(cfgs,
 		// Two-line products: heap + direct line under full
 		// interleaving, bounded budgets.
-		{Agents: 3, Lines: 2, DirectLines: 1, MaxStores: 2, MaxEvicts: 1, MaxLoads: 2},
-		{Agents: 3, Lines: 2, DirectLines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2, Bypass: true},
-	}
+		Config{Agents: 3, Lines: 2, DirectLines: 1, MaxStores: 2, MaxEvicts: 1, MaxLoads: 2},
+		Config{Agents: 3, Lines: 2, DirectLines: 1, MaxStores: 1, MaxEvicts: 1, MaxLoads: 2, Bypass: true},
+		// The 2-GPU-slice product: both lines direct, each homed at its
+		// own slice. Symmetry folds the (slice, line) pair swap.
+		Config{Agents: 4, GPUs: 2, Lines: 2, DirectLines: 2, MaxStores: 2,
+			MaxEvicts: 1, MaxLoads: 2, Symmetry: true},
+	)
 }
