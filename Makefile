@@ -5,7 +5,7 @@ GO ?= go
 # that use (sweep runner, serve daemon) or feed (event kernel)
 # concurrency, and the exhaustive small-config protocol model check.
 .PHONY: check
-check: vet lint tablecover build test race modelcheck trace-smoke fleet-smoke fleet-chaos-smoke
+check: vet lint tablecover build test race modelcheck trace-smoke fleet-smoke fleet-chaos-smoke obs-fleet-smoke
 
 .PHONY: vet
 vet:
@@ -116,6 +116,16 @@ fleet-smoke:
 .PHONY: fleet-chaos-smoke
 fleet-chaos-smoke:
 	$(GO) run ./cmd/dstore-coord -chaos-smoke
+
+# obs-fleet-smoke exercises the observability plane end to end: two
+# named in-process workers plus a coordinator run a 12-job sweep, the
+# stitched cross-process Chrome trace from /v1/sweeps/{id}/trace is
+# re-parsed through encoding/json and must carry spans from the
+# coordinator and both workers under one trace ID, and the federated
+# /metrics aggregates must equal the sums of the workers' own scrapes.
+.PHONY: obs-fleet-smoke
+obs-fleet-smoke:
+	$(GO) run ./cmd/dstore-coord -obs-smoke
 
 # bench regenerates the event-kernel microbenchmarks. Compare against
 # the committed baseline in BENCH_sim_engine.txt before merging engine

@@ -72,8 +72,12 @@ func main() {
 		backoffMax    = flag.Duration("backoff-max", 5*time.Second, "per-round backoff cap")
 		maxPending    = flag.Int("max-pending", 1024, "dispatches in flight before load shedding (negative = unlimited)")
 		journal       = flag.String("journal", "", "directory for sweep journals; incomplete sweeps resume at startup")
+		name          = flag.String("name", "", "process name in trace exports (default coordinator)")
+		storeDir      = flag.String("store", "", "content-addressed store directory for fleet profile captures (POST /v1/profiles)")
+		pprofOn       = flag.Bool("pprof", false, "expose GET /debug/pprof/ on the coordinator")
 		smoke         = flag.Bool("smoke", false, "boot an in-process fleet, sweep it, kill a worker, verify failover, exit")
 		chaosSmoke    = flag.Bool("chaos-smoke", false, "boot an in-process fleet behind a chaos proxy, partition and corrupt it, verify recovery, exit")
+		obsSmoke      = flag.Bool("obs-smoke", false, "boot an in-process fleet, sweep it, verify the stitched trace and metrics federation, exit")
 	)
 	flag.Parse()
 
@@ -95,6 +99,13 @@ func main() {
 		BackoffMax:         *backoffMax,
 		MaxPending:         *maxPending,
 		JournalDir:         *journal,
+		Name:               *name,
+		StoreDir:           *storeDir,
+		EnablePprof:        *pprofOn,
+		// Span timestamps carry wall-clock nanoseconds in production;
+		// tests inject deterministic clocks instead.
+		//dstore:allow-wallclock trace timestamps at the daemon boundary
+		Clock: func() uint64 { return uint64(time.Now().UnixNano()) },
 	}
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {
@@ -114,6 +125,13 @@ func main() {
 	if *chaosSmoke {
 		if err := runChaosSmoke(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "fleet-chaos-smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsSmoke {
+		if err := runObsSmoke(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "obs-fleet-smoke: FAIL: %v\n", err)
 			os.Exit(1)
 		}
 		return

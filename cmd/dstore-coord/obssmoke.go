@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dstore/internal/fleet"
+	"dstore/internal/obs/dtrace"
+	"dstore/internal/serve"
+)
+
+// runObsSmoke exercises the observability plane end to end over real
+// HTTP: two named in-process workers and a coordinator run a small
+// sweep, then the smoke requires (1) a stitched Chrome trace from
+// GET /v1/sweeps/{id}/trace that re-parses via encoding/json and
+// carries spans from the coordinator and at least two worker
+// processes under the sweep's trace ID, and (2) a federated /metrics
+// whose unlabelled fleet aggregates equal the sums of the workers'
+// own scrapes.
+func runObsSmoke(opt fleet.Options) error {
+	tmp, err := os.MkdirTemp("", "obs-fleet-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	//dstore:allow-wallclock trace timestamps at the daemon boundary
+	wall := func() uint64 { return uint64(time.Now().UnixNano()) }
+	var ws [2]*smokeWorker
+	for i := range ws {
+		srv, err := serve.New(serve.Options{
+			Workers:  2,
+			StoreDir: fmt.Sprintf("%s/w%d", tmp, i),
+			Name:     fmt.Sprintf("worker-%d", i),
+			Clock:    wall,
+		})
+		if err != nil {
+			return err
+		}
+		hs := httptestServer(srv.Handler())
+		ws[i] = &smokeWorker{srv: srv, hs: hs.hs, url: hs.url}
+		defer ws[i].kill()
+		opt.Workers = append(opt.Workers, ws[i].url)
+	}
+	opt.ProbeInterval = 500 * time.Millisecond
+	opt.PollInterval = 5 * time.Millisecond
+	coord, err := fleet.New(opt)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	chs := httptestServer(coord.Handler())
+	defer chs.close()
+	base := chs.url
+	fmt.Printf("obs-fleet-smoke: coordinator on %s, workers %s %s\n", base, ws[0].url, ws[1].url)
+
+	// A sweep wide enough that the ring all but surely lands jobs on
+	// both workers.
+	matrix := `{"bench":["MT","VA","BL"],"mode":["direct-store"],"config":{"prefetch_depth":[0,2],"sms":[2,4]}}`
+	results, report, err := streamSweep(base, matrix)
+	if err != nil {
+		return err
+	}
+	if len(results) != 12 || report == nil || report.Failed != 0 {
+		return fmt.Errorf("sweep: %d results, report %+v", len(results), report)
+	}
+	byWorker := map[string]int{}
+	for _, o := range results {
+		if o.Error != "" {
+			return fmt.Errorf("sweep job %.8s failed: %s", o.ID, o.Error)
+		}
+		if o.Trace == "" {
+			return fmt.Errorf("sweep job %.8s outcome carries no trace id", o.ID)
+		}
+		byWorker[o.Worker]++
+	}
+	if len(byWorker) < 2 {
+		return fmt.Errorf("ring used %d worker(s) across %d jobs; rerun", len(byWorker), len(results))
+	}
+	fmt.Printf("obs-fleet-smoke: sweep %.8s done — %d results split %v, trace %s\n",
+		report.SweepID, report.Completed, byWorker, results[0].Trace)
+
+	if err := checkStitchedTrace(base, report.SweepID, results[0].Trace); err != nil {
+		return err
+	}
+	if err := checkFederation(base, ws[0].url, ws[1].url); err != nil {
+		return err
+	}
+	fmt.Printf("obs-fleet-smoke: OK — stitched trace valid, federation equals per-worker sums\n")
+	return nil
+}
+
+// checkStitchedTrace fetches the sweep's stitched trace and verifies
+// it is well-formed Chrome trace JSON with spans from the coordinator
+// and at least two worker processes, all under the sweep's trace ID.
+func checkStitchedTrace(base, sweepID, wantTrace string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	raw, err := getRawBody(client, base+"/v1/sweeps/"+sweepID+"/trace")
+	if err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("stitched trace is not valid JSON: %v", err)
+	}
+	if got := doc.OtherData["trace"]; got != wantTrace {
+		return fmt.Errorf("stitched trace id %q, want %q", got, wantTrace)
+	}
+	processes := map[int]string{}
+	spansPerPid := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			processes[ev.Pid] = ev.Args["name"]
+		case "X":
+			spansPerPid[ev.Pid]++
+		}
+	}
+	workersWithSpans := 0
+	coordSpans := 0
+	for pid, name := range processes { //dstore:allow-maprange order folds into counters
+
+		switch {
+		case strings.HasPrefix(name, "worker-"):
+			if spansPerPid[pid] > 0 {
+				workersWithSpans++
+			}
+		case name == "coordinator":
+			coordSpans = spansPerPid[pid]
+		}
+	}
+	if workersWithSpans < 2 {
+		return fmt.Errorf("stitched trace has spans from %d worker process(es), want >= 2:\n%s", workersWithSpans, raw)
+	}
+	if coordSpans == 0 {
+		return fmt.Errorf("stitched trace has no coordinator spans")
+	}
+	fmt.Printf("obs-fleet-smoke: stitched trace — %d events across %d processes\n",
+		len(doc.TraceEvents), len(processes))
+	return nil
+}
+
+// checkFederation scrapes both workers directly, scrapes the
+// coordinator's federated /metrics, and requires the unlabelled fleet
+// aggregate of every federated counter to equal the per-worker sum.
+func checkFederation(base string, workerURLs ...string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Direct worker scrapes: the ground truth sums.
+	sums := map[string]float64{}
+	for _, wu := range workerURLs {
+		raw, err := getRawBody(client, wu+"/metrics")
+		if err != nil {
+			return fmt.Errorf("scrape %s: %w", wu, err)
+		}
+		m, err := dtrace.Parse(string(raw))
+		if err != nil {
+			return fmt.Errorf("parse %s metrics: %w", wu, err)
+		}
+		for _, s := range m.Samples {
+			sums[s.Name+"{"+s.Labels+"}"] += s.Value
+		}
+	}
+
+	raw, err := getRawBody(client, base+"/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape coordinator: %w", err)
+	}
+	fed, err := dtrace.Parse(string(raw))
+	if err != nil {
+		return fmt.Errorf("parse federated metrics: %w", err)
+	}
+	// Check a spread of counters that must have moved during the sweep;
+	// every one's unlabelled aggregate must equal the direct sum.
+	checked := 0
+	for _, name := range []string{
+		"dstore_serve_jobs_executed_total",
+		"dstore_serve_cache_misses_total",
+		"obs_spans_recorded_total",
+		"dstore_serve_queue_wait_ns_count",
+	} {
+		var fedVal float64
+		found := false
+		for _, s := range fed.Samples {
+			if s.Name == name && s.Labels == "" {
+				fedVal = s.Value
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("federated /metrics has no fleet aggregate for %s", name)
+		}
+		want := sums[name+"{}"]
+		if fedVal != want {
+			return fmt.Errorf("federated %s = %g, per-worker sum = %g", name, fedVal, want)
+		}
+		checked++
+	}
+	total := sums["dstore_serve_jobs_executed_total{}"]
+	fmt.Printf("obs-fleet-smoke: federation — %d aggregates match per-worker sums (%g jobs executed fleet-wide)\n",
+		checked, total)
+	return nil
+}
+
+// getRawBody fetches a URL and returns the body, requiring 200.
+func getRawBody(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}

@@ -60,6 +60,8 @@ func main() {
 		enableChaos  = flag.Bool("chaos", false, "expose POST /v1/chaos (seeded fault-injection soak runs)")
 		storeDir     = flag.String("store", "", "persistent store directory: results and warm-prefix snapshots survive restarts (empty = memory only)")
 		storeMax     = flag.Int64("store-max-bytes", 0, "disk store size cap in bytes (0 = 256 MiB default, negative = unlimited)")
+		name         = flag.String("name", "", "process name in trace exports (default dstore-serve)")
+		pprofOn      = flag.Bool("pprof", false, "expose GET /debug/pprof/ (CPU/heap profiling; dstore-coord's POST /v1/profiles captures from it)")
 		smoke        = flag.Bool("smoke", false, "boot on a random port, run the cache-hit smoke test, exit")
 	)
 	flag.Parse()
@@ -73,6 +75,12 @@ func main() {
 		EnableChaos:      *enableChaos,
 		StoreDir:         *storeDir,
 		StoreMaxBytes:    *storeMax,
+		Name:             *name,
+		EnablePprof:      *pprofOn,
+		// Span timestamps carry wall-clock nanoseconds in production;
+		// tests inject deterministic clocks instead.
+		//dstore:allow-wallclock trace timestamps at the daemon boundary
+		Clock: func() uint64 { return uint64(time.Now().UnixNano()) },
 	}
 
 	if *smoke {

@@ -1,0 +1,107 @@
+// Command dstore-top is a live terminal console for a dstore fleet:
+// it polls the coordinator's /v1/workers, /v1/sweeps and /v1/stats
+// endpoints and redraws a top-style frame — per-worker health, queue
+// depth, cache hit rate and executed-job throughput; per-sweep
+// progress bars; and the coordinator's headline dispatch counters.
+//
+// Usage:
+//
+//	dstore-top -coord http://127.0.0.1:8090
+//	dstore-top -coord http://127.0.0.1:8090 -interval 2s
+//	dstore-top -coord http://127.0.0.1:8090 -once   # one frame, no
+//	                                                # clear; scripts
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dstore/internal/fleet"
+)
+
+func main() {
+	var (
+		coord    = flag.String("coord", "http://127.0.0.1:8090", "coordinator base URL")
+		interval = flag.Duration("interval", time.Second, "poll-and-redraw period")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	if *once {
+		frame, err := pollFrame(client, *coord)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dstore-top: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(frame)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		frame, err := pollFrame(client, *coord)
+		if err != nil {
+			frame = fmt.Sprintf("dstore fleet — %s\n\n  unreachable: %v\n", *coord, err)
+		}
+		// ANSI clear + home, then the frame: a full redraw per tick
+		// keeps the renderer stateless.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// pollFrame fetches the three console endpoints and renders one frame.
+func pollFrame(client *http.Client, base string) (string, error) {
+	st := fleet.ConsoleState{Coordinator: base}
+
+	var workerDoc struct {
+		Workers []fleet.ConsoleWorker `json:"workers"`
+	}
+	if err := getJSON(client, base+"/v1/workers", &workerDoc); err != nil {
+		return "", err
+	}
+	st.Workers = workerDoc.Workers
+
+	var sweepDoc struct {
+		Sweeps []fleet.ConsoleSweep `json:"sweeps"`
+	}
+	if err := getJSON(client, base+"/v1/sweeps", &sweepDoc); err != nil {
+		return "", err
+	}
+	st.Sweeps = sweepDoc.Sweeps
+
+	if err := getJSON(client, base+"/v1/stats", &st.Stats); err != nil {
+		return "", err
+	}
+	return fleet.RenderConsole(st), nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %d: %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

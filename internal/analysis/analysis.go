@@ -20,6 +20,7 @@
 //	//dstore:allow-undeclared <why>  — Transition call outside the declared table
 //	//dstore:allow-uncovered <why>   — declared table row the model checker
 //	                                   provably cannot reach
+//	//dstore:allow-spanleak <why>    — trace span intentionally left open
 //
 // An annotation applies to the line it sits on or the line directly
 // below it, so both trailing and preceding comment styles work. The

@@ -8,7 +8,7 @@ import (
 // all is the production analyzer set, in the order dstore-lint runs
 // them.
 func all() []*Analyzer {
-	return []*Analyzer{Determinism, StatsKey, EventSafety, AllocFree, Tablecover}
+	return []*Analyzer{Determinism, StatsKey, EventSafety, AllocFree, Tablecover, SpanBalance}
 }
 
 // TestFixtureViolations loads the seeded-violation fixture by its
@@ -27,17 +27,20 @@ func TestFixtureViolations(t *testing.T) {
 		substr   string
 	}{
 		{"determinism", 10, "import of math/rand"},
-		{"determinism", 19, "time.Now in deterministic package"},
-		{"determinism", 37, "range over map in deterministic package"},
-		{"statskey", 50, `unknown stats counter key "hitz"`},
-		{"statskey", 56, "dynamic stats counter key passed to Set.Get"},
-		{"statskey", 102, `unknown stats counter key "requests_getz"`},
-		{"eventsafety", 70, "event callback calls Engine.Step"},
-		{"eventsafety", 87, `event callback captures loop variable "i"`},
-		{"allocfree", 114, "map allocation in hot-path package"},
-		{"allocfree", 115, "map literal in hot-path package"},
-		{"allocfree", 125, "new(FakeMsg) allocates a message"},
-		{"allocfree", 126, "&FakeMsg{} allocates a message"},
+		{"determinism", 20, "time.Now in deterministic package"},
+		{"determinism", 38, "range over map in deterministic package"},
+		{"statskey", 51, `unknown stats counter key "hitz"`},
+		{"statskey", 57, "dynamic stats counter key passed to Set.Get"},
+		{"statskey", 103, `unknown stats counter key "requests_getz"`},
+		{"eventsafety", 71, "event callback calls Engine.Step"},
+		{"eventsafety", 88, `event callback captures loop variable "i"`},
+		{"allocfree", 115, "map allocation in hot-path package"},
+		{"allocfree", 116, "map literal in hot-path package"},
+		{"allocfree", 126, "new(FakeMsg) allocates a message"},
+		{"allocfree", 127, "&FakeMsg{} allocates a message"},
+		{"spanbalance", 143, "span from Recorder.Begin is discarded"},
+		{"spanbalance", 150, "span from Recorder.Begin is discarded"},
+		{"spanbalance", 156, `span "sp" is begun but never Ended`},
 	}
 	if len(diags) != len(want) {
 		t.Errorf("got %d diagnostics, want %d:", len(diags), len(want))

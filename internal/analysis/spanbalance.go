@@ -1,0 +1,102 @@
+package analysis
+
+import "go/ast"
+
+// dtracePkg is the package whose Recorder hands out spans.
+const dtracePkg = "dstore/internal/obs/dtrace"
+
+// SpanBalance checks that every span opened with
+// (*dtrace.Recorder).Begin can be — and, within its function, is —
+// closed with ActiveSpan.End. A Begin whose result is discarded (an
+// expression statement or a blank assignment) leaks an open span: the
+// recorder's open-span invariant drifts and the span never reaches
+// the ring. A Begin bound to a variable that has no .End call
+// anywhere in the enclosing function (deferred closures included —
+// the whole body is searched) is flagged the same way. The check is
+// name-based within one function body, so a span that legitimately
+// escapes (returned, passed along, stored) is out of scope by
+// construction: those are not discards. Intentional leaks need a
+// //dstore:allow-spanleak annotation.
+var SpanBalance = &Analyzer{
+	Name: "spanbalance",
+	Doc:  "flag dtrace spans that are begun but can never be ended",
+	Run:  runSpanBalance,
+}
+
+func runSpanBalance(pass *Pass) error {
+	if pass.Pkg.PkgPath == dtracePkg {
+		// The recorder's own implementation and tests juggle raw spans.
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanBalance(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isBeginCall reports whether call is (*dtrace.Recorder).Begin.
+func isBeginCall(pass *Pass, call *ast.CallExpr) bool {
+	ref := pass.funcOf(call)
+	return ref.isMethod(dtracePkg, "Recorder", "Begin")
+}
+
+// checkSpanBalance inspects one function body: collect every
+// identifier that has .End called on it (anywhere in the body,
+// nested closures included), then flag Begin results that are
+// discarded or bound to a never-Ended identifier.
+func checkSpanBalance(pass *Pass, body *ast.BlockStmt) {
+	ended := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			ended[id.Name] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isBeginCall(pass, call) {
+				if !pass.Allowed(call.Pos(), "spanleak") {
+					pass.Reportf(call.Pos(), "span from Recorder.Begin is discarded and can never be Ended; "+
+						"bind it and call End, or annotate //dstore:allow-spanleak <why>")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBeginCall(pass, call) || i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if pass.Allowed(call.Pos(), "spanleak") {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "span from Recorder.Begin is discarded and can never be Ended; "+
+						"bind it and call End, or annotate //dstore:allow-spanleak <why>")
+				} else if !ended[id.Name] {
+					pass.Reportf(call.Pos(), "span %q is begun but never Ended in this function; "+
+						"call %s.End, or annotate //dstore:allow-spanleak <why>", id.Name, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"dstore/internal/obs/dtrace"
 	"dstore/internal/sim"
 	"dstore/internal/stats"
 )
@@ -134,4 +135,31 @@ func HotMsg() *FakeMsg {
 // job, no finding.
 func NewTable() (map[uint64]int, *FakeMsg) {
 	return make(map[uint64]int), &FakeMsg{}
+}
+
+// SpanDiscard throws away the span Begin returns: spanbalance finding
+// on the first call; the annotated twin is clean.
+func SpanDiscard(r *dtrace.Recorder) {
+	r.Begin(1, dtrace.SpanSimulate, 0, 0)
+	r.Begin(1, dtrace.SpanSimulate, 0, 0) //dstore:allow-spanleak fixture: annotated twin
+}
+
+// SpanBlank binds the span to the blank identifier — just a fancier
+// discard: spanbalance finding.
+func SpanBlank(r *dtrace.Recorder) {
+	_ = r.Begin(1, dtrace.SpanSimulate, 0, 0)
+}
+
+// SpanNeverEnded binds the span but never calls End: spanbalance
+// finding.
+func SpanNeverEnded(r *dtrace.Recorder) {
+	sp := r.Begin(1, dtrace.SpanSimulate, 0, 0)
+	_ = sp
+}
+
+// SpanBalanced ends its span (in a deferred closure, which the
+// whole-body search must see): no finding.
+func SpanBalanced(r *dtrace.Recorder) {
+	sp := r.Begin(1, dtrace.SpanSimulate, 0, 0)
+	defer func() { sp.End(0) }()
 }

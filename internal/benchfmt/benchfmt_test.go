@@ -79,9 +79,9 @@ func TestParseTruncatedLines(t *testing.T) {
 
 func TestParseNonNumericFields(t *testing.T) {
 	for _, bad := range []string{
-		"BenchmarkX 1e99x 34 ns/op",      // iteration count not an integer
-		"BenchmarkX -7 34 ns/op",         // negative iteration count
-		"BenchmarkX 12 12.5.3 ns/op",     // malformed float
+		"BenchmarkX 1e99x 34 ns/op",         // iteration count not an integer
+		"BenchmarkX -7 34 ns/op",            // negative iteration count
+		"BenchmarkX 12 12.5.3 ns/op",        // malformed float
 		"BenchmarkX 12 6.4 ns/op oops B/op", // second value non-numeric
 	} {
 		if _, err := Parse(strings.NewReader(bad)); err == nil {

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderConsole(t *testing.T) {
+	st := ConsoleState{
+		Coordinator: "http://127.0.0.1:8090",
+		Workers: []ConsoleWorker{
+			{URL: "http://b:1", Healthy: true, Breaker: "closed", QueueDepth: 3, CacheHitRate: 0.5, Executed: 12},
+			{URL: "http://a:1", Healthy: false, Breaker: "open"},
+			{URL: "http://c:1", Quarantined: true, Breaker: "closed"},
+		},
+		Sweeps: []ConsoleSweep{
+			{ID: "ffff000011112222", Total: 8, Completed: 4, Cached: 1},
+			{ID: "aaaa000011112222", Total: 6, Completed: 6, Failed: 1, Done: true, Degraded: true},
+		},
+		Stats: map[string]uint64{
+			"fleet_jobs_completed_total":     10,
+			"fleet_dispatch_failovers_total": 2,
+		},
+	}
+	out := RenderConsole(st)
+
+	// Workers sorted by URL, with the status word for each state.
+	ia, ib, ic := strings.Index(out, "http://a:1"), strings.Index(out, "http://b:1"), strings.Index(out, "http://c:1")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Fatalf("workers not sorted by URL:\n%s", out)
+	}
+	for _, want := range []string{"BREAKER:open", "QUARANTINED", "up", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+
+	// Sweeps sorted by ID, half-full bar for 4/8, degraded flagged.
+	if !(strings.Index(out, "aaaa00001111") < strings.Index(out, "ffff00001111")) {
+		t.Fatalf("sweeps not sorted by ID:\n%s", out)
+	}
+	if !strings.Contains(out, "[############............] 4/8 running") {
+		t.Fatalf("frame missing 4/8 progress bar:\n%s", out)
+	}
+	if !strings.Contains(out, "6/6 DEGRADED") {
+		t.Fatalf("frame missing degraded sweep:\n%s", out)
+	}
+	if !strings.Contains(out, "completed 10") || !strings.Contains(out, "failovers 2") {
+		t.Fatalf("frame missing dispatch counters:\n%s", out)
+	}
+
+	// Deterministic: same state, same frame.
+	if out != RenderConsole(st) {
+		t.Fatal("RenderConsole is not deterministic")
+	}
+}
+
+func TestRenderConsoleEmpty(t *testing.T) {
+	out := RenderConsole(ConsoleState{Coordinator: "http://x"})
+	if !strings.Contains(out, "(none registered)") || !strings.Contains(out, "(none)") {
+		t.Fatalf("empty frame missing placeholders:\n%s", out)
+	}
+}
+
+func TestProgressBarEdges(t *testing.T) {
+	if got := progressBar(0, 0, 8); got != "--------" {
+		t.Fatalf("zero-total bar = %q", got)
+	}
+	if got := progressBar(9, 8, 8); got != "########" {
+		t.Fatalf("overfull bar = %q", got)
+	}
+}

@@ -29,14 +29,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dstore/internal/obs"
+	"dstore/internal/obs/dtrace"
 	"dstore/internal/serve"
 	"dstore/internal/sim"
+	"dstore/internal/store"
 )
 
 // Options configures a Coordinator. The zero value gets sensible
@@ -106,6 +110,34 @@ type Options struct {
 	// writes a WAL under this directory (spec at start, each outcome
 	// as it lands) and New resumes any journal found incomplete.
 	JournalDir string
+
+	// Transport overrides the HTTP transport for every worker call
+	// (nil means http.DefaultTransport). Tests inject an in-process
+	// router here so worker URLs — and with them ring placement and
+	// trace exports — are stable across runs.
+	Transport http.RoundTripper
+	// Name labels the coordinator's process row in stitched traces.
+	// Default "coordinator".
+	Name string
+	// Clock supplies distributed-tracing span timestamps (dtrace). Nil
+	// falls back to the recorder's monotonic sequence; the daemon
+	// injects a wall clock at the cmd layer.
+	Clock dtrace.Clock
+	// TraceSpanCap bounds the span ring (dtrace.DefaultCap when zero).
+	TraceSpanCap int
+	// FederationTimeout bounds the per-worker /metrics scrape and
+	// /v1/traces fetch during federation. Default 2s.
+	FederationTimeout time.Duration
+	// EnablePprof registers the runtime profiling handlers under
+	// /debug/pprof/ (the -pprof flag).
+	EnablePprof bool
+	// StoreDir, when set, opens a content-addressed store for
+	// fleet-wide CPU profile captures (POST /v1/profiles); without it
+	// the endpoint answers 503.
+	StoreDir string
+	// StoreMaxBytes caps the profile store. Zero means
+	// store.DefaultMaxBytes; negative means unlimited.
+	StoreMaxBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +192,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxPending == 0 {
 		o.MaxPending = 1024
 	}
+	if o.Name == "" {
+		o.Name = "coordinator"
+	}
+	if o.FederationTimeout <= 0 {
+		o.FederationTimeout = 2 * time.Second
+	}
 	return o
 }
 
@@ -183,6 +221,17 @@ type Coordinator struct {
 	sweepMu sync.Mutex
 	sweeps  map[string]*sweepRun
 
+	// rec holds the coordinator's span ring; spans from workers are
+	// stitched with it at trace export (GET /v1/sweeps/{id}/trace).
+	rec *dtrace.Recorder
+	// profiles is the content-addressed store for fleet CPU-profile
+	// captures; nil without Options.StoreDir.
+	profiles *store.Store
+
+	// histMu guards dispatchLat (dispatches are concurrent).
+	histMu      sync.Mutex
+	dispatchLat *obs.Histogram
+
 	pending        atomic.Int64  // jobs in the dispatch path right now
 	dispatched     atomic.Uint64 // jobs handed to the dispatch path
 	completed      atomic.Uint64 // jobs that returned a result
@@ -199,6 +248,10 @@ type Coordinator struct {
 	jobsReplayed   atomic.Uint64 // journalled outcomes restored without re-dispatch
 	journalAppends atomic.Uint64 // records durably appended to sweep journals
 	journalErrors  atomic.Uint64 // journal appends or opens that failed (sweep continues)
+	fedScrapes     atomic.Uint64 // worker /metrics scrapes during federation
+	fedErrors      atomic.Uint64 // federation scrapes that failed (worker omitted)
+	traceExports   atomic.Uint64 // stitched traces served
+	profileCaps    atomic.Uint64 // fleet CPU-profile captures stored
 }
 
 // New builds a coordinator over the static worker list, resumes any
@@ -209,12 +262,22 @@ func New(opt Options) (*Coordinator, error) {
 	opt = opt.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		opt:    opt,
-		client: &http.Client{Timeout: opt.RequestTimeout},
-		rng:    sim.NewRand(opt.Seed ^ 0xBACC0FF),
-		sweeps: make(map[string]*sweepRun),
-		ctx:    ctx,
-		cancel: cancel,
+		opt:         opt,
+		client:      &http.Client{Timeout: opt.RequestTimeout, Transport: opt.Transport},
+		rng:         sim.NewRand(opt.Seed ^ 0xBACC0FF),
+		sweeps:      make(map[string]*sweepRun),
+		rec:         dtrace.New(dtrace.Options{Cap: opt.TraceSpanCap, Clock: opt.Clock, Process: opt.Name}),
+		dispatchLat: obs.NewHistogram("fleet_dispatch_latency_ns"),
+		ctx:         ctx,
+		cancel:      cancel,
+	}
+	if opt.StoreDir != "" {
+		st, err := store.Open(store.Options{Dir: opt.StoreDir, MaxBytes: opt.StoreMaxBytes})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("fleet: open profile store: %w", err)
+		}
+		c.profiles = st
 	}
 	c.reg = newRegistry(c.client, opt)
 	for _, w := range opt.Workers {
@@ -236,6 +299,15 @@ func New(opt Options) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleSweepStatus)
 	c.mux.HandleFunc("GET /v1/sweeps/{id}/stream", c.handleSweepStream)
 	c.mux.HandleFunc("GET /v1/sweeps/{id}/report", c.handleSweepReport)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}/trace", c.handleSweepTrace)
+	c.mux.HandleFunc("POST /v1/profiles", c.handleProfileCapture)
+	if opt.EnablePprof {
+		c.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		c.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		c.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		c.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		c.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	c.mux.HandleFunc("GET /healthz", c.handleHealth)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
@@ -262,6 +334,9 @@ func (c *Coordinator) Handler() http.Handler { return c.mux }
 func (c *Coordinator) Close() {
 	c.cancel()
 	c.wg.Wait()
+	if c.profiles != nil {
+		_ = c.profiles.Close()
+	}
 }
 
 // terminalError marks a job failure that no other replica can fix: a
@@ -314,8 +389,24 @@ type jobOutcome struct {
 	workers int    // dispatch attempts spent (1 = owner answered first try)
 }
 
+// traceCtx carries one job's distributed-trace identity through the
+// dispatch path: the trace every span lands under and the job's index
+// within a sweep (dtrace.JobNone for single-run submissions). The zero
+// value disables tracing for the call chain.
+type traceCtx struct {
+	trace uint64
+	job   uint32
+}
+
 // do performs one HTTP call against a worker and slurps the body.
 func (c *Coordinator) do(ctx context.Context, method, url string, body []byte) (int, http.Header, []byte, error) {
+	return c.doT(ctx, method, url, body, traceCtx{})
+}
+
+// doT is do with trace propagation: a non-zero trace context is
+// stamped onto the outbound request headers so the worker's own spans
+// land under the same trace ID.
+func (c *Coordinator) doT(ctx context.Context, method, url string, body []byte, tc traceCtx) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = readerOf(body)
@@ -327,6 +418,7 @@ func (c *Coordinator) do(ctx context.Context, method, url string, body []byte) (
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	dtrace.SetHeaders(req.Header, tc.trace, tc.job)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -402,7 +494,13 @@ func (c *Coordinator) backoff(round int) time.Duration {
 // failures feed the breaker; digest mismatches quarantine the worker;
 // terminal failures (bad spec, deterministic simulation failure) stop
 // immediately.
-func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte) (*jobOutcome, error) {
+//
+// A non-zero tc annotates the whole dispatch with spans: one
+// SpanDispatch per attempt (arg = attempt ordinal; flags mark errors,
+// corruption, cache hits), one SpanBackoff per retry round (dur = the
+// backoff pause), and SpanVerify around each digest check inside
+// runOn/awaitResult.
+func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte, tc traceCtx) (*jobOutcome, error) {
 	c.dispatched.Add(1)
 	c.pending.Add(1)
 	defer c.pending.Add(-1)
@@ -423,25 +521,43 @@ func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte) (*jobO
 		}
 		for _, u := range c.reg.dispatchOrder(owners) {
 			attempts++
-			out, err := c.runOn(ctx, u, id, spec)
+			start := c.rec.Now()
+			out, err := c.runOn(ctx, u, id, spec, tc)
+			end := c.rec.Now()
+			var lat uint64
+			if end > start {
+				lat = end - start
+			}
 			if err == nil {
+				var flags uint8
+				if out.cached {
+					flags |= dtrace.FlagCached
+				}
+				c.rec.Record(tc.trace, dtrace.SpanDispatch, tc.job, attemptArg(attempts), start, lat, flags)
+				c.histMu.Lock()
+				c.dispatchLat.Observe(lat)
+				c.histMu.Unlock()
 				c.reg.recordSuccess(u)
 				out.workers = attempts
 				c.completed.Add(1)
 				return out, nil
 			}
+			dispatchFlags := uint8(dtrace.FlagErr)
 			var term *terminalError
 			if errors.As(err, &term) {
+				c.rec.Record(tc.trace, dtrace.SpanDispatch, tc.job, attemptArg(attempts), start, lat, dispatchFlags)
 				c.jobsFailed.Add(1)
 				return nil, err
 			}
 			var corr *corruptError
 			if errors.As(err, &corr) {
+				dispatchFlags |= dtrace.FlagCorrupt
 				c.corrupt.Add(1)
 				c.reg.quarantineWorker(u)
 			} else {
 				c.reg.recordFailure(u)
 			}
+			c.rec.Record(tc.trace, dtrace.SpanDispatch, tc.job, attemptArg(attempts), start, lat, dispatchFlags)
 			lastErr = err
 			c.failovers.Add(1)
 			if ctx.Err() != nil {
@@ -453,7 +569,9 @@ func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte) (*jobO
 			break
 		}
 		c.retryRounds.Add(1)
-		if err := sleepCtx(ctx, c.backoff(round)); err != nil {
+		pause := c.backoff(round)
+		c.rec.Record(tc.trace, dtrace.SpanBackoff, tc.job, attemptArg(round+1), c.rec.Now(), uint64(pause), 0)
+		if err := sleepCtx(ctx, pause); err != nil {
 			break
 		}
 	}
@@ -462,6 +580,36 @@ func (c *Coordinator) runJob(ctx context.Context, id string, spec []byte) (*jobO
 		lastErr = errors.New("no dispatchable worker (breakers open or quarantined)")
 	}
 	return nil, fmt.Errorf("fleet: job %.8s failed after %d attempts over %d rounds: %w", id, attempts, rounds, lastErr)
+}
+
+// attemptArg clamps an attempt/round ordinal into a span's 16-bit arg.
+func attemptArg(n int) uint16 {
+	if n > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(n)
+}
+
+// verifyTraced digest-checks a payload like verifyDigest and records
+// the check as a SpanVerify under tc (FlagCorrupt|FlagErr on
+// mismatch). Untraced calls skip the span entirely.
+func (c *Coordinator) verifyTraced(worker string, hdr http.Header, payload []byte, tc traceCtx) error {
+	if tc.trace == 0 {
+		return verifyDigest(worker, hdr, payload)
+	}
+	start := c.rec.Now()
+	err := verifyDigest(worker, hdr, payload)
+	end := c.rec.Now()
+	var dur uint64
+	if end > start {
+		dur = end - start
+	}
+	var flags uint8
+	if err != nil {
+		flags = dtrace.FlagCorrupt | dtrace.FlagErr
+	}
+	c.rec.Record(tc.trace, dtrace.SpanVerify, tc.job, 0, start, dur, flags)
+	return err
 }
 
 // retryAfterHint parses a Retry-After header in either RFC 9110 form
@@ -489,9 +637,9 @@ func retryAfterHint(v string, max time.Duration) time.Duration {
 // runOn pushes one job through one worker: submit, honour
 // backpressure, poll to completion, fetch and digest-verify the
 // result.
-func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (*jobOutcome, error) {
+func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte, tc traceCtx) (*jobOutcome, error) {
 	for {
-		code, hdr, body, err := c.do(ctx, http.MethodPost, base+"/v1/runs", spec)
+		code, hdr, body, err := c.doT(ctx, http.MethodPost, base+"/v1/runs", spec, tc)
 		if err != nil {
 			return nil, err
 		}
@@ -504,12 +652,12 @@ func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (
 			if len(rr.Result) == 0 {
 				return nil, fmt.Errorf("fleet: %s returned 200 with no result", base)
 			}
-			if err := verifyDigest(base, hdr, rr.Result); err != nil {
+			if err := c.verifyTraced(base, hdr, rr.Result, tc); err != nil {
 				return nil, err
 			}
 			return &jobOutcome{body: rr.Result, worker: base, cached: true}, nil
 		case code == http.StatusAccepted:
-			return c.awaitResult(ctx, base, id)
+			return c.awaitResult(ctx, base, id, tc)
 		case code == http.StatusTooManyRequests:
 			// Backpressure: honour Retry-After (capped) and resubmit to
 			// the same worker — its queue draining is the fast path.
@@ -526,7 +674,7 @@ func (c *Coordinator) runOn(ctx context.Context, base, id string, spec []byte) (
 
 // awaitResult polls an accepted job to completion on one worker and
 // returns its canonical result document, digest-verified.
-func (c *Coordinator) awaitResult(ctx context.Context, base, id string) (*jobOutcome, error) {
+func (c *Coordinator) awaitResult(ctx context.Context, base, id string, tc traceCtx) (*jobOutcome, error) {
 	for {
 		code, hdr, body, err := c.do(ctx, http.MethodGet, base+"/v1/runs/"+id, nil)
 		if err != nil {
@@ -542,7 +690,7 @@ func (c *Coordinator) awaitResult(ctx context.Context, base, id string) (*jobOut
 		switch rr.Status {
 		case "done":
 			if len(rr.Result) > 0 {
-				if err := verifyDigest(base, hdr, rr.Result); err != nil {
+				if err := c.verifyTraced(base, hdr, rr.Result, tc); err != nil {
 					return nil, err
 				}
 				return &jobOutcome{body: rr.Result, worker: base, cached: rr.Cached}, nil
@@ -554,7 +702,7 @@ func (c *Coordinator) awaitResult(ctx context.Context, base, id string) (*jobOut
 			if code != http.StatusOK {
 				return nil, fmt.Errorf("fleet: result of %.8s on %s: %d: %s", id, base, code, res)
 			}
-			if err := verifyDigest(base, rhdr, res); err != nil {
+			if err := c.verifyTraced(base, rhdr, res, tc); err != nil {
 				return nil, err
 			}
 			return &jobOutcome{body: res, worker: base}, nil
@@ -647,7 +795,14 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	out, err := c.runJob(r.Context(), id, canon)
+	// Single-run submissions trace under their own content address; a
+	// caller-supplied trace header (a sweep re-entering through the
+	// public API, or a client stitching its own trace) wins.
+	tc := traceCtx{trace: dtrace.TraceIDFromHex(id), job: dtrace.JobNone}
+	if trace, job, ok := dtrace.FromHeaders(r.Header); ok {
+		tc = traceCtx{trace: trace, job: job}
+	}
+	out, err := c.runJob(r.Context(), id, canon, tc)
 	if err != nil {
 		code := http.StatusBadGateway
 		var term *terminalError

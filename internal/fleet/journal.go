@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"dstore/internal/obs/dtrace"
 	"dstore/internal/store"
 )
 
@@ -159,6 +160,8 @@ func (c *Coordinator) loadJournal(path string) error {
 	}
 
 	s := newSweepRun(hdr.SweepID, hdr.Total)
+	s.trace = dtrace.TraceIDFromHex(hdr.SweepID)
+	s.rec = c.rec
 	completed := make(map[string]bool, len(recs))
 	var rep *Report
 	for _, raw := range recs[1:] {

@@ -1,10 +1,13 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
 
+	"dstore/internal/obs"
+	"dstore/internal/obs/dtrace"
 	"dstore/internal/stats"
 )
 
@@ -42,6 +45,16 @@ var metricDefs = []struct {
 	{"coord_shed_total", "counter"},
 	{"coord_journal_appends_total", "counter"},
 	{"coord_journal_errors_total", "counter"},
+	{"fleet_federation_scrapes_total", "counter"},
+	{"fleet_federation_errors_total", "counter"},
+	{"fleet_trace_exports_total", "counter"},
+	{"coord_profile_captures_total", "counter"},
+	// The coordinator's span-ring counters use the coord_ prefix — the
+	// workers' own obs_spans_* families arrive via federation below,
+	// and one exposition must not carry the same family twice.
+	{"coord_spans_recorded_total", "counter"},
+	{"coord_spans_dropped_total", "counter"},
+	{"fleet_dispatch_latency_ns", "histogram"},
 }
 
 // snapshot materializes the scalar metrics as a stats.Set in
@@ -83,7 +96,15 @@ func (c *Coordinator) snapshot() *stats.Set {
 		"coord_shed_total":                   c.shed.Load(),
 		"coord_journal_appends_total":        c.journalAppends.Load(),
 		"coord_journal_errors_total":         c.journalErrors.Load(),
+		"fleet_federation_scrapes_total":     c.fedScrapes.Load(),
+		"fleet_federation_errors_total":      c.fedErrors.Load(),
+		"fleet_trace_exports_total":          c.traceExports.Load(),
+		"coord_profile_captures_total":       c.profileCaps.Load(),
 	}
+	spansRecorded, spansDropped := c.rec.Counts()
+	values["coord_spans_recorded_total"] = spansRecorded
+	values["coord_spans_dropped_total"] = spansDropped
+	values["fleet_dispatch_latency_ns"] = c.dispatchLatSnapshot().Count()
 	set := stats.NewSet()
 	for _, d := range metricDefs {
 		set.Counter(d.name).Add(values[d.name]) //dstore:allow-statskey Prometheus names from metricDefs
@@ -99,6 +120,10 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	set := c.snapshot()
 	var b strings.Builder
 	for _, d := range metricDefs {
+		if d.kind == "histogram" {
+			c.dispatchLatSnapshot().WriteProm(&b, d.name)
+			continue
+		}
 		//dstore:allow-statskey Prometheus names from metricDefs
 		fmt.Fprintf(&b, "# TYPE %s %s\n%s %d\n", d.name, d.kind, d.name, set.Get(d.name))
 	}
@@ -141,8 +166,50 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "%s{worker=%q} %s\n", m.name, st.URL, m.value(st))
 		}
 	}
+	c.writeFederation(r, &b, states)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeFederation scrapes every registered worker's /metrics and
+// re-exports the union: each worker's samples labelled worker="url",
+// plus an unlabelled fleet-level sum per series (histograms federate
+// at the bucket level, so the summed series is itself a valid
+// histogram). Workers that fail to answer within the federation
+// timeout are skipped and counted in fleet_federation_errors_total —
+// a partial federation beats a stalled scrape. Scrape order is the
+// registry's sorted-URL order, so the rendering is deterministic in
+// the fleet membership.
+func (c *Coordinator) writeFederation(r *http.Request, b *strings.Builder, states []workerState) {
+	var workers []dtrace.WorkerMetrics
+	for _, st := range states {
+		c.fedScrapes.Add(1)
+		//dstore:allow-wallclock federation deadline is operational
+		ctx, cancel := context.WithTimeout(r.Context(), c.opt.FederationTimeout)
+		code, _, body, err := c.do(ctx, http.MethodGet, st.URL+"/metrics", nil)
+		cancel()
+		if err != nil || code != http.StatusOK {
+			c.fedErrors.Add(1)
+			continue
+		}
+		m, err := dtrace.Parse(string(body))
+		if err != nil {
+			c.fedErrors.Add(1)
+			continue
+		}
+		workers = append(workers, dtrace.WorkerMetrics{Worker: st.URL, M: m})
+	}
+	dtrace.WriteFederated(b, workers)
+}
+
+// dispatchLatSnapshot clones the dispatch-latency histogram under its
+// lock so rendering never races concurrent dispatches.
+func (c *Coordinator) dispatchLatSnapshot() *obs.Histogram {
+	out := obs.NewHistogram("fleet_dispatch_latency_ns")
+	c.histMu.Lock()
+	out.Merge(c.dispatchLat)
+	c.histMu.Unlock()
+	return out
 }
 
 // handleStats implements GET /v1/stats: the scalar metrics as an

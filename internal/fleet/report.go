@@ -66,10 +66,10 @@ type Report struct {
 	// results present are good, but the matrix is not fully covered.
 	// Partial coverage is reported, never silently dropped — and never
 	// fails the sweep wholesale.
-	Degraded bool           `json:"degraded,omitempty"`
-	Workers   []WorkerLoad   `json:"workers"`
-	Frontier  []FrontierPoint `json:"frontier"`
-	Best      []BestEntry     `json:"best,omitempty"`
+	Degraded bool            `json:"degraded,omitempty"`
+	Workers  []WorkerLoad    `json:"workers"`
+	Frontier []FrontierPoint `json:"frontier"`
+	Best     []BestEntry     `json:"best,omitempty"`
 	// BenchText is the sweep rendered in `go test -bench` text format
 	// (one line per job), directly usable as a dstore-benchdiff
 	// baseline.

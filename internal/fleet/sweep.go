@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"dstore/internal/obs/dtrace"
 )
 
 // Matrix is a batch-sweep request: the cartesian product of the axes
@@ -161,6 +163,10 @@ type Outcome struct {
 	Workers int             `json:"workers_tried,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// Trace is the sweep's 16-hex-digit trace ID — the key for
+	// GET /v1/sweeps/{id}/trace and for correlating this outcome with
+	// spans in the stitched export.
+	Trace string `json:"trace,omitempty"`
 }
 
 // sweepRun is one sweep's lifecycle: outcomes append as jobs finish,
@@ -171,6 +177,10 @@ type Outcome struct {
 type sweepRun struct {
 	id    string
 	total int
+	// trace is the sweep's trace ID (derived from id); rec receives
+	// the coordinator-side spans this run emits (journal appends).
+	trace uint64
+	rec   *dtrace.Recorder
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -201,7 +211,18 @@ func (s *sweepRun) append(o Outcome) {
 	// Journalled under the lock, after seq assignment and before the
 	// broadcast: journal order is seq order, and no watcher sees an
 	// outcome that is not on disk.
-	s.jl.append(journalRecord{Type: journalTypeOutcome, SweepID: s.id, Outcome: &o})
+	if s.jl != nil && s.trace != 0 {
+		jstart := s.rec.Now()
+		s.jl.append(journalRecord{Type: journalTypeOutcome, SweepID: s.id, Outcome: &o})
+		jend := s.rec.Now()
+		var dur uint64
+		if jend > jstart {
+			dur = jend - jstart
+		}
+		s.rec.Record(s.trace, dtrace.SpanJournal, uint32(o.Index), 0, jstart, dur, 0)
+	} else {
+		s.jl.append(journalRecord{Type: journalTypeOutcome, SweepID: s.id, Outcome: &o})
+	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
 }
@@ -283,6 +304,8 @@ func (c *Coordinator) startSweep(jobs []sweepJob) (*sweepRun, bool) {
 		return s, false
 	}
 	s := newSweepRun(id, len(jobs))
+	s.trace = dtrace.TraceIDFromHex(id)
+	s.rec = c.rec
 	if c.opt.JournalDir != "" {
 		if jl, err := c.newSweepJournal(id, jobs); err == nil {
 			s.jl = jl
@@ -312,19 +335,33 @@ func (c *Coordinator) runSweep(s *sweepRun, jobs []sweepJob) {
 		workers = len(jobs)
 	}
 	feed := make(chan sweepJob)
+	sweepStart := c.rec.Now()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer wg.Done()
 			for j := range feed {
-				out, err := c.runJob(c.ctx, j.id, j.canon)
+				// Queue wait at the coordinator: sweep start to the moment
+				// a pool slot picked this job up.
+				if s.trace != 0 {
+					pickup := c.rec.Now()
+					var wait uint64
+					if pickup > sweepStart {
+						wait = pickup - sweepStart
+					}
+					c.rec.Record(s.trace, dtrace.SpanQueueWait, uint32(j.index), 0, sweepStart, wait, 0)
+				}
+				out, err := c.runJob(c.ctx, j.id, j.canon, traceCtx{trace: s.trace, job: uint32(j.index)})
 				if err != nil && c.ctx.Err() != nil {
 					// Coordinator shutdown, not a job verdict: leave the
 					// job un-journalled so a restart re-dispatches it.
 					continue
 				}
 				o := Outcome{Index: j.index, ID: j.id, Spec: j.canon}
+				if s.trace != 0 {
+					o.Trace = dtrace.FormatTraceID(s.trace)
+				}
 				if err != nil {
 					o.Error = err.Error()
 				} else {
@@ -375,7 +412,9 @@ func (c *Coordinator) handleSweepSubmit(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusBadRequest, "bad sweep matrix: %v", err)
 		return
 	}
+	expandStart := c.rec.Now()
 	jobs, err := m.expand()
+	expandEnd := c.rec.Now()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -384,7 +423,17 @@ func (c *Coordinator) handleSweepSubmit(w http.ResponseWriter, r *http.Request) 
 		writeError(w, http.StatusServiceUnavailable, "fleet: no workers registered")
 		return
 	}
-	s, _ := c.startSweep(jobs)
+	s, started := c.startSweep(jobs)
+	// The expansion span is recorded only on a fresh start: a rejoin of
+	// a running (or finished) sweep did not expand anything the trace
+	// should account for, and must not change the export.
+	if started && s.trace != 0 {
+		var dur uint64
+		if expandEnd > expandStart {
+			dur = expandEnd - expandStart
+		}
+		c.rec.Record(s.trace, dtrace.SpanExpand, dtrace.JobNone, attemptArg(len(jobs)), expandStart, dur, 0)
+	}
 	c.streamSweep(w, r, s)
 }
 

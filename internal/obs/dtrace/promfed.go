@@ -1,0 +1,203 @@
+package dtrace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the metrics-federation half of the measurement plane:
+// a minimal parser for the Prometheus text exposition subset the
+// daemons emit, and a renderer that merges N workers' scrapes into one
+// coordinator /metrics document — every worker sample re-labelled with
+// worker="<url>", plus an unlabelled fleet-level sum per series.
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	// Name is the sample name (histogram children keep their _bucket /
+	// _sum / _count suffix).
+	Name string
+	// Labels is the raw label body without braces ("" when absent),
+	// e.g. `le="15"`.
+	Labels string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Metrics is one parsed scrape.
+type Metrics struct {
+	// Types maps family name to declared type (counter, gauge,
+	// histogram, untyped).
+	Types map[string]string
+	// Samples holds every sample in document order.
+	Samples []Sample
+}
+
+// Parse reads a Prometheus text exposition document. Unparseable
+// sample lines are an error — the fleet only scrapes its own daemons,
+// so a malformed line is a bug, not foreign input to tolerate.
+func Parse(text string) (*Metrics, error) {
+	m := &Metrics{Types: make(map[string]string)}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				m.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", ln+1, err)
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	return m, nil
+}
+
+// parseSample splits `name{labels} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		s.Name = line[:i]
+		s.Labels = line[i+1 : j]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("want `name value`, got %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// familyOf maps a sample name to its declaring family: histogram
+// children (_bucket/_sum/_count with a histogram TYPE for the stem)
+// fold into the stem, everything else is its own family.
+func familyOf(types map[string]string, name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		stem, ok := strings.CutSuffix(name, suffix)
+		if ok && types[stem] == "histogram" {
+			return stem
+		}
+	}
+	return name
+}
+
+// WorkerMetrics is one worker's parsed scrape tagged with the label
+// value its samples federate under.
+type WorkerMetrics struct {
+	Worker string
+	M      *Metrics
+}
+
+// WriteFederated renders the merged fleet view of N worker scrapes.
+// For every family (sorted by name): the TYPE line, each worker's
+// samples re-labelled with worker="<url>" in caller order, then one
+// unlabelled fleet-level sum per (name, labels) series, sorted. The
+// caller orders workers (the coordinator sorts by URL), so for a fixed
+// set of scrapes the output is deterministic.
+func WriteFederated(w io.Writer, workers []WorkerMetrics) {
+	type series struct {
+		name, labels string
+		sum          float64
+	}
+	families := make(map[string]string)   // family -> type
+	byFamily := make(map[string][]string) // family -> rendered worker lines
+	aggOrder := make(map[string][]string) // family -> agg keys in order
+	agg := make(map[string]*series)       // "name\xfflabels" -> sum
+	for _, wm := range workers {
+		if wm.M == nil {
+			continue
+		}
+		for name, typ := range wm.M.Types { //dstore:allow-maprange destination is a map keyed identically
+			if _, ok := families[name]; !ok {
+				families[name] = typ
+			}
+		}
+		for _, s := range wm.M.Samples {
+			fam := familyOf(wm.M.Types, s.Name)
+			if _, ok := families[fam]; !ok {
+				families[fam] = "untyped"
+			}
+			byFamily[fam] = append(byFamily[fam],
+				fmt.Sprintf("%s{%s} %s", s.Name, joinLabels(s.Labels, "worker", wm.Worker), formatValue(s.Value)))
+			key := s.Name + "\xff" + s.Labels
+			se := agg[key]
+			if se == nil {
+				se = &series{name: s.Name, labels: s.Labels}
+				agg[key] = se
+				aggOrder[fam] = append(aggOrder[fam], key)
+			}
+			se.sum += s.Value
+		}
+	}
+	names := make([]string, 0, len(families))
+	for name := range families { //dstore:allow-maprange sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		if len(byFamily[fam]) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, families[fam])
+		for _, line := range byFamily[fam] {
+			fmt.Fprintln(w, line)
+		}
+		keys := append([]string(nil), aggOrder[fam]...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			se := agg[key]
+			if se.labels == "" {
+				fmt.Fprintf(w, "%s %s\n", se.name, formatValue(se.sum))
+			} else {
+				fmt.Fprintf(w, "%s{%s} %s\n", se.name, se.labels, formatValue(se.sum))
+			}
+		}
+	}
+}
+
+// joinLabels appends one label pair to a raw label body.
+func joinLabels(labels, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders integral values without an exponent (counters
+// stay exact) and everything else in compact float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

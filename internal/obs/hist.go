@@ -47,7 +47,10 @@ func (h *Histogram) Observe(v uint64) {
 	h.buckets[bits.Len64(v)]++
 	h.count++
 	h.sum += v
-	if v < h.min {
+	// The first observation seeds min unconditionally: a zero-value
+	// Histogram (not built by NewHistogram) starts with min == 0, and
+	// `v < 0` would never replace it.
+	if h.count == 1 || v < h.min {
 		h.min = v
 	}
 	if v > h.max {
@@ -136,17 +139,43 @@ func (h *Histogram) Merge(other *Histogram) {
 	if h == nil || other == nil || other.count == 0 {
 		return
 	}
+	// An empty destination adopts other's min outright: a zero-value
+	// Histogram starts with min == 0 (not the NewHistogram sentinel),
+	// so the comparison alone would pin min at 0 forever.
+	wasEmpty := h.count == 0
 	for i, c := range other.buckets {
 		h.buckets[i] += c
 	}
 	h.count += other.count
 	h.sum += other.sum
-	if other.min < h.min {
+	if wasEmpty || other.min < h.min {
 		h.min = other.min
 	}
 	if other.max > h.max {
 		h.max = other.max
 	}
+}
+
+// WriteProm renders the histogram as one Prometheus histogram family:
+// cumulative le-labelled buckets (upper bounds from the log2 bucket
+// ranges), the +Inf catch-all, then _sum and _count (nil-safe — a nil
+// or empty histogram renders the empty family: +Inf 0, _sum 0,
+// _count 0). The overflow bucket (values ≥ 2^63) has no finite upper
+// bound, so its observations appear only under +Inf rather than as a
+// spurious le="18446744073709551615" series.
+func (h *Histogram) WriteProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for _, bk := range h.Buckets() {
+		if bk.Hi == math.MaxUint64 {
+			break // overflow bucket: counted by +Inf below
+		}
+		cum += bk.Count
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bk.Hi, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 }
 
 // WriteText renders the histogram as an aligned text table with scaled

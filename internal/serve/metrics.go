@@ -45,6 +45,9 @@ var metricDefs = []struct {
 	{"dstore_sim_gpu_load_latency_ticks", "histogram"},
 	{"dstore_sim_cpu_store_latency_ticks", "histogram"},
 	{"dstore_sim_push_to_first_use_ticks", "histogram"},
+	{"dstore_serve_queue_wait_ns", "histogram"},
+	{"obs_spans_recorded_total", "counter"},
+	{"obs_spans_dropped_total", "counter"},
 }
 
 // histMetricIndex maps a histogram metric name to its obs.HistID slot
@@ -101,6 +104,10 @@ func (s *Server) snapshot() *stats.Set {
 		"dstore_coherence_nacks_total":          s.chaosNacks.Load(),
 		"dstore_coherence_retries_total":        s.chaosRetries.Load(),
 	}
+	spansRecorded, spansDropped := s.rec.Counts()
+	values["obs_spans_recorded_total"] = spansRecorded
+	values["obs_spans_dropped_total"] = spansDropped
+	values["dstore_serve_queue_wait_ns"] = s.queueWaitSnapshot().Count()
 	for name, idx := range histMetricIndex { //dstore:allow-maprange values land in a map keyed identically
 		values[name] = hists[idx].Count()
 	}
@@ -121,7 +128,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	for _, d := range metricDefs {
 		if d.kind == "histogram" {
-			writeHistogram(&b, d.name, hists[histMetricIndex[d.name]])
+			writeHistogram(&b, d.name, histogramFor(s, hists, d.name))
 			continue
 		}
 		//dstore:allow-statskey Prometheus names from metricDefs
@@ -132,19 +139,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeHistogram renders one histogram in the Prometheus exposition
-// format: cumulative le-labelled buckets (upper bounds from the
-// log2-bucketed observation histogram), the +Inf catch-all, then _sum
-// and _count.
+// format via the shared obs renderer (cumulative le buckets, +Inf,
+// _sum, _count — overflow bucket folded into +Inf).
 func writeHistogram(b *strings.Builder, name string, h *obs.Histogram) {
-	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
-	var cum uint64
-	for _, bk := range h.Buckets() {
-		cum += bk.Count
-		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Hi, cum)
+	h.WriteProm(b, name)
+}
+
+// histogramFor resolves a histogram metric name to its source: the
+// per-run simulation aggregates, or a server-level histogram such as
+// queue wait.
+func histogramFor(s *Server, hists []*obs.Histogram, name string) *obs.Histogram {
+	if idx, ok := histMetricIndex[name]; ok {
+		return hists[idx]
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
-	fmt.Fprintf(b, "%s_sum %d\n", name, h.Sum())
-	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	if name == "dstore_serve_queue_wait_ns" {
+		return s.queueWaitSnapshot()
+	}
+	return nil
 }
 
 // handleStats implements GET /v1/stats: the same metrics as a JSON

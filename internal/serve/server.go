@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"dstore/internal/bench"
 	"dstore/internal/core"
 	"dstore/internal/obs"
+	"dstore/internal/obs/dtrace"
 	"dstore/internal/store"
 )
 
@@ -62,6 +65,19 @@ type Options struct {
 	// StoreMaxBytes caps the disk store (internal/store LRU eviction).
 	// Zero means store.DefaultMaxBytes; negative means unlimited.
 	StoreMaxBytes int64
+	// Name labels this worker's process row in stitched fleet traces.
+	// Default "dstore-serve".
+	Name string
+	// Clock supplies distributed-tracing span timestamps. Nil falls
+	// back to the recorder's monotonic sequence; the daemon injects a
+	// wall clock at the cmd layer so internal packages stay wall-free.
+	Clock dtrace.Clock
+	// TraceSpanCap bounds the span ring (dtrace.DefaultCap when zero).
+	TraceSpanCap int
+	// EnablePprof registers the runtime profiling handlers under
+	// /debug/pprof/ on the server's own mux (the -pprof flag). Off by
+	// default: profiles expose internals and cost CPU to capture.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotCacheEntries == 0 {
 		o.SnapshotCacheEntries = 64
+	}
+	if o.Name == "" {
+		o.Name = "dstore-serve"
 	}
 	return o
 }
@@ -109,6 +128,14 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Distributed-tracing context, propagated by the coordinator in
+	// X-Dstore-Trace-Id / X-Dstore-Span-Id. Zero trace means the
+	// submission was untraced. submitNS is the recorder clock reading
+	// at enqueue, the start of the queue-wait span.
+	trace    uint64
+	jobIdx   uint32
+	submitNS uint64
 
 	// Observability artifacts, filled by the run function and consumed
 	// by runJob on success: the Chrome trace body (Trace jobs only) and
@@ -149,9 +176,16 @@ type Server struct {
 	runFn func(ctx context.Context, j *job) ([]byte, error)
 
 	// histMu guards aggHists, the server-lifetime latency histograms
-	// merged from every executed job (rendered by /metrics).
-	histMu   sync.Mutex
-	aggHists [obs.NumHists]*obs.Histogram
+	// merged from every executed job (rendered by /metrics), and
+	// queueWait, the submit→start wait distribution.
+	histMu    sync.Mutex
+	aggHists  [obs.NumHists]*obs.Histogram
+	queueWait *obs.Histogram
+
+	// rec is the distributed-tracing span ring (always on: recording
+	// is one 32-byte copy per lifecycle stage and untraced submissions
+	// record nothing).
+	rec *dtrace.Recorder
 
 	// baseCtx parents every job context; cancel aborts in-flight
 	// simulations (hard stop — graceful Shutdown does not cancel it
@@ -287,16 +321,32 @@ func newServer(opt Options, runFn func(context.Context, *job) ([]byte, error)) (
 	for i := range s.aggHists {
 		s.aggHists[i] = obs.NewHistogram(obs.HistID(i).String())
 	}
+	s.queueWait = obs.NewHistogram("dstore_serve_queue_wait_ns")
+	s.rec = dtrace.New(dtrace.Options{
+		Cap:     opt.TraceSpanCap,
+		Clock:   opt.Clock,
+		Process: opt.Name,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/traces/{tid}", s.handleTraceDump)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/chaos", s.handleChaos)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opt.EnablePprof {
+		// On the server's own mux: the blank net/http/pprof import only
+		// touches DefaultServeMux, which this daemon never serves.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
@@ -335,6 +385,18 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now() //dstore:allow-wallclock job metadata only, never in a Result
 	s.mu.Unlock()
 
+	// Queue wait ends now: record the span (traced jobs) and feed the
+	// /metrics wait histogram (every job).
+	waitEnd := s.rec.Now()
+	var wait uint64
+	if waitEnd > j.submitNS {
+		wait = waitEnd - j.submitNS
+	}
+	s.rec.Record(j.trace, dtrace.SpanQueueWait, j.jobIdx, 0, j.submitNS, wait, 0)
+	s.histMu.Lock()
+	s.queueWait.Observe(wait)
+	s.histMu.Unlock()
+
 	ctx := s.baseCtx
 	cancel := context.CancelFunc(func() {})
 	if s.opt.JobTimeout > 0 {
@@ -344,8 +406,25 @@ func (s *Server) runJob(j *job) {
 	// simulation panics instead of spinning the worker forever, and
 	// safeRun converts that panic into a failed job.
 	j.cfg.StallGuardEvents = s.opt.StallGuardEvents
+	sp := s.rec.Begin(j.trace, dtrace.SpanSimulate, j.jobIdx, 0)
 	body, err := s.safeRun(ctx, j)
 	cancel()
+	var simFlags uint8
+	if err != nil {
+		simFlags |= dtrace.FlagErr
+	}
+	if j.snapRestored {
+		simFlags |= dtrace.FlagHit
+	}
+	sp.End(simFlags)
+	if j.trace != 0 && s.snaps != nil && !j.spec.Trace {
+		// The warm-prefix snapshot probe's outcome, as an instant span.
+		var snapFlags uint8
+		if j.snapRestored {
+			snapFlags = dtrace.FlagHit
+		}
+		s.rec.Record(j.trace, dtrace.SpanSnapshot, j.jobIdx, 0, s.rec.Now(), 0, snapFlags)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -552,6 +631,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	trace, jobIdx, _ := dtrace.FromHeaders(r.Header)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -569,13 +650,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// and rerun to regenerate it.
 		_, traceOK := s.traces.lookup(id)
 		if !norm.Trace || traceOK {
+			if trace != 0 {
+				s.rec.Record(trace, dtrace.SpanCacheLookup, jobIdx, 0, s.rec.Now(), 0, dtrace.FlagHit)
+			}
 			setResultDigest(w, body)
 			writeJSON(w, http.StatusOK, runResponse{ID: id, Status: statusDone, Cached: true, Result: body})
 			return
 		}
 	}
 	//dstore:allow-wallclock job metadata only, never in a Result
-	j := &job{id: id, spec: norm, cfg: cfg, status: statusQueued, submitted: time.Now()}
+	j := &job{id: id, spec: norm, cfg: cfg, status: statusQueued, submitted: time.Now(),
+		trace: trace, jobIdx: jobIdx, submitNS: s.rec.Now()}
+	if trace != 0 {
+		s.rec.Record(trace, dtrace.SpanCacheLookup, jobIdx, 0, j.submitNS, 0, 0)
+	}
 	select {
 	case s.queue <- j:
 		s.inflight[id] = j
@@ -666,6 +754,31 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusNotFound, "unknown run %q", id)
+}
+
+// handleTraceDump implements GET /v1/traces/{tid}: this process's
+// retained distributed-tracing spans for one trace ID (16 hex digits),
+// in deterministic export order. The coordinator fans out to this
+// endpoint on every worker and stitches the dumps into the merged
+// Chrome trace behind /v1/sweeps/{id}/trace. Reads are pure: fetching
+// a dump never records spans or renumbers sequence numbers.
+func (s *Server) handleTraceDump(w http.ResponseWriter, r *http.Request) {
+	tid, err := strconv.ParseUint(r.PathValue("tid"), 16, 64)
+	if err != nil || tid == 0 {
+		writeError(w, http.StatusBadRequest, "bad trace id %q (want 16 hex digits)", r.PathValue("tid"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rec.DumpTrace(tid))
+}
+
+// queueWaitSnapshot returns an isolated copy of the queue-wait
+// histogram for rendering.
+func (s *Server) queueWaitSnapshot() *obs.Histogram {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	c := obs.NewHistogram(s.queueWait.Name())
+	c.Merge(s.queueWait)
+	return c
 }
 
 // handleBenchmarks implements GET /v1/benchmarks: what can be

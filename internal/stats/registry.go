@@ -121,6 +121,22 @@ var knownKeys = map[string]bool{
 	"coord_shed_total":            true,
 	"coord_journal_appends_total": true,
 	"coord_journal_errors_total":  true,
+
+	// fleet observability plane: metrics federation, trace export,
+	// profile capture, and the coordinator's span ring (internal/fleet)
+	"fleet_federation_scrapes_total": true,
+	"fleet_federation_errors_total":  true,
+	"fleet_trace_exports_total":      true,
+	"fleet_dispatch_latency_ns":      true,
+	"coord_profile_captures_total":   true,
+	"coord_spans_recorded_total":     true,
+	"coord_spans_dropped_total":      true,
+
+	// worker observability: span ring and queue-wait histogram
+	// (internal/obs/dtrace, surfaced by internal/serve's /metrics)
+	"obs_spans_recorded_total":   true,
+	"obs_spans_dropped_total":    true,
+	"dstore_serve_queue_wait_ns": true,
 }
 
 // KnownKey reports whether name is a registered counter key.
